@@ -1,0 +1,124 @@
+package wormnoc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/exp"
+	"wormnoc/internal/mapopt"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/priority"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/workload"
+)
+
+// BenchmarkSLA measures the stage-level baseline at sweep scale.
+func BenchmarkSLA(b *testing.B) {
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 8, LinkLatency: 1})
+	sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: 200, Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sets := core.BuildSets(sys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeWithSets(sys, sets, core.Options{Method: core.SLA}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTightness measures the per-flow tightness study at bench
+// scale.
+func BenchmarkTightness(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunTightness(exp.TightnessConfig{
+			Width: 4, Height: 4,
+			FlowCounts:   []int{200},
+			SetsPerPoint: 4,
+			Seed:         int64(i),
+			Workers:      1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorMeshScaling measures simulator throughput versus
+// mesh size at a fixed per-node load.
+func BenchmarkSimulatorMeshScaling(b *testing.B) {
+	for _, dim := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("%dx%d", dim, dim), func(b *testing.B) {
+			topo := noc.MustMesh(dim, dim, noc.RouterConfig{BufDepth: 4, LinkLatency: 1})
+			sys, err := workload.Synthetic(topo, workload.SynthConfig{
+				NumFlows: 2 * dim * dim, Seed: 21,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const horizon = 50_000
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sys, sim.Config{Duration: horizon}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(horizon)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
+// BenchmarkAudsley measures the priority-assignment search (O(n²)
+// analyses).
+func BenchmarkAudsley(b *testing.B) {
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: 16, Seed: 31})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := priority.Audsley(topo, sys.Flows(), core.Options{Method: core.IBN}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMappingOptimizer measures the annealing search with the IBN
+// oracle on the AV benchmark.
+func BenchmarkMappingOptimizer(b *testing.B) {
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	g := mapopt.AVGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapopt.Optimize(g, topo, mapopt.Config{
+			Analysis:   core.Options{Method: core.IBN, BufDepth: 2},
+			Iterations: 50,
+			Seed:       int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorstCaseSearch measures the adversarial phasing search on
+// the didactic scenario.
+func BenchmarkWorstCaseSearch(b *testing.B) {
+	sys := workload.Didactic(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SearchWorstCase(sys, sim.SearchConfig{
+			Base:     sim.Config{Duration: 10_000},
+			Target:   2,
+			Restarts: 2, RefineSteps: 1, ProbesPerFlow: 4,
+			Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

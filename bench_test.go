@@ -1,0 +1,223 @@
+// Benchmarks regenerating every table and figure of the paper (at
+// bench-friendly scale; the cmd/ tools run the full-size experiments) and
+// ablation benches for the design choices called out in DESIGN.md §5.
+//
+// Run with: go test -bench=. -benchmem
+package wormnoc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/exp"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/workload"
+)
+
+// BenchmarkTable2Didactic regenerates the four analytic columns of
+// Table II (SB, XLWX, IBN b=10, IBN b=2) on the Section V example.
+func BenchmarkTable2Didactic(b *testing.B) {
+	cases := []struct {
+		buf int
+		opt core.Options
+	}{
+		{2, core.Options{Method: core.SB}},
+		{2, core.Options{Method: core.XLWX}},
+		{10, core.Options{Method: core.IBN}},
+		{2, core.Options{Method: core.IBN}},
+	}
+	want := []noc.Cycles{336, 460, 396, 348}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for c, tc := range cases {
+			res, err := core.Analyze(workload.Didactic(tc.buf), tc.opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.R(2) != want[c] {
+				b.Fatalf("column %d: R(τ3) = %d, want %d", c, res.R(2), want[c])
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Simulation regenerates the simulation columns of
+// Table II: one cycle-accurate run of the didactic MPB scenario per
+// buffer depth (the full offset sweep is cmd/didactic's job).
+func BenchmarkTable2Simulation(b *testing.B) {
+	for _, buf := range []int{10, 2} {
+		b.Run(fmt.Sprintf("buf=%d", buf), func(b *testing.B) {
+			sys := workload.Didactic(buf)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sys, sim.Config{Duration: 20_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed[2] == 0 {
+					b.Fatal("τ3 completed no packets")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4a4x4 regenerates one x-axis point of Figure 4(a):
+// 4x4 mesh, SB/XLWX/IBN2/IBN100 over synthetic flow sets.
+func BenchmarkFig4a4x4(b *testing.B) {
+	benchSweepPoint(b, 4, 4, 220)
+}
+
+// BenchmarkFig4b8x8 regenerates one x-axis point of Figure 4(b).
+func BenchmarkFig4b8x8(b *testing.B) {
+	benchSweepPoint(b, 8, 8, 360)
+}
+
+func benchSweepPoint(b *testing.B, w, h, flows int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunSweep(exp.SweepConfig{
+			Width: w, Height: h,
+			FlowCounts:   []int{flows},
+			SetsPerPoint: 5,
+			Seed:         int64(i),
+			Workers:      1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkFig5AV regenerates a slice of Figure 5: random AV-benchmark
+// mappings on a subset of the 26 topologies.
+func BenchmarkFig5AV(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunAV(exp.AVConfig{
+			Topologies:          [][2]int{{2, 2}, {4, 4}, {8, 8}},
+			MappingsPerTopology: 10,
+			Seed:                int64(i),
+			Workers:             1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkBufferAblation regenerates the Section VI buffer-size study at
+// bench scale (IBN at depths 2..100 plus XLWX over shared flow sets).
+func BenchmarkBufferAblation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunBufferAblation(exp.BufferAblationConfig{
+			Width: 4, Height: 4,
+			FlowCounts:   []int{220},
+			SetsPerPoint: 5,
+			Seed:         int64(i),
+			Workers:      1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v := exp.CheckBufferMonotonicity(res); v != "" {
+			b.Fatalf("buffer monotonicity violated: %s", v)
+		}
+	}
+}
+
+// BenchmarkAblationEq7 compares the clamped Equation 8 against the raw
+// Equation 7 (DESIGN.md §5: the min() is what keeps IBN never looser than
+// XLWX).
+func BenchmarkAblationEq7(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"eq8", core.Options{Method: core.IBN, BufDepth: 100}},
+		{"eq7", core.Options{Method: core.IBN, BufDepth: 100, Eq7: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 100, LinkLatency: 1})
+			sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: 200, Seed: 11})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sets := core.BuildSets(sys)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AnalyzeWithSets(sys, sets, tc.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalysisScaling measures analysis cost versus flow-set size
+// for each method (the memoised I^down recursion keeps XLWX/IBN close to
+// SB).
+func BenchmarkAnalysisScaling(b *testing.B) {
+	for _, n := range []int{50, 100, 200, 400} {
+		topo := noc.MustMesh(8, 8, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+		sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: n, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range []core.Method{core.SB, core.XLWX, core.IBN} {
+			b.Run(fmt.Sprintf("%s/n=%d", m, n), func(b *testing.B) {
+				sets := core.BuildSets(sys)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.AnalyzeWithSets(sys, sets, core.Options{Method: m}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBuildSets measures interference-set construction.
+func BenchmarkBuildSets(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			topo := noc.MustMesh(8, 8, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+			sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: n, Seed: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.BuildSets(sys)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulator measures simulator throughput (simulated cycles per
+// wall-clock second) on a loaded 4x4 mesh.
+func BenchmarkSimulator(b *testing.B) {
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 4, LinkLatency: 1})
+	sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: 32, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const horizon = 100_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sys, sim.Config{Duration: horizon}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(horizon)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}

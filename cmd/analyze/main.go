@@ -1,0 +1,218 @@
+// Command analyze runs a worst-case response-time analysis over a flow
+// set described as JSON (see internal/traffic.Document for the schema)
+// and prints per-flow latency bounds against deadlines.
+//
+// Usage:
+//
+//	analyze -in flows.json -method IBN
+//	analyze -in flows.json -method IBN -buf 2
+//	generate-something | analyze -method XLWX
+//	analyze -example > flows.json            # emit the didactic example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+	"wormnoc/internal/workload"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "input JSON file (- = stdin)")
+		method   = flag.String("method", "IBN", "analysis: SB, SLA, XLWX or IBN")
+		buf      = flag.Int("buf", 0, "override buffer depth for IBN (0 = platform's)")
+		all      = flag.Bool("all", false, "run all three analyses side by side")
+		example  = flag.Bool("example", false, "emit the didactic example as JSON and exit")
+		explain  = flag.String("explain", "", "decompose this flow's bound (name or index) term by term")
+		headroom = flag.Bool("headroom", false, "report the packet-length scaling headroom per analysis")
+		hotspots = flag.Int("hotspots", 0, "print the N most loaded links")
+	)
+	flag.Parse()
+
+	if *example {
+		if err := workload.Didactic(2).WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var r io.Reader
+	if *in == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	sys, err := traffic.ReadJSON(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("platform: %s\n", sys.Topology())
+	fmt.Printf("flows: %d, aggregate link utilisation: %.3f\n\n", sys.NumFlows(), sys.Utilisation())
+
+	var specs []struct {
+		name string
+		opt  core.Options
+	}
+	if *all {
+		specs = append(specs,
+			struct {
+				name string
+				opt  core.Options
+			}{"SB", core.Options{Method: core.SB}},
+			struct {
+				name string
+				opt  core.Options
+			}{"XLWX", core.Options{Method: core.XLWX}},
+			struct {
+				name string
+				opt  core.Options
+			}{"IBN", core.Options{Method: core.IBN, BufDepth: *buf}},
+		)
+	} else {
+		m, err := parseMethod(*method)
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, struct {
+			name string
+			opt  core.Options
+		}{*method, core.Options{Method: m, BufDepth: *buf}})
+	}
+
+	sets := core.BuildSets(sys)
+	results := make([]*core.Result, len(specs))
+	for i, s := range specs {
+		results[i], err = core.AnalyzeWithSets(sys, sets, s.opt)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("%-12s %4s %10s %10s", "flow", "P", "C", "D")
+	for _, s := range specs {
+		fmt.Printf(" %12s", "R_"+s.name)
+	}
+	fmt.Println()
+	for i := 0; i < sys.NumFlows(); i++ {
+		f := sys.Flow(i)
+		name := f.Name
+		if name == "" {
+			name = fmt.Sprintf("flow%d", i)
+		}
+		fmt.Printf("%-12s %4d %10d %10d", name, f.Priority, sys.C(i), f.Deadline)
+		for _, res := range results {
+			fr := res.Flows[i]
+			switch fr.Status {
+			case core.Schedulable:
+				fmt.Printf(" %12d", fr.R)
+			case core.DeadlineMiss:
+				fmt.Printf(" %11d!", fr.R)
+			default:
+				fmt.Printf(" %12s", fr.Status)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	if *explain != "" {
+		idx := -1
+		for i := 0; i < sys.NumFlows(); i++ {
+			if sys.Flow(i).Name == *explain {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			if n, err := strconv.Atoi(*explain); err == nil && n >= 0 && n < sys.NumFlows() {
+				idx = n
+			}
+		}
+		if idx < 0 {
+			fatal(fmt.Errorf("no flow named or indexed %q", *explain))
+		}
+		for _, s := range specs {
+			b, err := core.Explain(sys, sets, s.opt, idx)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(b)
+		}
+	}
+	if *hotspots > 0 {
+		loads := sys.LinkLoads()
+		type hot struct {
+			link int
+			load float64
+		}
+		hots := make([]hot, 0, len(loads))
+		for l, u := range loads {
+			if u > 0 {
+				hots = append(hots, hot{l, u})
+			}
+		}
+		sort.Slice(hots, func(a, b int) bool { return hots[a].load > hots[b].load })
+		if len(hots) > *hotspots {
+			hots = hots[:*hotspots]
+		}
+		fmt.Println("hottest links (long-run utilisation):")
+		for _, h := range hots {
+			fmt.Printf("  %-12s %6.1f%%\n", sys.Topology().Link(noc.LinkID(h.link)), 100*h.load)
+		}
+		fmt.Println()
+	}
+	if *headroom {
+		fmt.Println("packet-length scaling headroom (factor before the guarantee breaks):")
+		for _, s := range specs {
+			limit, err := core.ScaleLimit(sys, s.opt, 0.05, 64, 0.01)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %-6s ×%.2f\n", s.name, limit)
+		}
+		fmt.Println()
+	}
+	exit := 0
+	for i, s := range specs {
+		verdict := "SCHEDULABLE"
+		if !results[i].Schedulable {
+			verdict = "NOT schedulable"
+			exit = 2
+		}
+		fmt.Printf("%-6s: flow set is %s\n", s.name, verdict)
+	}
+	os.Exit(exit)
+}
+
+func parseMethod(s string) (core.Method, error) {
+	switch strings.ToUpper(s) {
+	case "SB":
+		return core.SB, nil
+	case "XLWX":
+		return core.XLWX, nil
+	case "IBN":
+		return core.IBN, nil
+	case "SLA":
+		return core.SLA, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (want SB, SLA, XLWX or IBN)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

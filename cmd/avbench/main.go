@@ -1,0 +1,138 @@
+// Command avbench regenerates Figure 5 of the paper: 100 random mappings
+// of the autonomous-vehicle benchmark onto each of 26 mesh topologies
+// (2x2 up to 10x10), reporting the percentage of mappings deemed fully
+// schedulable by XLWX and by the proposed analysis with 2-flit (IBN2) and
+// 100-flit (IBN100) buffers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/exp"
+	"wormnoc/internal/mapopt"
+	"wormnoc/internal/noc"
+)
+
+func main() {
+	var (
+		mappings = flag.Int("mappings", 100, "random mappings per topology")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		csvPath  = flag.String("csv", "", "also write CSV to this file")
+		topos    = flag.String("topos", "", "comma list of WxH shapes (default: the 26 of Figure 5)")
+		optimize = flag.Bool("optimize", false, "run the mapping optimizer per topology (IBN vs XLWX oracle) instead of random sampling")
+		iters    = flag.Int("iters", 1500, "optimizer iteration budget (with -optimize)")
+	)
+	flag.Parse()
+
+	if *optimize {
+		runOptimize(*topos, *seed, *iters)
+		return
+	}
+
+	cfg := exp.AVConfig{
+		MappingsPerTopology: *mappings,
+		Seed:                *seed,
+		Workers:             *workers,
+	}
+	if *topos != "" {
+		for _, t := range strings.Split(*topos, ",") {
+			parts := strings.Split(strings.TrimSpace(t), "x")
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad topology %q, want WxH", t))
+			}
+			w, err1 := strconv.Atoi(parts[0])
+			h, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				fatal(fmt.Errorf("bad topology %q", t))
+			}
+			cfg.Topologies = append(cfg.Topologies, [2]int{w, h})
+		}
+	}
+
+	start := time.Now()
+	res, err := exp.RunAV(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Table())
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(res.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("CSV written to %s\n", *csvPath)
+	}
+}
+
+// runOptimize searches for a certified AV mapping on each topology with
+// the simulated-annealing optimizer, once per oracle, and reports how
+// many analysis evaluations each oracle needed to find a feasible
+// mapping — the design-space-exploration payoff of the tighter analysis.
+func runOptimize(topos string, seed int64, iters int) {
+	shapes := [][2]int{{2, 2}, {3, 3}, {4, 4}, {5, 5}}
+	if topos != "" {
+		shapes = nil
+		for _, t := range strings.Split(topos, ",") {
+			parts := strings.Split(strings.TrimSpace(t), "x")
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad topology %q, want WxH", t))
+			}
+			w, err1 := strconv.Atoi(parts[0])
+			h, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				fatal(fmt.Errorf("bad topology %q", t))
+			}
+			shapes = append(shapes, [2]int{w, h})
+		}
+	}
+	oracles := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"XLWX", core.Options{Method: core.XLWX}},
+		{"IBN2", core.Options{Method: core.IBN, BufDepth: 2}},
+	}
+	g := mapopt.AVGraph()
+	fmt.Println("mapping optimisation of the AV benchmark (evaluations to first certified mapping)")
+	fmt.Printf("%8s", "topology")
+	for _, o := range oracles {
+		fmt.Printf(" %16s", o.name)
+	}
+	fmt.Println()
+	for _, wh := range shapes {
+		topo, err := noc.NewMesh(wh[0], wh[1], noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%8s", fmt.Sprintf("%dx%d", wh[0], wh[1]))
+		for _, o := range oracles {
+			res, err := mapopt.Optimize(g, topo, mapopt.Config{
+				Analysis:          o.opt,
+				Iterations:        iters,
+				Seed:              seed,
+				StopWhenScheduled: true,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			if res.Schedulable {
+				fmt.Printf(" %16s", fmt.Sprintf("found@%d", res.Evaluations))
+			} else {
+				fmt.Printf(" %16s", fmt.Sprintf("none(%d)", res.Evaluations))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command topo inspects a mesh topology: link census, an ASCII drawing,
+// Graphviz DOT export and route queries under XY or YX routing.
+//
+// Usage:
+//
+//	topo -mesh 4x4
+//	topo -mesh 4x4 -dot > mesh.dot
+//	topo -mesh 4x4 -route 0:15
+//	topo -mesh 4x4 -route 0:15 -routing yx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wormnoc/internal/noc"
+)
+
+func main() {
+	var (
+		mesh    = flag.String("mesh", "4x4", "mesh shape WxH")
+		dot     = flag.Bool("dot", false, "emit Graphviz DOT instead of the summary")
+		route   = flag.String("route", "", "print the route between two nodes, as src:dst")
+		routing = flag.String("routing", "xy", "dimension-order routing policy: xy or yx")
+	)
+	flag.Parse()
+
+	parts := strings.Split(*mesh, "x")
+	if len(parts) != 2 {
+		fatal(fmt.Errorf("bad -mesh %q, want WxH", *mesh))
+	}
+	w, err1 := strconv.Atoi(parts[0])
+	h, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		fatal(fmt.Errorf("bad -mesh %q", *mesh))
+	}
+	topo, err := noc.NewMesh(w, h, noc.DefaultRouterConfig())
+	if err != nil {
+		fatal(err)
+	}
+	switch strings.ToLower(*routing) {
+	case "xy":
+	case "yx":
+		topo, err = topo.WithRouting(noc.YX)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("bad -routing %q (want xy or yx)", *routing))
+	}
+
+	if *dot {
+		fmt.Print(topo.DOT())
+		return
+	}
+	fmt.Println(topo)
+	fmt.Printf("routing: %v\n\n", topo.Routing())
+	fmt.Print(topo.ASCII())
+
+	if *route != "" {
+		rp := strings.Split(*route, ":")
+		if len(rp) != 2 {
+			fatal(fmt.Errorf("bad -route %q, want src:dst", *route))
+		}
+		src, err1 := strconv.Atoi(rp[0])
+		dst, err2 := strconv.Atoi(rp[1])
+		if err1 != nil || err2 != nil {
+			fatal(fmt.Errorf("bad -route %q", *route))
+		}
+		r, err := topo.Route(noc.NodeID(src), noc.NodeID(dst))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nroute(%d, %d): %d links, %d routers\n  %s\n",
+			src, dst, r.Len(), r.Hops(), topo.RenderRoute(r))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,185 @@
+package wormnoc_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Command-level integration tests: each cmd/ binary is built once and
+// driven with small inputs, asserting the key lines of its output.
+// Skipped under -short (building binaries is the slow part).
+
+var (
+	binDirOnce sync.Once
+	binDir     string
+	binErr     error
+)
+
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("binary builds skipped in -short mode")
+	}
+	binDirOnce.Do(func() {
+		binDir, binErr = os.MkdirTemp("", "wormnoc-bin")
+	})
+	if binErr != nil {
+		t.Fatal(binErr)
+	}
+	bin := filepath.Join(binDir, name)
+	if _, err := os.Stat(bin); err == nil {
+		return bin
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building cmd/%s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, stdin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %s: %v\n%s", bin, err, out)
+	}
+	return string(out), code
+}
+
+func TestCmdDidactic(t *testing.T) {
+	bin := buildCmd(t, "didactic")
+	out, code := run(t, bin, "", "-maxoffset", "200", "-step", "4")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"Table I", "Table II",
+		"336", "460", "396", "348", // the τ3 analysis row
+		"MPB demonstrated",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdAnalyze(t *testing.T) {
+	bin := buildCmd(t, "analyze")
+	example, code := run(t, bin, "", "-example")
+	if code != 0 {
+		t.Fatalf("-example failed: %s", example)
+	}
+	out, code := run(t, bin, example, "-all", "-explain", "τ3")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"R_SB", "R_XLWX", "R_IBN", "460", "348", "bi cap 6", "SCHEDULABLE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// An unschedulable set exits with code 2.
+	unsched := `{"mesh":{"width":4,"height":1,"buf":2,"linkl":1,"routl":0},"flows":[
+	 {"name":"hog","priority":1,"period":100,"deadline":100,"length":80,"src":0,"dst":3},
+	 {"name":"meek","priority":2,"period":400,"deadline":90,"length":10,"src":0,"dst":3}]}`
+	out, code = run(t, bin, unsched, "-method", "IBN")
+	if code != 2 || !strings.Contains(out, "NOT schedulable") {
+		t.Errorf("unschedulable set: exit %d\n%s", code, out)
+	}
+	// Unknown method is rejected.
+	_, code = run(t, bin, example, "-method", "BOGUS")
+	if code != 1 {
+		t.Errorf("bogus method: exit %d", code)
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	bin := buildCmd(t, "sweep")
+	out, code := run(t, bin, "", "-mesh", "3x3", "-flows", "40", "-sets", "3", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"3x3 mesh", "SB", "XLWX", "IBN2", "IBN100", "40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	out, code = run(t, bin, "", "-mesh", "3x3", "-flows", "60", "-sets", "2", "-tightness")
+	if code != 0 || !strings.Contains(out, "tightness") {
+		t.Errorf("tightness mode: exit %d\n%s", code, out)
+	}
+	_, code = run(t, bin, "", "-mesh", "bogus")
+	if code != 1 {
+		t.Errorf("bad mesh: exit %d", code)
+	}
+}
+
+func TestCmdAVBench(t *testing.T) {
+	bin := buildCmd(t, "avbench")
+	out, code := run(t, bin, "", "-mappings", "3", "-topos", "2x2,3x3", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"2x2", "3x3", "XLWX", "IBN2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	out, code = run(t, bin, "", "-optimize", "-topos", "3x3", "-iters", "60", "-seed", "2")
+	if code != 0 || !strings.Contains(out, "optimisation") {
+		t.Errorf("optimize mode: exit %d\n%s", code, out)
+	}
+}
+
+func TestCmdNocsim(t *testing.T) {
+	analyze := buildCmd(t, "analyze")
+	example, _ := run(t, analyze, "", "-example")
+	bin := buildCmd(t, "nocsim")
+	out, code := run(t, bin, example, "-duration", "8000", "-gantt", "-gantt-to", "400")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"simulated 8000 cycles", "legend:", "R_IBN", "τ3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Offset sweep mode.
+	out, code = run(t, bin, example, "-duration", "8000", "-sweep", "0", "-maxoffset", "40", "-step", "8")
+	if code != 0 || !strings.Contains(out, "offset sweep: 5 runs") {
+		t.Errorf("sweep mode: exit %d\n%s", code, out)
+	}
+}
+
+func TestCmdTopo(t *testing.T) {
+	bin := buildCmd(t, "topo")
+	out, code := run(t, bin, "", "-mesh", "3x2", "-route", "0:5")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"mesh 3x2", "[r0]", "route(0, 5): 5 links"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	out, code = run(t, bin, "", "-mesh", "2x2", "-dot")
+	if code != 0 || !strings.HasPrefix(out, "digraph mesh {") {
+		t.Errorf("dot mode: exit %d\n%s", code, out)
+	}
+	out, code = run(t, bin, "", "-mesh", "3x2", "-route", "0:5", "-routing", "yx")
+	if code != 0 || !strings.Contains(out, "YX") {
+		t.Errorf("yx mode: exit %d\n%s", code, out)
+	}
+}

@@ -1,0 +1,101 @@
+// Buffersweep explores the paper's counter-intuitive headline result on a
+// randomly generated workload: larger virtual-channel buffers give
+// *worse* guaranteed schedulability under the buffer-aware IBN analysis,
+// converging to the XLWX bound as buffers grow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"wormnoc"
+)
+
+func main() {
+	topo, err := wormnoc.NewMesh(4, 4, wormnoc.RouterConfig{
+		BufDepth: 2, LinkLatency: 1, RouteLatency: 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A reproducible random workload dense enough to exhibit MPB chains.
+	const numFlows = 340
+	rng := rand.New(rand.NewSource(42))
+	flows := make([]wormnoc.Flow, numFlows)
+	for i := range flows {
+		src := wormnoc.NodeID(rng.Intn(16))
+		dst := wormnoc.NodeID(rng.Intn(15))
+		if dst >= src {
+			dst++
+		}
+		period := wormnoc.Cycles(4_000 + rng.Int63n(4_000_000))
+		flows[i] = wormnoc.Flow{
+			Name: fmt.Sprintf("f%d", i), Period: period, Deadline: period,
+			Length: 128 + rng.Intn(3969), Src: src, Dst: dst,
+		}
+	}
+	// Rate-monotonic priorities: shorter period = higher priority.
+	order := make([]int, numFlows)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return flows[order[a]].Period < flows[order[b]].Period })
+	for rank, i := range order {
+		flows[i].Priority = rank + 1
+	}
+	sys, err := wormnoc.NewSystem(topo, flows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sets := wormnoc.BuildSets(sys)
+
+	xlwx, err := wormnoc.AnalyzeWithSets(sys, sets, wormnoc.AnalysisOptions{Method: wormnoc.XLWX})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d flows on a 4x4 mesh; per-flow schedulability under IBN by buffer depth\n\n", numFlows)
+	fmt.Printf("%8s %14s %18s %14s\n", "buf", "schedulable", "Σ bound inflation", "set verdict")
+	for _, buf := range []int{1, 2, 4, 8, 16, 32, 64, 100} {
+		res, err := wormnoc.AnalyzeWithSets(sys, sets, wormnoc.AnalysisOptions{
+			Method: wormnoc.IBN, BufDepth: buf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched := 0
+		var inflation wormnoc.Cycles
+		for i := range flows {
+			if res.Flows[i].Status == wormnoc.Schedulable {
+				sched++
+				inflation += res.R(i) - sys.C(i)
+			}
+		}
+		verdict := "NOT schedulable"
+		if res.Schedulable {
+			verdict = "SCHEDULABLE"
+		}
+		fmt.Printf("%8d %10d/%d %18d %14s\n", buf, sched, numFlows, inflation, verdict)
+	}
+
+	schedX := 0
+	for i := range flows {
+		if xlwx.Flows[i].Status == wormnoc.Schedulable {
+			schedX++
+		}
+	}
+	fmt.Printf("%8s %10d/%d %18s %14s\n", "XLWX", schedX, numFlows, "-", verdictOf(xlwx))
+	fmt.Println("\nSmaller buffers bound the interference a blocked packet can replay")
+	fmt.Println("(bi = buf·linkl·|cd|, Eq. 6), so they tighten every IBN bound; as buf")
+	fmt.Println("grows, min(bi, Ck+Idown) saturates and IBN converges to XLWX.")
+}
+
+func verdictOf(r *wormnoc.AnalysisResult) string {
+	if r.Schedulable {
+		return "SCHEDULABLE"
+	}
+	return "NOT schedulable"
+}

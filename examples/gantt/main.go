@@ -1,0 +1,65 @@
+// Gantt: watch multi-point progressive blocking happen, cycle by cycle.
+// The simulator traces every flit transfer of the paper's didactic
+// scenario and the trace is rendered as an ASCII link-occupancy chart:
+// you can see τ2's wormhole freeze under backpressure when τ1 preempts it
+// downstream, τ3 slipping through the vacated links, and τ2's buffered
+// flits replaying their interference on τ3 afterwards.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"wormnoc"
+)
+
+func main() {
+	topo, err := wormnoc.NewMesh(6, 1, wormnoc.RouterConfig{
+		BufDepth: 2, LinkLatency: 1, RouteLatency: 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := wormnoc.NewSystem(topo, []wormnoc.Flow{
+		{Name: "τ1", Priority: 1, Period: 200, Deadline: 200, Length: 60, Src: 4, Dst: 5},
+		{Name: "τ2", Priority: 2, Period: 4000, Deadline: 4000, Length: 198, Src: 0, Dst: 5},
+		{Name: "τ3", Priority: 3, Period: 6000, Deadline: 6000, Length: 128, Src: 1, Dst: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var traceBuf bytes.Buffer
+	res, err := wormnoc.Simulate(sys, wormnoc.SimConfig{
+		Duration:          600,
+		MaxPacketsPerFlow: 4,
+		TraceWriter:       &traceBuf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, err := wormnoc.ParseTrace(&traceBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("The MPB didactic scenario, first 400 cycles, 4 cycles per column:")
+	fmt.Println()
+	fmt.Print(wormnoc.RenderGantt(sys, events, wormnoc.GanttOptions{To: 400, Width: 100}))
+	fmt.Print(wormnoc.FlowLegend(sys))
+	fmt.Println(`
+How to read it:
+ - τ2 (symbol 1) claims the line first; τ3 (2) is blocked behind it.
+ - Each release of τ1 (0) preempts τ2 on the r4→r5 / r5→n5 links.
+   Backpressure stalls ALL of τ2's flits within ~|cd| cycles, so the
+   mid-line links (r1→r2 .. r3→r4) go over to τ3.
+ - When τ1 finishes, τ2's flits buffered inside the contention domain
+   drain first — the '1' columns reappearing on r1→r2..r3→r4 right after
+   each preemption are interference REPLAYED on τ3 by flits that already
+   interfered once. That replay, bounded by buf·linkl·|cd| per hit, is
+   exactly what the paper's Equation 6 charges.`)
+	fmt.Printf("\nobserved latencies: τ1=%d τ2=%d τ3=%d (C: %d, %d, %d)\n",
+		res.WorstLatency[0], res.WorstLatency[1], res.WorstLatency[2],
+		sys.C(0), sys.C(1), sys.C(2))
+}

@@ -1,0 +1,102 @@
+// MPB walk-through: constructs the paper's Section V scenario from
+// scratch through the public API, explains where multi-point progressive
+// blocking comes from, and shows how the three analyses and the simulator
+// see it — including the unsafety of the SB bound and the effect of the
+// buffer depth on the IBN bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wormnoc"
+)
+
+// buildExample assembles Figure 3's network and Table I's flows for a
+// given per-VC buffer depth: a six-router line a..f with
+//
+//	τ1 (P1): e→f — short, fast, hits τ2 downstream of τ3's links
+//	τ2 (P2): a→f — long packets crossing the whole line
+//	τ3 (P3): b→e — the analysed flow, sharing 3 links with τ2
+func buildExample(bufDepth int) *wormnoc.System {
+	topo, err := wormnoc.NewMesh(6, 1, wormnoc.RouterConfig{
+		BufDepth:     bufDepth,
+		LinkLatency:  1,
+		RouteLatency: 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		a = wormnoc.NodeID(0)
+		b = wormnoc.NodeID(1)
+		e = wormnoc.NodeID(4)
+		f = wormnoc.NodeID(5)
+	)
+	sys, err := wormnoc.NewSystem(topo, []wormnoc.Flow{
+		{Name: "τ1", Priority: 1, Period: 200, Deadline: 200, Length: 60, Src: e, Dst: f},
+		{Name: "τ2", Priority: 2, Period: 4000, Deadline: 4000, Length: 198, Src: a, Dst: f},
+		{Name: "τ3", Priority: 3, Period: 6000, Deadline: 6000, Length: 128, Src: b, Dst: e},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+func main() {
+	fmt.Println(`Multi-point progressive blocking (MPB), step by step:
+ 1. τ2 (a→f) wins the links it shares with τ3 (b→e) and blocks τ3.
+ 2. τ1 (e→f) preempts τ2 on link r5→r6 — DOWNSTREAM of the τ2/τ3 links.
+ 3. Backpressure freezes τ2's flits in the VC buffers along its route;
+    with no credit, τ2 yields the shared links and τ3 advances.
+ 4. When τ1 finishes, τ2's BUFFERED flits drain first — and block τ3
+    AGAIN. One packet of τ2 interferes with τ3 more than once.
+The replayed interference per hit of τ1 is bounded by the buffered flits
+inside the τ2/τ3 contention domain: bi = buf · linkl · |cd| (Eq. 6).`)
+
+	sys := buildExample(2)
+	sets := wormnoc.BuildSets(sys)
+	fmt.Printf("\ncontention domain τ3∩τ2: %d links; τ2∩τ1: %d links (downstream); τ3∩τ1: %d links\n",
+		len(sets.CD(2, 1)), len(sets.CD(1, 0)), len(sets.CD(2, 0)))
+	fmt.Printf("S^down of τ2 w.r.t. τ3: flows %v (τ1 triggers MPB)\n", sets.Downstream(2, 1))
+
+	fmt.Printf("\n%-10s %8s %8s %8s %10s\n", "analysis", "R(τ1)", "R(τ2)", "R(τ3)", "buffers")
+	for _, cfg := range []struct {
+		name string
+		buf  int
+		opt  wormnoc.AnalysisOptions
+	}{
+		{"SB", 2, wormnoc.AnalysisOptions{Method: wormnoc.SB}},
+		{"XLWX", 2, wormnoc.AnalysisOptions{Method: wormnoc.XLWX}},
+		{"IBN", 10, wormnoc.AnalysisOptions{Method: wormnoc.IBN}},
+		{"IBN", 2, wormnoc.AnalysisOptions{Method: wormnoc.IBN}},
+	} {
+		s := buildExample(cfg.buf)
+		res, err := wormnoc.Analyze(s, cfg.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8d %8d %8d %10d\n", cfg.name, res.R(0), res.R(1), res.R(2), cfg.buf)
+	}
+
+	fmt.Println("\nsimulated worst case over all 200 phasings of τ1:")
+	for _, buf := range []int{10, 2} {
+		s := buildExample(buf)
+		sweep, err := wormnoc.SweepOffsets(s, wormnoc.SimConfig{Duration: 20_000}, 0, 200, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  buf=%-3d observed R(τ3) = %d  (worst phasing: τ1 offset %d)\n",
+			buf, sweep.Worst[2], sweep.WorstOffset[2])
+	}
+
+	fmt.Println(`
+Reading the numbers:
+ - SB's 336 is OPTIMISTIC: the simulator observes ~350 at buf=10.
+ - XLWX's 460 is safe but pessimistic: it charges τ3 the whole downstream
+   interference τ2 can suffer (2 hits × C₁ = 124 extra cycles).
+ - IBN charges only what the buffers can replay: 2 hits × min(bi, C₁),
+   i.e. 2·6 = 12 extra cycles at buf=2 — and smaller buffers give tighter
+   bounds (348 vs 396), the paper's counter-intuitive headline.`)
+}

@@ -1,0 +1,3 @@
+module wormnoc
+
+go 1.24

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// Method selects one of the response-time analyses.
+type Method int
+
+const (
+	// SB is the Shi & Burns 2008 analysis. It predates the discovery of
+	// multi-point progressive blocking and produces OPTIMISTIC (unsafe)
+	// bounds in MPB scenarios; it is included as the historic baseline the
+	// paper plots in Figure 4.
+	SB Method = iota
+	// XLWX is the Xiong et al. 2017 analysis with the interference-jitter
+	// fix of Indrusiak et al. (Equation 5 of the paper): the safe
+	// state-of-the-art baseline, which treats downstream indirect
+	// interference as if it were direct interference.
+	XLWX
+	// IBN is the paper's proposed buffer-aware analysis (Equations 6–8):
+	// like XLWX but bounding each downstream hit's replayed interference
+	// by the buffer capacity of the contention domain.
+	IBN
+	// SLA is a simplified stage-level analysis in the spirit of Kashif &
+	// Patel 2015: SB refined by the buffered overlap along the contention
+	// domain (see sla.go). Equal to SB at 1-flit buffers, tighter with
+	// deeper ones, and — like SB — UNSAFE under MPB.
+	SLA
+)
+
+func (m Method) String() string {
+	switch m {
+	case SB:
+		return "SB"
+	case XLWX:
+		return "XLWX"
+	case IBN:
+		return "IBN"
+	case SLA:
+		return "SLA"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// Method selects the analysis. Default SB (zero value) is explicit in
+	// all call sites of this repository; prefer naming it.
+	Method Method
+	// BufDepth overrides buf(Ξ) of the platform when > 0. Only IBN uses
+	// the buffer depth; the override makes IBN2/IBN100-style comparisons
+	// cheap (no need to rebuild topology or system).
+	BufDepth int
+	// Eq7 makes IBN use the un-clamped Equation 7 (the buffered
+	// interference bi_ij alone, without min-ing it against the XLWX term).
+	// As the paper notes, Equation 7 can exceed the XLWX bound when
+	// downstream interference cannot fill the contention-domain buffers;
+	// this ablation exists to demonstrate exactly that.
+	Eq7 bool
+	// NoUpstreamFallback disables IBN's safety rule of falling back to the
+	// XLWX term for direct interferers that suffer upstream indirect
+	// interference (whose packets may arrive "chopped up" into waves,
+	// invalidating Equation 8's buffering argument). Disabling the
+	// fallback reproduces the optimism hazard discussed in Section IV and
+	// must not be used for real guarantees.
+	NoUpstreamFallback bool
+	// MaxIterations caps the response-time fixed-point iteration per flow
+	// (0 means a generous default). The iteration is monotone, so the cap
+	// only triggers on pathological inputs.
+	MaxIterations int
+}
+
+const defaultMaxIterations = 1 << 20
+
+// FlowStatus describes the outcome of analysing one flow.
+type FlowStatus int
+
+const (
+	// Schedulable: the fixed point converged with R <= D.
+	Schedulable FlowStatus = iota
+	// DeadlineMiss: the response-time bound exceeded the deadline.
+	DeadlineMiss
+	// DependencyFailed: a higher-priority flow this flow's bound depends
+	// on was itself unschedulable, so no bound could be computed.
+	DependencyFailed
+	// Diverged: the iteration hit MaxIterations without converging.
+	Diverged
+)
+
+func (st FlowStatus) String() string {
+	switch st {
+	case Schedulable:
+		return "schedulable"
+	case DeadlineMiss:
+		return "deadline-miss"
+	case DependencyFailed:
+		return "dependency-failed"
+	case Diverged:
+		return "diverged"
+	default:
+		return fmt.Sprintf("FlowStatus(%d)", int(st))
+	}
+}
+
+// FlowResult is the per-flow outcome of an analysis.
+type FlowResult struct {
+	// R is the worst-case latency upper bound in cycles. Valid only when
+	// Status is Schedulable or DeadlineMiss (for DeadlineMiss it holds the
+	// first value observed past the deadline).
+	R noc.Cycles
+	// Status classifies the outcome.
+	Status FlowStatus
+}
+
+// Result is the outcome of analysing a whole flow set.
+type Result struct {
+	Method Method
+	// Flows holds per-flow results, indexed like the System's flows.
+	Flows []FlowResult
+	// Schedulable is true when every flow's bound meets its deadline.
+	Schedulable bool
+}
+
+// R returns the response-time bound of flow i.
+func (r *Result) R(i int) noc.Cycles { return r.Flows[i].R }
+
+// Analyze computes worst-case response-time bounds for every flow of the
+// system under the selected analysis. Flows are processed from highest
+// to lowest priority; a flow whose bound depends on an unschedulable
+// higher-priority flow is marked DependencyFailed.
+func Analyze(sys *traffic.System, opt Options) (*Result, error) {
+	sets := BuildSets(sys)
+	return AnalyzeWithSets(sys, sets, opt)
+}
+
+// AnalyzeWithSets is Analyze with pre-built interference sets, allowing
+// several analyses of the same flow set (e.g. SB vs XLWX vs IBN at
+// several buffer depths) to share the set construction.
+func AnalyzeWithSets(sys *traffic.System, sets *Sets, opt Options) (*Result, error) {
+	if opt.Method < SB || opt.Method > SLA {
+		return nil, fmt.Errorf("core: unknown analysis method %d", int(opt.Method))
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = defaultMaxIterations
+	}
+	a := &analyzer{
+		sys:       sys,
+		sets:      sets,
+		opt:       opt,
+		R:         make([]noc.Cycles, sys.NumFlows()),
+		status:    make([]FlowStatus, sys.NumFlows()),
+		analyzed:  make([]bool, sys.NumFlows()),
+		idownMemo: make(map[pair]noc.Cycles),
+	}
+	if opt.Method == IBN {
+		// IBN's upstream fallback reuses the XLWX term, which has its own
+		// memo space to keep the two recursions distinct.
+		a.xlwxMemo = make(map[pair]noc.Cycles)
+	} else {
+		a.xlwxMemo = a.idownMemo
+	}
+	res := &Result{
+		Method:      opt.Method,
+		Flows:       make([]FlowResult, sys.NumFlows()),
+		Schedulable: true,
+	}
+	for _, i := range sys.ByPriority() {
+		a.analyzeFlow(i)
+		res.Flows[i] = FlowResult{R: a.R[i], Status: a.status[i]}
+		if a.status[i] != Schedulable {
+			res.Schedulable = false
+		}
+	}
+	return res, nil
+}
+
+type pair struct{ j, i int }
+
+type analyzer struct {
+	sys  *traffic.System
+	sets *Sets
+	opt  Options
+	// R and status of flows already analysed (higher priority first).
+	R        []noc.Cycles
+	status   []FlowStatus
+	analyzed []bool
+	// idownMemo caches I^down_{ji} for the configured method;
+	// xlwxMemo caches the XLWX variant used by IBN's upstream fallback.
+	idownMemo map[pair]noc.Cycles
+	xlwxMemo  map[pair]noc.Cycles
+}
+
+// errDependency signals that a required higher-priority bound is missing.
+type errDependency struct{ flow int }
+
+func (e errDependency) Error() string {
+	return fmt.Sprintf("core: depends on unschedulable flow %d", e.flow)
+}
+
+// ceilDiv returns ceil(a/b) for a >= 0, b > 0.
+func ceilDiv(a, b noc.Cycles) noc.Cycles {
+	return (a + b - 1) / b
+}
+
+// analyzeFlow computes the response-time bound of flow i, assuming all
+// higher-priority flows have been analysed already.
+func (a *analyzer) analyzeFlow(i int) {
+	defer func() { a.analyzed[i] = true }()
+	fi := a.sys.Flow(i)
+	ci := a.sys.C(i)
+
+	// Interference terms are independent of R_i (they depend only on the
+	// already-final bounds of higher-priority flows), so they are computed
+	// once and the fixed point below only re-evaluates the ceilings.
+	type term struct {
+		jitter  noc.Cycles // J_j (+ interference jitter where applicable)
+		period  noc.Cycles // T_j
+		hit     noc.Cycles // interference added per hit of τj
+		replays noc.Cycles // MPB replay episodes per hit (blocking term)
+	}
+	terms := make([]term, 0, len(a.sets.Direct(i)))
+	// Non-preemptive flit-transfer blocking applies only to multi-cycle
+	// links (see blocking.go); it is zero in the paper's configuration.
+	var blockPerEpisode noc.Cycles
+	if linkl := a.sys.Topology().Config().LinkLatency; linkl > 1 {
+		blockPerEpisode = (linkl - 1) * noc.Cycles(a.sharedLowLinks(i))
+	}
+	for _, j := range a.sets.Direct(i) {
+		if a.status[j] != Schedulable {
+			a.status[i] = DependencyFailed
+			return
+		}
+		fj := a.sys.Flow(j)
+		jiJ := a.R[j] - a.sys.C(j) // J^I_j = R_j - C_j
+		t := term{period: fj.Period}
+		switch a.opt.Method {
+		case SB, SLA:
+			// SB adds the interference jitter only for direct interferers
+			// that themselves suffer interference from flows indirect to
+			// τi (the "back-to-back hit" scenario), and bounds every hit
+			// by C_j alone — which is exactly what MPB invalidates. The
+			// stage-level refinement (SLA) subtracts the overlap τi can
+			// buffer during each hit.
+			t.jitter = fj.Jitter
+			if a.hasIndirectVia(i, j) {
+				t.jitter += jiJ
+			}
+			if a.opt.Method == SLA {
+				t.hit = a.slaHit(i, j)
+			} else {
+				t.hit = a.sys.C(j)
+			}
+		case XLWX, IBN:
+			// Equation 5: hits of τj are counted with release jitter plus
+			// interference jitter, each hit costing C_j plus the
+			// downstream indirect interference I^down_{ji}.
+			t.jitter = fj.Jitter + jiJ
+			idown, err := a.idown(j, i)
+			if err != nil {
+				a.status[i] = DependencyFailed
+				return
+			}
+			t.hit = a.sys.C(j) + idown
+		}
+		if blockPerEpisode > 0 {
+			replays, err := a.replayEpisodes(i, j)
+			if err != nil {
+				a.status[i] = DependencyFailed
+				return
+			}
+			t.replays = replays
+		}
+		terms = append(terms, t)
+	}
+
+	r := ci
+	for iter := 0; ; iter++ {
+		next := ci
+		episodes := noc.Cycles(1)
+		for _, t := range terms {
+			hits := ceilDiv(r+t.jitter, t.period)
+			next += hits * t.hit
+			episodes += hits * (1 + t.replays)
+		}
+		next += blockPerEpisode * episodes
+		if next == r {
+			a.R[i] = r
+			a.status[i] = Schedulable
+			return
+		}
+		r = next
+		if r > fi.Deadline {
+			a.R[i] = r
+			a.status[i] = DeadlineMiss
+			return
+		}
+		if iter >= a.opt.MaxIterations {
+			a.R[i] = r
+			a.status[i] = Diverged
+			return
+		}
+	}
+}
+
+// hasIndirectVia reports whether some flow of S^I_i directly interferes
+// with τj, i.e. whether τj can pass indirect interference on to τi.
+func (a *analyzer) hasIndirectVia(i, j int) bool {
+	for _, k := range a.sets.Indirect(i) {
+		if a.sys.HigherPriority(k, j) && len(a.sets.CD(j, k)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// requireR returns the final response-time bound of flow j, or an error
+// when j was not schedulable (its bound is then meaningless).
+func (a *analyzer) requireR(j int) (noc.Cycles, error) {
+	if !a.analyzed[j] || a.status[j] != Schedulable {
+		return 0, errDependency{flow: j}
+	}
+	return a.R[j], nil
+}
+
+// idown returns I^down_{ji} under the configured method.
+func (a *analyzer) idown(j, i int) (noc.Cycles, error) {
+	if a.opt.Method == IBN {
+		return a.idownIBN(j, i)
+	}
+	return a.idownXLWX(j, i)
+}
+
+// idownXLWX evaluates Equation 3: the downstream indirect interference
+// suffered by τj from every τk ∈ S^downj_Ii, each hit of τk costing its
+// full interference contribution C_k + I^down_{kj}.
+func (a *analyzer) idownXLWX(j, i int) (noc.Cycles, error) {
+	key := pair{j, i}
+	if v, ok := a.xlwxMemo[key]; ok {
+		return v, nil
+	}
+	rj, err := a.requireR(j)
+	if err != nil {
+		return 0, err
+	}
+	var sum noc.Cycles
+	for _, k := range a.sets.Downstream(i, j) {
+		rk, err := a.requireR(k)
+		if err != nil {
+			return 0, err
+		}
+		fk := a.sys.Flow(k)
+		inner, err := a.idownXLWXmemo(k, j)
+		if err != nil {
+			return 0, err
+		}
+		jiK := rk - a.sys.C(k)
+		hits := ceilDiv(rj+fk.Jitter+jiK, fk.Period)
+		sum += hits * (a.sys.C(k) + inner)
+	}
+	a.xlwxMemo[key] = sum
+	return sum, nil
+}
+
+// idownXLWXmemo is idownXLWX routed through the XLWX memo, used both by
+// XLWX itself and by IBN's fallback recursion.
+func (a *analyzer) idownXLWXmemo(j, i int) (noc.Cycles, error) {
+	return a.idownXLWX(j, i)
+}
+
+// idownIBN evaluates the proposed analysis's downstream term:
+//
+//   - when τj suffers upstream indirect interference (S^upj_Ii non-empty)
+//     its packets may arrive into cd_ij chopped into waves, so Equation 8
+//     is not applicable and the XLWX term (Equation 3) is used — the
+//     proposed analysis is then exactly XLWX for this pair;
+//   - otherwise, Equation 8: each downstream hit by τk costs
+//     min(bi_ij, C_k + I^down_{kj}), where bi_ij (Equation 6) is the
+//     buffer capacity of the contention domain cd_ij.
+func (a *analyzer) idownIBN(j, i int) (noc.Cycles, error) {
+	key := pair{j, i}
+	if v, ok := a.idownMemo[key]; ok {
+		return v, nil
+	}
+	if !a.opt.NoUpstreamFallback && len(a.sets.Upstream(i, j)) > 0 {
+		return a.idownXLWXmemo(j, i)
+	}
+	rj, err := a.requireR(j)
+	if err != nil {
+		return 0, err
+	}
+	bi := a.sets.BufferedInterference(i, j, a.opt.BufDepth)
+	var sum noc.Cycles
+	for _, k := range a.sets.Downstream(i, j) {
+		fk := a.sys.Flow(k)
+		perHit := bi
+		if !a.opt.Eq7 {
+			inner, err := a.idownIBN(k, j)
+			if err != nil {
+				return 0, err
+			}
+			if alt := a.sys.C(k) + inner; alt < perHit {
+				perHit = alt
+			}
+		}
+		hits := ceilDiv(rj+fk.Jitter, fk.Period)
+		sum += hits * perHit
+	}
+	a.idownMemo[key] = sum
+	return sum, nil
+}

@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/workload"
+)
+
+// analyzeDidactic runs one analysis over the Section V example.
+func analyzeDidactic(t *testing.T, bufDepth int, opt core.Options) *core.Result {
+	t.Helper()
+	sys := workload.Didactic(bufDepth)
+	res, err := core.Analyze(sys, opt)
+	if err != nil {
+		t.Fatalf("Analyze(%v): %v", opt, err)
+	}
+	return res
+}
+
+// TestTableIZeroLoadLatencies pins the C column of Table I.
+func TestTableIZeroLoadLatencies(t *testing.T) {
+	sys := workload.Didactic(2)
+	wantC := []noc.Cycles{62, 204, 132}
+	wantRouteLen := []int{3, 7, 5}
+	for i := range wantC {
+		if got := sys.C(i); got != wantC[i] {
+			t.Errorf("C(τ%d) = %d, want %d", i+1, got, wantC[i])
+		}
+		if got := sys.Route(i).Len(); got != wantRouteLen[i] {
+			t.Errorf("|route(τ%d)| = %d, want %d", i+1, got, wantRouteLen[i])
+		}
+	}
+}
+
+// TestTableIIAnalysisColumns pins every analytic column of Table II.
+func TestTableIIAnalysisColumns(t *testing.T) {
+	cases := []struct {
+		name string
+		buf  int
+		opt  core.Options
+		want []noc.Cycles // R for τ1, τ2, τ3
+	}{
+		{"SB", 2, core.Options{Method: core.SB}, []noc.Cycles{62, 328, 336}},
+		{"XLWX", 2, core.Options{Method: core.XLWX}, []noc.Cycles{62, 328, 460}},
+		{"IBN b=10", 10, core.Options{Method: core.IBN}, []noc.Cycles{62, 328, 396}},
+		{"IBN b=2", 2, core.Options{Method: core.IBN}, []noc.Cycles{62, 328, 348}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := analyzeDidactic(t, tc.buf, tc.opt)
+			if !res.Schedulable {
+				t.Fatalf("%s: example should be fully schedulable, got %+v", tc.name, res.Flows)
+			}
+			for i, want := range tc.want {
+				if got := res.R(i); got != want {
+					t.Errorf("%s: R(τ%d) = %d, want %d", tc.name, i+1, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestIBNBufferOverride checks that Options.BufDepth reproduces the
+// b=2 result on a platform built with 10-flit buffers.
+func TestIBNBufferOverride(t *testing.T) {
+	res := analyzeDidactic(t, 10, core.Options{Method: core.IBN, BufDepth: 2})
+	if got := res.R(2); got != 348 {
+		t.Errorf("IBN with BufDepth override 2 on buf=10 platform: R(τ3) = %d, want 348", got)
+	}
+}
+
+// TestDidacticInterferenceSets pins the interference-set structure that
+// Section V walks through.
+func TestDidacticInterferenceSets(t *testing.T) {
+	sys := workload.Didactic(2)
+	sets := core.BuildSets(sys)
+
+	if got := sets.Direct(0); len(got) != 0 {
+		t.Errorf("S^D(τ1) = %v, want empty", got)
+	}
+	if got := sets.Direct(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("S^D(τ2) = %v, want [τ1]", got)
+	}
+	if got := sets.Direct(2); len(got) != 1 || got[0] != 1 {
+		t.Errorf("S^D(τ3) = %v, want [τ2]", got)
+	}
+	if got := sets.Indirect(2); len(got) != 1 || got[0] != 0 {
+		t.Errorf("S^I(τ3) = %v, want [τ1]", got)
+	}
+	if got := len(sets.CD(2, 1)); got != 3 {
+		t.Errorf("|cd(τ3,τ2)| = %d, want 3", got)
+	}
+	// τ1 (e→f) and τ2 (a→f) share the last mesh link and the ejection
+	// link into node f.
+	if got := len(sets.CD(1, 0)); got != 2 {
+		t.Errorf("|cd(τ2,τ1)| = %d, want 2", got)
+	}
+	if got := sets.CD(2, 0); len(got) != 0 {
+		t.Errorf("cd(τ3,τ1) = %v, want empty", got)
+	}
+	// τ1 blocks τ2 downstream of cd(τ3,τ2): the MPB trigger.
+	if got := sets.Downstream(2, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("S^down(τ2 w.r.t. τ3) = %v, want [τ1]", got)
+	}
+	if got := sets.Upstream(2, 1); len(got) != 0 {
+		t.Errorf("S^up(τ2 w.r.t. τ3) = %v, want empty", got)
+	}
+}
+
+// TestBufferedInterference pins Equation 6 on the didactic geometry.
+func TestBufferedInterference(t *testing.T) {
+	sys := workload.Didactic(2)
+	sets := core.BuildSets(sys)
+	if got := sets.BufferedInterference(2, 1, 0); got != 6 {
+		t.Errorf("bi(τ3,τ2) with buf=2 = %d, want 6", got)
+	}
+	if got := sets.BufferedInterference(2, 1, 10); got != 30 {
+		t.Errorf("bi(τ3,τ2) with buf=10 = %d, want 30", got)
+	}
+}
+
+// TestEq7CanExceedXLWX demonstrates the motivation for the min() in
+// Equation 8: on a 100-flit-buffer platform the raw buffered-interference
+// bound (Eq. 7) exceeds the XLWX term, while full IBN never does.
+func TestEq7CanExceedXLWX(t *testing.T) {
+	xlwx := analyzeDidactic(t, 100, core.Options{Method: core.XLWX})
+	eq7 := analyzeDidactic(t, 100, core.Options{Method: core.IBN, Eq7: true})
+	ibn := analyzeDidactic(t, 100, core.Options{Method: core.IBN})
+	if eq7.R(2) <= xlwx.R(2) {
+		t.Errorf("Eq7 R(τ3) = %d should exceed XLWX %d at buf=100 (bi=300 > Ck+Idown=62)",
+			eq7.R(2), xlwx.R(2))
+	}
+	if ibn.R(2) > xlwx.R(2) {
+		t.Errorf("IBN R(τ3) = %d must never exceed XLWX %d", ibn.R(2), xlwx.R(2))
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// InterferenceTerm explains the contribution of one direct interferer τj
+// to a flow's response-time bound.
+type InterferenceTerm struct {
+	// Interferer is the flow index of τj.
+	Interferer int
+	// Hits is the number of interference hits of τj at the fixed point,
+	// ceil((R + J_j + JI_j)/T_j).
+	Hits noc.Cycles
+	// Jitter is the jitter term used in the hit count (J_j, plus the
+	// interference jitter JI_j = R_j − C_j where the analysis applies it).
+	Jitter noc.Cycles
+	// Cj is τj's zero-load latency (the classic per-hit cost).
+	Cj noc.Cycles
+	// IDown is the downstream indirect interference I^down_{ji} added to
+	// every hit (zero under SB and SLA).
+	IDown noc.Cycles
+	// PerHit is the cost of one hit: Cj + IDown (SB/XLWX/IBN) or the
+	// stage-level refined cost (SLA).
+	PerHit noc.Cycles
+	// Total is Hits · PerHit: this term's contribution to R.
+	Total noc.Cycles
+	// Downstream and Upstream are S^downj_Ii and S^upj_Ii: the indirect
+	// interferers of τi acting on τj after/before the shared links.
+	Downstream, Upstream []int
+	// UsedFallback reports that IBN used the XLWX term for this pair
+	// because τj suffers upstream indirect interference.
+	UsedFallback bool
+	// BufferedInterference is bi_ij (Equation 6), the per-hit replay cap
+	// IBN applies to each downstream hit. Zero for SB/XLWX.
+	BufferedInterference noc.Cycles
+	// ContentionDomain is |cd_ij|.
+	ContentionDomain int
+}
+
+// Breakdown decomposes one flow's response-time bound into its
+// zero-load latency and per-interferer contributions: R = C + Σ Total.
+type Breakdown struct {
+	Method Method
+	// Flow is the analysed flow's index; Name its label.
+	Flow int
+	Name string
+	// C and R are the zero-load latency and the bound (R is only
+	// meaningful when Status is Schedulable or DeadlineMiss).
+	C, R   noc.Cycles
+	Status FlowStatus
+	Terms  []InterferenceTerm
+	// Blocking is the non-preemptive flit-transfer blocking term (see
+	// blocking.go); zero on single-cycle links. The identity
+	// R = C + Blocking + Σ Terms[].Total holds for Schedulable flows.
+	Blocking noc.Cycles
+}
+
+// Explain runs the analysis and decomposes the bound of the given flow
+// into per-interferer terms evaluated at the fixed point. The identity
+// R = C + Σ terms holds exactly for Schedulable flows.
+func Explain(sys *traffic.System, sets *Sets, opt Options, flow int) (*Breakdown, error) {
+	if flow < 0 || flow >= sys.NumFlows() {
+		return nil, fmt.Errorf("core: flow index %d out of range (%d flows)", flow, sys.NumFlows())
+	}
+	if opt.Method < SB || opt.Method > SLA {
+		return nil, fmt.Errorf("core: unknown analysis method %d", int(opt.Method))
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = defaultMaxIterations
+	}
+	a := &analyzer{
+		sys:       sys,
+		sets:      sets,
+		opt:       opt,
+		R:         make([]noc.Cycles, sys.NumFlows()),
+		status:    make([]FlowStatus, sys.NumFlows()),
+		analyzed:  make([]bool, sys.NumFlows()),
+		idownMemo: make(map[pair]noc.Cycles),
+	}
+	if opt.Method == IBN {
+		a.xlwxMemo = make(map[pair]noc.Cycles)
+	} else {
+		a.xlwxMemo = a.idownMemo
+	}
+	for _, i := range sys.ByPriority() {
+		a.analyzeFlow(i)
+	}
+
+	b := &Breakdown{
+		Method: opt.Method,
+		Flow:   flow,
+		Name:   sys.Flow(flow).Name,
+		C:      sys.C(flow),
+		R:      a.R[flow],
+		Status: a.status[flow],
+	}
+	if b.Status == DependencyFailed {
+		return b, nil
+	}
+	var blockPerEpisode noc.Cycles
+	if linkl := sys.Topology().Config().LinkLatency; linkl > 1 {
+		blockPerEpisode = (linkl - 1) * noc.Cycles(a.sharedLowLinks(flow))
+	}
+	episodes := noc.Cycles(1)
+	for _, j := range a.sets.Direct(flow) {
+		fj := sys.Flow(j)
+		term := InterferenceTerm{
+			Interferer:       j,
+			Cj:               sys.C(j),
+			Downstream:       a.sets.Downstream(flow, j),
+			Upstream:         a.sets.Upstream(flow, j),
+			ContentionDomain: len(a.sets.CD(flow, j)),
+		}
+		jiJ := a.R[j] - sys.C(j)
+		switch opt.Method {
+		case SB, SLA:
+			term.Jitter = fj.Jitter
+			if a.hasIndirectVia(flow, j) {
+				term.Jitter += jiJ
+			}
+			term.PerHit = term.Cj
+			if opt.Method == SLA {
+				term.PerHit = a.slaHit(flow, j)
+			}
+		case XLWX, IBN:
+			term.Jitter = fj.Jitter + jiJ
+			idown, err := a.idown(j, flow)
+			if err != nil {
+				return nil, err
+			}
+			term.IDown = idown
+			term.PerHit = term.Cj + idown
+			if opt.Method == IBN {
+				term.BufferedInterference = a.sets.BufferedInterference(flow, j, opt.BufDepth)
+				term.UsedFallback = !opt.NoUpstreamFallback && len(term.Upstream) > 0
+			}
+		}
+		term.Hits = ceilDiv(a.R[flow]+term.Jitter, fj.Period)
+		term.Total = term.Hits * term.PerHit
+		if blockPerEpisode > 0 {
+			replays, err := a.replayEpisodes(flow, j)
+			if err != nil {
+				return nil, err
+			}
+			episodes += term.Hits * (1 + replays)
+		}
+		b.Terms = append(b.Terms, term)
+	}
+	b.Blocking = blockPerEpisode * episodes
+	return b, nil
+}
+
+// String renders the breakdown as a human-readable report.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	name := b.Name
+	if name == "" {
+		name = fmt.Sprintf("flow%d", b.Flow)
+	}
+	fmt.Fprintf(&sb, "%s under %v: R = %d (C = %d, status %v)\n", name, b.Method, b.R, b.C, b.Status)
+	var sum noc.Cycles
+	for _, t := range b.Terms {
+		sum += t.Total
+		fmt.Fprintf(&sb, "  + %6d from flow %d: %d hit(s) × %d (C=%d, I_down=%d), jitter %d",
+			t.Total, t.Interferer, t.Hits, t.PerHit, t.Cj, t.IDown, t.Jitter)
+		if len(t.Downstream) > 0 {
+			fmt.Fprintf(&sb, ", downstream blockers %v", t.Downstream)
+			if b.Method == IBN {
+				if t.UsedFallback {
+					sb.WriteString(" (upstream interference: XLWX fallback)")
+				} else {
+					fmt.Fprintf(&sb, " (bi cap %d over |cd|=%d)", t.BufferedInterference, t.ContentionDomain)
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if b.Blocking > 0 {
+		fmt.Fprintf(&sb, "  + %6d non-preemptive flit-transfer blocking (multi-cycle links)\n", b.Blocking)
+	}
+	fmt.Fprintf(&sb, "  = C %d + interference %d\n", b.C, sum+b.Blocking)
+	return sb.String()
+}

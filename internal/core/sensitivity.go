@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"wormnoc/internal/traffic"
+)
+
+// Sensitivity analysis: how much load headroom does a design have?
+//
+// A schedulability verdict is binary; designers usually want to know how
+// far a flow set is from the edge. ScaleLimit answers the classic
+// sensitivity question: by what uniform factor can every packet length
+// be scaled while the set remains schedulable under the given analysis?
+// A limit of 1.85 means payloads could grow 85% before the guarantee
+// breaks; a limit below 1 means the set is already unschedulable and
+// must shrink. Because IBN is tighter than XLWX, it certifies strictly
+// more headroom — a directly actionable form of the paper's pessimism
+// reduction.
+
+// ScaleLimit binary-searches the largest factor in [lo, hi] by which all
+// packet lengths can be scaled (rounded down, minimum 1 flit) with the
+// system remaining fully schedulable under opt. It returns the largest
+// schedulable factor found at the given precision (default 0.01), or 0
+// if even scaling to `lo` is unschedulable.
+func ScaleLimit(sys *traffic.System, opt Options, lo, hi, precision float64) (float64, error) {
+	if lo <= 0 || hi < lo {
+		return 0, fmt.Errorf("core: scale range [%g, %g] invalid", lo, hi)
+	}
+	if precision <= 0 {
+		precision = 0.01
+	}
+	schedulableAt := func(scale float64) (bool, error) {
+		flows := make([]traffic.Flow, sys.NumFlows())
+		copy(flows, sys.Flows())
+		for i := range flows {
+			l := int(float64(flows[i].Length) * scale)
+			if l < 1 {
+				l = 1
+			}
+			flows[i].Length = l
+		}
+		scaled, err := traffic.NewSystem(sys.Topology(), flows)
+		if err != nil {
+			return false, err
+		}
+		res, err := Analyze(scaled, opt)
+		if err != nil {
+			return false, err
+		}
+		return res.Schedulable, nil
+	}
+	ok, err := schedulableAt(lo)
+	if err != nil || !ok {
+		return 0, err
+	}
+	if ok, err := schedulableAt(hi); err != nil {
+		return 0, err
+	} else if ok {
+		return hi, nil
+	}
+	for hi-lo > precision {
+		mid := (lo + hi) / 2
+		ok, err := schedulableAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+	"wormnoc/internal/workload"
+)
+
+func TestScaleLimitDidactic(t *testing.T) {
+	sys := workload.Didactic(2)
+	limit, err := core.ScaleLimit(sys, core.Options{Method: core.IBN}, 0.5, 64, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The didactic set is lightly loaded: substantial headroom, but τ1's
+	// own C must stay below its 200-cycle deadline (C = 2 + L), capping
+	// the scale near 200/62 ≈ 3.2.
+	if limit < 2 || limit > 4 {
+		t.Errorf("IBN scale limit = %f, want within (2, 4)", limit)
+	}
+	// The looser XLWX certifies no more headroom than IBN.
+	xl, err := core.ScaleLimit(sys, core.Options{Method: core.XLWX}, 0.5, 64, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xl > limit+0.02 {
+		t.Errorf("XLWX headroom %f exceeds IBN %f", xl, limit)
+	}
+}
+
+func TestScaleLimitUnschedulable(t *testing.T) {
+	// A set that is already unschedulable reports 0 headroom at lo >= 1.
+	topo := noc.MustMesh(4, 1, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	sys := mustChain(t, topo)
+	limit, err := core.ScaleLimit(sys, core.Options{Method: core.IBN}, 1, 8, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit != 0 {
+		t.Errorf("limit = %f, want 0 for an unschedulable set", limit)
+	}
+	// But shrinking can rescue it: allow lo < 1.
+	limit, err = core.ScaleLimit(sys, core.Options{Method: core.IBN}, 0.05, 8, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit <= 0 || limit >= 1 {
+		t.Errorf("shrunken limit = %f, want within (0, 1)", limit)
+	}
+}
+
+func TestScaleLimitSaturatesAtHi(t *testing.T) {
+	// A single tiny flow with a huge deadline can scale to the cap.
+	topo := noc.MustMesh(4, 1, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	sys := mustSingle(t, topo)
+	limit, err := core.ScaleLimit(sys, core.Options{Method: core.IBN}, 1, 4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit != 4 {
+		t.Errorf("limit = %f, want the cap 4", limit)
+	}
+}
+
+func TestScaleLimitErrors(t *testing.T) {
+	sys := workload.Didactic(2)
+	if _, err := core.ScaleLimit(sys, core.Options{Method: core.IBN}, 0, 2, 0.01); err == nil {
+		t.Error("lo = 0 must fail")
+	}
+	if _, err := core.ScaleLimit(sys, core.Options{Method: core.IBN}, 2, 1, 0.01); err == nil {
+		t.Error("hi < lo must fail")
+	}
+}
+
+func mustChain(t *testing.T, topo *noc.Topology) *traffic.System {
+	t.Helper()
+	return traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "hog", Priority: 1, Period: 100, Deadline: 100, Length: 80, Src: 0, Dst: 3},
+		{Name: "meek", Priority: 2, Period: 400, Deadline: 90, Length: 10, Src: 0, Dst: 3},
+	})
+}
+
+func mustSingle(t *testing.T, topo *noc.Topology) *traffic.System {
+	t.Helper()
+	return traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "solo", Priority: 1, Period: 1_000_000, Deadline: 1_000_000, Length: 16, Src: 0, Dst: 3},
+	})
+}

@@ -1,0 +1,211 @@
+// Package core implements the worst-case response-time analyses the
+// paper studies for priority-preemptive wormhole NoCs:
+//
+//   - SB:   Shi & Burns (NOCS 2008) — the classic direct/indirect
+//     interference analysis, shown by Xiong et al. to be optimistic
+//     (unsafe) under multi-point progressive blocking (MPB).
+//   - XLWX: Xiong, Wu, Lu & Xie (IEEE ToC 2017), with the interference-
+//     jitter fix by Indrusiak et al. — the safe state-of-the-art baseline
+//     (Equation 5 of the paper).
+//   - IBN:  the paper's proposed buffer-aware analysis (Equations 6–8),
+//     which bounds the interference a blocked packet can replay by the
+//     buffer capacity available inside the contention domain.
+//
+// The package also exposes the interference-set machinery shared by the
+// analyses: direct sets S^D, indirect sets S^I, and the upstream /
+// downstream partitions of indirect interferers introduced by Xiong et
+// al. to characterise MPB.
+package core
+
+import (
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// Sets holds the interference sets of a flow set, as defined in
+// Section III of the paper. Build it once per system with BuildSets; it
+// is immutable afterwards and safe for concurrent use.
+type Sets struct {
+	sys *traffic.System
+	// cd[i][j] is the contention domain cd_ij = route_i ∩ route_j,
+	// ordered along route_i (nil when empty). Symmetric as a set.
+	cd [][]noc.Route
+	// direct[i] is S^D_i: flows with higher priority than τi sharing at
+	// least one link with it. Sorted by flow index.
+	direct [][]int
+	// indirect[i] is S^I_i: flows not in S^D_i that directly interfere
+	// with at least one member of S^D_i. Sorted by flow index.
+	indirect [][]int
+}
+
+// BuildSets computes contention domains and the direct/indirect
+// interference sets for every flow of the system.
+func BuildSets(sys *traffic.System) *Sets {
+	n := sys.NumFlows()
+	s := &Sets{
+		sys:      sys,
+		cd:       make([][]noc.Route, n),
+		direct:   make([][]int, n),
+		indirect: make([][]int, n),
+	}
+	// Link membership maps for fast intersection.
+	member := make([]map[noc.LinkID]struct{}, n)
+	for i := 0; i < n; i++ {
+		r := sys.Route(i)
+		m := make(map[noc.LinkID]struct{}, r.Len())
+		for _, l := range r {
+			m[l] = struct{}{}
+		}
+		member[i] = m
+	}
+	for i := 0; i < n; i++ {
+		s.cd[i] = make([]noc.Route, n)
+	}
+	for i := 0; i < n; i++ {
+		ri := sys.Route(i)
+		for j := i + 1; j < n; j++ {
+			var cd noc.Route
+			for _, l := range ri {
+				if _, ok := member[j][l]; ok {
+					cd = append(cd, l)
+				}
+			}
+			if cd != nil {
+				s.cd[i][j] = cd
+				// The same set ordered along route_j.
+				cdj := make(noc.Route, 0, len(cd))
+				for _, l := range sys.Route(j) {
+					if _, ok := member[i][l]; ok {
+						cdj = append(cdj, l)
+					}
+				}
+				s.cd[j][i] = cdj
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j != i && sys.HigherPriority(j, i) && len(s.cd[i][j]) > 0 {
+				s.direct[i] = append(s.direct[i], j)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		inDirect := make(map[int]bool, len(s.direct[i]))
+		for _, j := range s.direct[i] {
+			inDirect[j] = true
+		}
+		seen := make(map[int]bool)
+		for _, j := range s.direct[i] {
+			for _, k := range s.direct[j] {
+				if k != i && !inDirect[k] && !seen[k] {
+					seen[k] = true
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			if seen[k] {
+				s.indirect[i] = append(s.indirect[i], k)
+			}
+		}
+	}
+	return s
+}
+
+// CD returns the contention domain cd_ij (links shared by route_i and
+// route_j), ordered along route_i. The result is nil when the flows do
+// not share links. The returned slice must not be modified.
+func (s *Sets) CD(i, j int) noc.Route { return s.cd[i][j] }
+
+// Direct returns S^D_i, the direct interference set of flow i: every
+// flow with a higher priority and a non-empty contention domain with τi.
+func (s *Sets) Direct(i int) []int { return s.direct[i] }
+
+// Indirect returns S^I_i, the indirect interference set of flow i: flows
+// that interfere with a member of S^D_i but not with τi itself.
+func (s *Sets) Indirect(i int) []int { return s.indirect[i] }
+
+// orderRange returns the smallest and largest order (1-based position)
+// that the links of cd occupy along route r. cd must be non-empty and a
+// subset of r.
+func orderRange(r noc.Route, cd noc.Route) (lo, hi int) {
+	lo, hi = 0, 0
+	for _, l := range cd {
+		o := r.Order(l)
+		if o == 0 {
+			continue
+		}
+		if lo == 0 || o < lo {
+			lo = o
+		}
+		if o > hi {
+			hi = o
+		}
+	}
+	return lo, hi
+}
+
+// Upstream returns S^upj_Ii: the flows τk ∈ S^I_i ∩ S^D_j whose
+// contention domain with τj lies strictly upstream (along route_j) of
+// cd_ij, i.e. order(last(cd_jk), route_j) < order(first(cd_ij), route_j).
+// Such flows delay τj before it reaches the links it shares with τi.
+func (s *Sets) Upstream(i, j int) []int {
+	return s.partition(i, j, true)
+}
+
+// Downstream returns S^downj_Ii: the flows τk ∈ S^I_i ∩ S^D_j whose
+// contention domain with τj lies strictly downstream (along route_j) of
+// cd_ij, i.e. order(first(cd_jk), route_j) > order(last(cd_ij), route_j).
+// Such flows block τj after it has passed τi's links — the trigger of
+// multi-point progressive blocking.
+func (s *Sets) Downstream(i, j int) []int {
+	return s.partition(i, j, false)
+}
+
+func (s *Sets) partition(i, j int, upstream bool) []int {
+	cdij := s.cd[j][i] // cd_ij ordered along route_j
+	if len(cdij) == 0 {
+		return nil
+	}
+	rj := s.sys.Route(j)
+	ijLo, ijHi := orderRange(rj, cdij)
+	var out []int
+	for _, k := range s.indirect[i] {
+		if !s.sys.HigherPriority(k, j) {
+			continue // k ∉ S^D_j
+		}
+		cdjk := s.cd[j][k]
+		if len(cdjk) == 0 {
+			continue // k ∉ S^D_j
+		}
+		jkLo, jkHi := orderRange(rj, cdjk)
+		if upstream {
+			if jkHi < ijLo {
+				out = append(out, k)
+			}
+		} else {
+			if jkLo > ijHi {
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// BufferedInterference evaluates Equation 6 of the paper: the maximum
+// buffered interference bi_ij that a single downstream hit on τj can
+// replay onto τi, bounded by the buffer capacity inside their contention
+// domain,
+//
+//	bi_ij = buf(Ξ) · linkl(Ξ) · |cd_ij|
+//
+// bufDepth overrides buf(Ξ) when > 0 (used to compare buffer sizes
+// without rebuilding the platform).
+func (s *Sets) BufferedInterference(i, j, bufDepth int) noc.Cycles {
+	cfg := s.sys.Topology().Config()
+	buf := cfg.BufDepth
+	if bufDepth > 0 {
+		buf = bufDepth
+	}
+	return noc.Cycles(buf) * cfg.LinkLatency * noc.Cycles(len(s.cd[i][j]))
+}

@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/workload"
+)
+
+// Fig5Topologies returns the 26 mesh shapes of Figure 5, ordered by node
+// count (from 2x2 = 4 nodes to 10x10 = 100 nodes).
+func Fig5Topologies() [][2]int {
+	return [][2]int{
+		{2, 2}, {3, 2}, {3, 3}, {4, 3}, {4, 4},
+		{5, 4}, {6, 4}, {5, 5}, {7, 4}, {6, 5},
+		{7, 5}, {6, 6}, {8, 5}, {7, 6}, {8, 6},
+		{7, 7}, {9, 6}, {8, 7}, {9, 7}, {8, 8},
+		{10, 7}, {9, 8}, {10, 8}, {9, 9}, {10, 9}, {10, 10},
+	}
+}
+
+// AVConfig parameterises the Figure-5 experiment: random mappings of the
+// autonomous-vehicle benchmark onto a series of topologies, counting
+// mappings deemed fully schedulable by each analysis.
+type AVConfig struct {
+	// Topologies lists mesh shapes; defaults to Fig5Topologies().
+	Topologies [][2]int
+	// MappingsPerTopology is the number of random task mappings per shape
+	// (100 in the paper).
+	MappingsPerTopology int
+	// Analyses are the curves; defaults to AVAnalyses().
+	Analyses []AnalysisSpec
+	// Seed makes the experiment deterministic.
+	Seed int64
+	// Workers bounds parallelism (0 = all CPUs).
+	Workers int
+	// Progress, when non-nil, receives the final table.
+	Progress io.Writer
+}
+
+// AVPoint is the outcome for one topology.
+type AVPoint struct {
+	Width, Height int
+	// Schedulable[a] counts mappings deemed fully schedulable by analysis
+	// a (indexed like AVResult.Analyses).
+	Schedulable []int
+	// Mappings is the number of mappings evaluated.
+	Mappings int
+}
+
+// AVResult is the outcome of the Figure-5 experiment.
+type AVResult struct {
+	Analyses []string
+	Points   []AVPoint
+}
+
+// RunAV maps the AV benchmark cfg.MappingsPerTopology times onto every
+// topology and counts schedulable mappings per analysis. Mappings that
+// leave no flow on the network (all communicating tasks co-mapped) count
+// as schedulable for every analysis.
+func RunAV(cfg AVConfig) (*AVResult, error) {
+	if cfg.MappingsPerTopology < 1 {
+		return nil, fmt.Errorf("exp: MappingsPerTopology must be >= 1")
+	}
+	if cfg.Topologies == nil {
+		cfg.Topologies = Fig5Topologies()
+	}
+	if cfg.Analyses == nil {
+		cfg.Analyses = AVAnalyses()
+	}
+	res := &AVResult{
+		Analyses: make([]string, len(cfg.Analyses)),
+		Points:   make([]AVPoint, len(cfg.Topologies)),
+	}
+	for a, spec := range cfg.Analyses {
+		res.Analyses[a] = spec.Name
+	}
+
+	type task struct{ topo, mapping int }
+	tasks := make([]task, 0, len(cfg.Topologies)*cfg.MappingsPerTopology)
+	topos := make([]*noc.Topology, len(cfg.Topologies))
+	for ti, wh := range cfg.Topologies {
+		t, err := noc.NewMesh(wh[0], wh[1], noc.RouterConfig{
+			BufDepth: 2, LinkLatency: 1, RouteLatency: 0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		topos[ti] = t
+		res.Points[ti] = AVPoint{
+			Width: wh[0], Height: wh[1],
+			Schedulable: make([]int, len(cfg.Analyses)),
+			Mappings:    cfg.MappingsPerTopology,
+		}
+		for m := 0; m < cfg.MappingsPerTopology; m++ {
+			tasks = append(tasks, task{ti, m})
+		}
+	}
+	sched := make([][]bool, len(tasks))
+
+	err := parallelFor(len(tasks), workers(cfg.Workers), func(i int) error {
+		tk := tasks[i]
+		row := make([]bool, len(cfg.Analyses))
+		sys, err := workload.MapAV(topos[tk.topo], taskSeed(cfg.Seed, tk.topo, tk.mapping))
+		switch {
+		case errors.Is(err, workload.ErrNoNetworkFlows):
+			// All communication local: trivially schedulable.
+			for a := range row {
+				row[a] = true
+			}
+			sched[i] = row
+			return nil
+		case err != nil:
+			return err
+		}
+		sets := core.BuildSets(sys)
+		for a, spec := range cfg.Analyses {
+			r, err := core.AnalyzeWithSets(sys, sets, spec.Options)
+			if err != nil {
+				return err
+			}
+			row[a] = r.Schedulable
+		}
+		sched[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range sched {
+		if row == nil {
+			return nil, errors.New("exp: internal error: missing AV task result")
+		}
+		for a, ok := range row {
+			if ok {
+				res.Points[tasks[i].topo].Schedulable[a]++
+			}
+		}
+	}
+	if cfg.Progress != nil {
+		fmt.Fprint(cfg.Progress, res.Table())
+	}
+	return res, nil
+}
+
+// Table renders the experiment as an ASCII table of schedulable-mapping
+// percentages, one row per topology.
+func (r *AVResult) Table() string {
+	var b strings.Builder
+	b.WriteString("% schedulable AV-benchmark mappings\n")
+	fmt.Fprintf(&b, "%8s", "topology")
+	for _, a := range r.Analyses {
+		fmt.Fprintf(&b, " %8s", a)
+	}
+	b.WriteByte('\n')
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8s", fmt.Sprintf("%dx%d", p.Width, p.Height))
+		for _, c := range p.Schedulable {
+			fmt.Fprintf(&b, " %8s", percent(c, p.Mappings))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the experiment as comma-separated values.
+func (r *AVResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("topology,nodes")
+	for _, a := range r.Analyses {
+		b.WriteString("," + a)
+	}
+	b.WriteByte('\n')
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%dx%d,%d", p.Width, p.Height, p.Width*p.Height)
+		for _, c := range p.Schedulable {
+			fmt.Fprintf(&b, ",%.1f", 100*float64(c)/float64(p.Mappings))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/workload"
+)
+
+// AvgCaseConfig parameterises the average-case-versus-guarantee study
+// behind the paper's closing remark: "large buffers (which are known to
+// provide improvements on average-case performance) can result in more
+// pessimistic worst-case latencies using the proposed analysis". For a
+// range of buffer depths it simulates random workloads (average-case
+// behaviour) and computes the IBN bounds (guaranteed behaviour), both
+// normalised per flow by the zero-load latency C.
+type AvgCaseConfig struct {
+	// Width, Height select the mesh.
+	Width, Height int
+	// NumFlows is the size of each random flow set.
+	NumFlows int
+	// Sets is the number of random flow sets averaged per depth.
+	Sets int
+	// BufDepths lists the buffer depths to compare (default 2,10,100).
+	BufDepths []int
+	// Duration is the simulation horizon per run.
+	Duration noc.Cycles
+	// Synth is the generator template; NumFlows and Seed are overridden.
+	Synth workload.SynthConfig
+	// Seed makes the study deterministic.
+	Seed int64
+	// Workers bounds parallelism (0 = all CPUs).
+	Workers int
+}
+
+// AvgCasePoint aggregates one buffer depth.
+type AvgCasePoint struct {
+	BufDepth int
+	// MeanObserved is the mean of (mean observed latency / C) over all
+	// flows that completed packets: the average-case inflation.
+	MeanObserved float64
+	// WorstObserved is the mean of (worst observed latency / C): the
+	// observed tail.
+	WorstObserved float64
+	// MeanBound is the mean of (R_IBN / C) over schedulable flows: the
+	// guaranteed inflation.
+	MeanBound float64
+	// SchedulablePct is the percentage of flows IBN certifies.
+	SchedulablePct float64
+	// Flows counts flows contributing to the observed means.
+	Flows int
+}
+
+// AvgCaseResult is the outcome of RunAvgCase.
+type AvgCaseResult struct {
+	Mesh   string
+	Points []AvgCasePoint
+}
+
+// RunAvgCase runs the study. The same flow sets and release phasings are
+// reused across buffer depths, so differences are attributable to the
+// buffers alone.
+func RunAvgCase(cfg AvgCaseConfig) (*AvgCaseResult, error) {
+	if cfg.NumFlows < 1 || cfg.Sets < 1 {
+		return nil, fmt.Errorf("exp: avgcase needs NumFlows and Sets >= 1")
+	}
+	if len(cfg.BufDepths) == 0 {
+		cfg.BufDepths = []int{2, 10, 100}
+	}
+	if cfg.Duration < 1 {
+		cfg.Duration = 400_000
+	}
+	res := &AvgCaseResult{
+		Mesh:   fmt.Sprintf("%dx%d", cfg.Width, cfg.Height),
+		Points: make([]AvgCasePoint, len(cfg.BufDepths)),
+	}
+	type task struct{ depth, set int }
+	var tasks []task
+	for d := range cfg.BufDepths {
+		res.Points[d].BufDepth = cfg.BufDepths[d]
+		for s := 0; s < cfg.Sets; s++ {
+			tasks = append(tasks, task{d, s})
+		}
+	}
+	type sample struct {
+		depth                 int
+		sumObs, sumWorst      float64
+		obsFlows              int
+		sumBound              float64
+		boundFlows, schedable int
+		totalFlows            int
+	}
+	samples := make([]sample, len(tasks))
+	err := parallelFor(len(tasks), workers(cfg.Workers), func(ti int) error {
+		tk := tasks[ti]
+		topo, err := noc.NewMesh(cfg.Width, cfg.Height, noc.RouterConfig{
+			BufDepth: cfg.BufDepths[tk.depth], LinkLatency: 1, RouteLatency: 0,
+		})
+		if err != nil {
+			return err
+		}
+		synth := cfg.Synth
+		synth.NumFlows = cfg.NumFlows
+		synth.Seed = taskSeed(cfg.Seed, 0, tk.set) // same workload across depths
+		sys, err := workload.Synthetic(topo, synth)
+		if err != nil {
+			return err
+		}
+		// Same phasing across depths too.
+		rng := rand.New(rand.NewSource(taskSeed(cfg.Seed, 1, tk.set)))
+		offsets := make([]noc.Cycles, sys.NumFlows())
+		for i := range offsets {
+			offsets[i] = noc.Cycles(rng.Int63n(int64(sys.Flow(i).Period)))
+		}
+		simRes, err := sim.Run(sys, sim.Config{Duration: cfg.Duration, Offsets: offsets})
+		if err != nil {
+			return err
+		}
+		ibn, err := core.Analyze(sys, core.Options{Method: core.IBN})
+		if err != nil {
+			return err
+		}
+		s := sample{depth: tk.depth, totalFlows: sys.NumFlows()}
+		for i := 0; i < sys.NumFlows(); i++ {
+			c := float64(sys.C(i))
+			if simRes.Completed[i] > 0 {
+				s.sumObs += simRes.MeanLatency(i) / c
+				s.sumWorst += float64(simRes.WorstLatency[i]) / c
+				s.obsFlows++
+			}
+			if ibn.Flows[i].Status == core.Schedulable {
+				s.schedable++
+				s.sumBound += float64(ibn.R(i)) / c
+				s.boundFlows++
+			}
+		}
+		samples[ti] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	type agg struct {
+		obs, worst, bound          float64
+		obsN, boundN, sched, total int
+	}
+	aggs := make([]agg, len(cfg.BufDepths))
+	for _, s := range samples {
+		a := &aggs[s.depth]
+		a.obs += s.sumObs
+		a.worst += s.sumWorst
+		a.bound += s.sumBound
+		a.obsN += s.obsFlows
+		a.boundN += s.boundFlows
+		a.sched += s.schedable
+		a.total += s.totalFlows
+	}
+	for d := range res.Points {
+		p := &res.Points[d]
+		a := aggs[d]
+		if a.obsN > 0 {
+			p.MeanObserved = a.obs / float64(a.obsN)
+			p.WorstObserved = a.worst / float64(a.obsN)
+			p.Flows = a.obsN
+		}
+		if a.boundN > 0 {
+			p.MeanBound = a.bound / float64(a.boundN)
+		}
+		if a.total > 0 {
+			p.SchedulablePct = 100 * float64(a.sched) / float64(a.total)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the study.
+func (r *AvgCaseResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "average case vs guarantee by buffer depth, %s mesh (latencies normalised by C)\n", r.Mesh)
+	fmt.Fprintf(&b, "%8s %14s %14s %14s %14s\n",
+		"buf", "mean observed", "worst observed", "mean IBN bound", "% schedulable")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %14.3f %14.3f %14.3f %14.1f\n",
+			p.BufDepth, p.MeanObserved, p.WorstObserved, p.MeanBound, p.SchedulablePct)
+	}
+	return b.String()
+}

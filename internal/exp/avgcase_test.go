@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"wormnoc/internal/workload"
+)
+
+func TestRunAvgCase(t *testing.T) {
+	res, err := RunAvgCase(AvgCaseConfig{
+		Width: 4, Height: 4,
+		NumFlows:  40,
+		Sets:      3,
+		BufDepths: []int{2, 100},
+		Duration:  120_000,
+		Synth: workload.SynthConfig{
+			PeriodMin: 4_000, PeriodMax: 100_000, LenMin: 64, LenMax: 1024,
+		},
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points: %+v", res.Points)
+	}
+	small, big := res.Points[0], res.Points[1]
+	// Sanity: normalised latencies are at least 1 (zero-load floor).
+	for _, p := range res.Points {
+		if p.Flows == 0 {
+			t.Fatalf("buf=%d: no observations", p.BufDepth)
+		}
+		if p.MeanObserved < 1 || p.WorstObserved < p.MeanObserved-1e-9 {
+			t.Errorf("buf=%d: observed stats implausible: %+v", p.BufDepth, p)
+		}
+		if p.MeanBound < 1 {
+			t.Errorf("buf=%d: bound below zero-load: %+v", p.BufDepth, p)
+		}
+	}
+	// The paper's trade-off: the guarantee degrades with larger buffers...
+	if big.MeanBound < small.MeanBound {
+		t.Errorf("IBN bound improved with larger buffers: %.3f -> %.3f",
+			small.MeanBound, big.MeanBound)
+	}
+	if big.SchedulablePct > small.SchedulablePct {
+		t.Errorf("schedulability improved with larger buffers: %.1f -> %.1f",
+			small.SchedulablePct, big.SchedulablePct)
+	}
+	// ...while the observed average case must not degrade materially
+	// (deeper buffers can only reduce backpressure stalls).
+	if big.MeanObserved > small.MeanObserved*1.02 {
+		t.Errorf("average case degraded with larger buffers: %.3f -> %.3f",
+			small.MeanObserved, big.MeanObserved)
+	}
+	if !strings.Contains(res.Table(), "mean IBN bound") {
+		t.Errorf("table rendering:\n%s", res.Table())
+	}
+}
+
+func TestRunAvgCaseErrors(t *testing.T) {
+	if _, err := RunAvgCase(AvgCaseConfig{Width: 4, Height: 4}); err == nil {
+		t.Error("empty config must fail")
+	}
+	if _, err := RunAvgCase(AvgCaseConfig{Width: 0, Height: 1, NumFlows: 5, Sets: 1}); err == nil {
+		t.Error("bad mesh must fail")
+	}
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders the sweep as an ASCII line chart in the style of the
+// paper's Figure 4: schedulability percentage (y) against flow-set size
+// (x), one symbol per analysis ('*' where series overlap).
+func (r *SweepResult) Chart(height int) string {
+	if len(r.Points) == 0 {
+		return "(no points)\n"
+	}
+	if height < 4 {
+		height = 20
+	}
+	cols := len(r.Points)
+	grid := make([][]byte, height+1)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", cols*3))
+	}
+	symbols := "SXIBabcdef" // S=SB X=XLWX I=IBN2 B=IBN100, then generic
+	symFor := func(a int) byte {
+		name := r.Analyses[a]
+		switch {
+		case name == "SB":
+			return 'S'
+		case name == "XLWX":
+			return 'X'
+		case strings.HasPrefix(name, "IBN2") && name != "IBN200":
+			return 'I'
+		case strings.HasPrefix(name, "IBN"):
+			return 'B'
+		case a < len(symbols):
+			return symbols[a]
+		default:
+			return '?'
+		}
+	}
+	for p, pt := range r.Points {
+		for a, c := range pt.Schedulable {
+			pct := 0.0
+			if pt.Sets > 0 {
+				pct = float64(c) / float64(pt.Sets)
+			}
+			row := height - int(pct*float64(height)+0.5)
+			col := p*3 + 1
+			sym := symFor(a)
+			switch grid[row][col] {
+			case ' ':
+				grid[row][col] = sym
+			case sym:
+			default:
+				grid[row][col] = '*'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% schedulable vs #flows, %s mesh ('*' = overlap)\n", r.Mesh)
+	for y := 0; y <= height; y++ {
+		pct := 100 * (height - y) / height
+		fmt.Fprintf(&b, "%4d%% |%s\n", pct, strings.TrimRight(string(grid[y]), " "))
+	}
+	fmt.Fprintf(&b, "      +%s\n", strings.Repeat("-", cols*3))
+	b.WriteString("       ")
+	for p, pt := range r.Points {
+		label := fmt.Sprintf("%d", pt.NumFlows)
+		if p%2 == 0 {
+			if len(label) > 3 {
+				label = label[:3]
+			}
+			fmt.Fprintf(&b, "%-6s", label)
+		}
+	}
+	b.WriteByte('\n')
+	b.WriteString("legend:")
+	for a, name := range r.Analyses {
+		fmt.Fprintf(&b, " %c=%s", symFor(a), name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

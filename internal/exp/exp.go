@@ -1,0 +1,117 @@
+// Package exp is the experiment harness that regenerates the paper's
+// large-scale quantitative evaluation (Section VI): the schedulability
+// sweeps of Figure 4, the autonomous-vehicle mapping study of Figure 5
+// and the buffer-size ablation discussed in the text.
+//
+// All experiments are deterministic in their seed and parallelised over a
+// worker pool; results carry enough structure to be rendered as ASCII
+// tables (for terminals and EXPERIMENTS.md) or CSV (for plotting).
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wormnoc/internal/core"
+)
+
+// AnalysisSpec names one analysis configuration of an experiment.
+type AnalysisSpec struct {
+	// Name labels the result column, e.g. "IBN2".
+	Name string
+	// Options selects the analysis; BufDepth is typically used to compare
+	// buffer sizes without rebuilding platforms.
+	Options core.Options
+}
+
+// StandardAnalyses returns the four configurations plotted in Figure 4:
+// the unsafe SB baseline, the safe XLWX baseline, and the proposed
+// analysis with 2-flit (IBN2) and 100-flit (IBN100) buffers.
+func StandardAnalyses() []AnalysisSpec {
+	return []AnalysisSpec{
+		{Name: "SB", Options: core.Options{Method: core.SB}},
+		{Name: "XLWX", Options: core.Options{Method: core.XLWX}},
+		{Name: "IBN2", Options: core.Options{Method: core.IBN, BufDepth: 2}},
+		{Name: "IBN100", Options: core.Options{Method: core.IBN, BufDepth: 100}},
+	}
+}
+
+// AVAnalyses returns the three configurations plotted in Figure 5.
+func AVAnalyses() []AnalysisSpec {
+	return []AnalysisSpec{
+		{Name: "XLWX", Options: core.Options{Method: core.XLWX}},
+		{Name: "IBN2", Options: core.Options{Method: core.IBN, BufDepth: 2}},
+		{Name: "IBN100", Options: core.Options{Method: core.IBN, BufDepth: 100}},
+	}
+}
+
+// workers normalises a worker count (0 = all CPUs).
+func workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for i in [0, n) on w workers and returns the
+// first error (if any). fn must be safe for concurrent invocation on
+// distinct indices.
+func parallelFor(n, w int, fn func(i int) error) error {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	work := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}
+
+// taskSeed derives a decorrelated deterministic seed for one experiment
+// task from a base seed and two task coordinates (splitmix64 finaliser).
+func taskSeed(base int64, a, b int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(uint64(a)+1) + 0xbf58476d1ce4e5b9*(uint64(b)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+// percent renders 0..1 counts as a percentage string.
+func percent(count, total int) string {
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%5.1f", 100*float64(count)/float64(total))
+}

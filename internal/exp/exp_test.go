@@ -1,0 +1,267 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"wormnoc/internal/core"
+)
+
+func TestRunSweepSmall(t *testing.T) {
+	cfg := SweepConfig{
+		Width: 4, Height: 4,
+		FlowCounts:   []int{40, 220},
+		SetsPerPoint: 8,
+		Seed:         1,
+	}
+	res, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if len(res.Analyses) != 4 || res.Analyses[0] != "SB" || res.Analyses[1] != "XLWX" {
+		t.Fatalf("analyses = %v", res.Analyses)
+	}
+	idx := map[string]int{}
+	for a, name := range res.Analyses {
+		idx[name] = a
+	}
+	for _, p := range res.Points {
+		if p.Sets != 8 {
+			t.Errorf("sets = %d", p.Sets)
+		}
+		for a, c := range p.Schedulable {
+			if c < 0 || c > p.Sets {
+				t.Errorf("count %d out of range for %s", c, res.Analyses[a])
+			}
+		}
+		// The paper's ordering: SB >= IBN2 >= IBN100 >= XLWX.
+		sb, xlwx := p.Schedulable[idx["SB"]], p.Schedulable[idx["XLWX"]]
+		ibn2, ibn100 := p.Schedulable[idx["IBN2"]], p.Schedulable[idx["IBN100"]]
+		if !(sb >= ibn2 && ibn2 >= ibn100 && ibn100 >= xlwx) {
+			t.Errorf("at %d flows: ordering violated: SB=%d IBN2=%d IBN100=%d XLWX=%d",
+				p.NumFlows, sb, ibn2, ibn100, xlwx)
+		}
+	}
+	// Low load must be easier than high load for every analysis.
+	for a := range res.Analyses {
+		if res.Points[0].Schedulable[a] < res.Points[1].Schedulable[a] {
+			t.Errorf("%s: more flows should not increase schedulability", res.Analyses[a])
+		}
+	}
+}
+
+func TestRunSweepDeterminism(t *testing.T) {
+	cfg := SweepConfig{
+		Width: 3, Height: 3,
+		FlowCounts:   []int{60},
+		SetsPerPoint: 6,
+		Seed:         7,
+	}
+	a, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		for j := range a.Points[i].Schedulable {
+			if a.Points[i].Schedulable[j] != b.Points[i].Schedulable[j] {
+				t.Fatalf("results depend on worker count: %+v vs %+v", a.Points, b.Points)
+			}
+		}
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	if _, err := RunSweep(SweepConfig{Width: 4, Height: 4}); err == nil {
+		t.Error("empty sweep must fail")
+	}
+	if _, err := RunSweep(SweepConfig{Width: 0, Height: 4, FlowCounts: []int{5}, SetsPerPoint: 1}); err == nil {
+		t.Error("bad mesh must fail")
+	}
+}
+
+func TestSweepRendering(t *testing.T) {
+	res := &SweepResult{
+		Mesh:     "4x4",
+		Analyses: []string{"A", "B"},
+		Points: []SweepPoint{
+			{NumFlows: 40, Schedulable: []int{10, 5}, Sets: 10},
+		},
+	}
+	tbl := res.Table()
+	if !strings.Contains(tbl, "100.0") || !strings.Contains(tbl, "50.0") || !strings.Contains(tbl, "4x4") {
+		t.Errorf("table rendering wrong:\n%s", tbl)
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "flows,A,B\n") || !strings.Contains(csv, "40,100.0,50.0") {
+		t.Errorf("csv rendering wrong:\n%s", csv)
+	}
+}
+
+func TestFigConfigs(t *testing.T) {
+	a := Fig4aConfig(1)
+	if a.Width != 4 || a.Height != 4 || a.FlowCounts[0] != 40 || a.FlowCounts[len(a.FlowCounts)-1] != 430 {
+		t.Errorf("Fig4a config wrong: %+v", a)
+	}
+	b := Fig4bConfig(1)
+	if b.Width != 8 || b.Height != 8 || b.FlowCounts[len(b.FlowCounts)-1] != 520 {
+		t.Errorf("Fig4b config wrong: %+v", b)
+	}
+	if got := len(Fig5Topologies()); got != 26 {
+		t.Errorf("Figure 5 has %d topologies, want 26", got)
+	}
+	// Node counts span 4..100 and are non-decreasing.
+	prev := 0
+	for _, wh := range Fig5Topologies() {
+		n := wh[0] * wh[1]
+		if n < prev {
+			t.Errorf("topologies not ordered by node count: %v", Fig5Topologies())
+		}
+		prev = n
+	}
+	if prev != 100 {
+		t.Errorf("largest topology has %d nodes, want 100", prev)
+	}
+}
+
+func TestRunAVSmall(t *testing.T) {
+	res, err := RunAV(AVConfig{
+		Topologies:          [][2]int{{2, 2}, {4, 4}},
+		MappingsPerTopology: 10,
+		Seed:                1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || len(res.Analyses) != 3 {
+		t.Fatalf("shape wrong: %+v", res)
+	}
+	for _, p := range res.Points {
+		xlwx, ibn2, ibn100 := p.Schedulable[0], p.Schedulable[1], p.Schedulable[2]
+		if !(ibn2 >= ibn100 && ibn100 >= xlwx) {
+			t.Errorf("%dx%d: ordering violated: XLWX=%d IBN2=%d IBN100=%d",
+				p.Width, p.Height, xlwx, ibn2, ibn100)
+		}
+	}
+	if !strings.Contains(res.Table(), "2x2") {
+		t.Error("AV table rendering wrong")
+	}
+	if !strings.Contains(res.CSV(), "topology,nodes,XLWX,IBN2,IBN100") {
+		t.Errorf("AV csv rendering wrong:\n%s", res.CSV())
+	}
+}
+
+func TestRunAVErrors(t *testing.T) {
+	if _, err := RunAV(AVConfig{}); err == nil {
+		t.Error("zero mappings must fail")
+	}
+	if _, err := RunAV(AVConfig{Topologies: [][2]int{{0, 1}}, MappingsPerTopology: 1}); err == nil {
+		t.Error("bad topology must fail")
+	}
+}
+
+func TestRunBufferAblationSmall(t *testing.T) {
+	res, err := RunBufferAblation(BufferAblationConfig{
+		Width: 4, Height: 4,
+		FlowCounts:   []int{200},
+		BufDepths:    []int{2, 10, 100},
+		SetsPerPoint: 8,
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"IBN2", "IBN10", "IBN100", "XLWX"}
+	for i, a := range want {
+		if res.Analyses[i] != a {
+			t.Fatalf("analyses = %v, want %v", res.Analyses, want)
+		}
+	}
+	if v := CheckBufferMonotonicity(res); v != "" {
+		t.Errorf("monotonicity violated: %s", v)
+	}
+}
+
+func TestCheckBufferMonotonicityDetectsViolation(t *testing.T) {
+	res := &SweepResult{
+		Analyses: []string{"IBN2", "IBN10"},
+		Points:   []SweepPoint{{NumFlows: 10, Schedulable: []int{3, 5}, Sets: 10}},
+	}
+	if v := CheckBufferMonotonicity(res); v == "" {
+		t.Error("violation not detected")
+	}
+}
+
+func TestTaskSeedDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for a := 0; a < 50; a++ {
+		for b := 0; b < 50; b++ {
+			s := taskSeed(1, a, b)
+			if s < 0 {
+				t.Fatalf("negative seed %d", s)
+			}
+			if seen[s] {
+				t.Fatalf("seed collision at (%d,%d)", a, b)
+			}
+			seen[s] = true
+		}
+	}
+	if taskSeed(1, 2, 3) != taskSeed(1, 2, 3) {
+		t.Error("taskSeed must be deterministic")
+	}
+	if taskSeed(1, 2, 3) == taskSeed(2, 2, 3) {
+		t.Error("base seed must matter")
+	}
+}
+
+func TestStandardAnalyses(t *testing.T) {
+	std := StandardAnalyses()
+	if len(std) != 4 || std[2].Options.Method != core.IBN || std[2].Options.BufDepth != 2 {
+		t.Errorf("StandardAnalyses = %+v", std)
+	}
+	av := AVAnalyses()
+	if len(av) != 3 || av[0].Options.Method != core.XLWX {
+		t.Errorf("AVAnalyses = %+v", av)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if percent(5, 10) != " 50.0" {
+		t.Errorf("percent(5,10) = %q", percent(5, 10))
+	}
+	if percent(1, 0) != "n/a" {
+		t.Errorf("percent(1,0) = %q", percent(1, 0))
+	}
+}
+
+func TestChart(t *testing.T) {
+	res := &SweepResult{
+		Mesh:     "4x4",
+		Analyses: []string{"SB", "XLWX", "IBN2", "IBN100"},
+		Points: []SweepPoint{
+			{NumFlows: 40, Schedulable: []int{10, 10, 10, 10}, Sets: 10},
+			{NumFlows: 100, Schedulable: []int{10, 2, 9, 8}, Sets: 10},
+			{NumFlows: 160, Schedulable: []int{9, 0, 4, 3}, Sets: 10},
+		},
+	}
+	chart := res.Chart(10)
+	for _, want := range []string{"100%", "0%", "legend: S=SB X=XLWX I=IBN2 B=IBN100", "4x4"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	// The all-equal first column renders as an overlap marker.
+	if !strings.Contains(chart, "*") {
+		t.Errorf("expected overlap marker:\n%s", chart)
+	}
+	if out := (&SweepResult{}).Chart(10); !strings.Contains(out, "no points") {
+		t.Error("empty chart placeholder missing")
+	}
+}

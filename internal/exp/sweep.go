@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/workload"
+)
+
+// SweepConfig parameterises a Figure-4-style schedulability sweep:
+// synthetic flow sets of increasing size on one mesh, analysed by several
+// analyses, reporting the percentage of fully schedulable sets per size.
+type SweepConfig struct {
+	// Width, Height select the mesh (4x4 and 8x8 in the paper).
+	Width, Height int
+	// FlowCounts is the x-axis: flow-set sizes to evaluate.
+	FlowCounts []int
+	// SetsPerPoint is the number of random flow sets per size (100 in the
+	// paper).
+	SetsPerPoint int
+	// Analyses are the curves; defaults to StandardAnalyses().
+	Analyses []AnalysisSpec
+	// Synth is the generator template; NumFlows and Seed are overridden
+	// per task. Zero values select the paper's parameters.
+	Synth workload.SynthConfig
+	// Seed makes the whole sweep deterministic.
+	Seed int64
+	// Workers bounds parallelism (0 = all CPUs).
+	Workers int
+	// Progress, when non-nil, receives one line per completed point.
+	Progress io.Writer
+}
+
+// Fig4aConfig returns the configuration of Figure 4(a): a 4x4 NoC with
+// flow sets of 40 to 430 flows in steps of 30, 100 sets per point.
+func Fig4aConfig(seed int64) SweepConfig {
+	return SweepConfig{
+		Width: 4, Height: 4,
+		FlowCounts:   countRange(40, 430, 30),
+		SetsPerPoint: 100,
+		Analyses:     StandardAnalyses(),
+		Seed:         seed,
+	}
+}
+
+// Fig4bConfig returns the configuration of Figure 4(b): an 8x8 NoC with
+// flow sets of 40 to 520 flows in steps of 20, 100 sets per point.
+func Fig4bConfig(seed int64) SweepConfig {
+	return SweepConfig{
+		Width: 8, Height: 8,
+		FlowCounts:   countRange(40, 520, 20),
+		SetsPerPoint: 100,
+		Analyses:     StandardAnalyses(),
+		Seed:         seed,
+	}
+}
+
+func countRange(from, to, step int) []int {
+	var out []int
+	for n := from; n <= to; n += step {
+		out = append(out, n)
+	}
+	return out
+}
+
+// SweepPoint is the outcome of one x-axis point.
+type SweepPoint struct {
+	NumFlows int
+	// Schedulable[a] counts flow sets deemed fully schedulable by
+	// analysis a (indexed like SweepResult.Analyses).
+	Schedulable []int
+	// Sets is the number of flow sets evaluated.
+	Sets int
+}
+
+// SweepResult is the outcome of a schedulability sweep.
+type SweepResult struct {
+	Mesh     string
+	Analyses []string
+	Points   []SweepPoint
+}
+
+// RunSweep generates cfg.SetsPerPoint random flow sets for every entry of
+// cfg.FlowCounts, analyses each with every analysis of cfg.Analyses
+// (sharing the interference sets across analyses of the same flow set)
+// and counts fully schedulable sets.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	if len(cfg.FlowCounts) == 0 || cfg.SetsPerPoint < 1 {
+		return nil, fmt.Errorf("exp: sweep needs flow counts and SetsPerPoint >= 1")
+	}
+	if cfg.Analyses == nil {
+		cfg.Analyses = StandardAnalyses()
+	}
+	topo, err := noc.NewMesh(cfg.Width, cfg.Height, noc.RouterConfig{
+		BufDepth: 2, LinkLatency: 1, RouteLatency: 0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Mesh:     fmt.Sprintf("%dx%d", cfg.Width, cfg.Height),
+		Analyses: make([]string, len(cfg.Analyses)),
+		Points:   make([]SweepPoint, len(cfg.FlowCounts)),
+	}
+	for a, spec := range cfg.Analyses {
+		res.Analyses[a] = spec.Name
+	}
+	for p, n := range cfg.FlowCounts {
+		res.Points[p] = SweepPoint{
+			NumFlows:    n,
+			Schedulable: make([]int, len(cfg.Analyses)),
+			Sets:        cfg.SetsPerPoint,
+		}
+	}
+
+	type task struct{ point, set int }
+	tasks := make([]task, 0, len(cfg.FlowCounts)*cfg.SetsPerPoint)
+	for p := range cfg.FlowCounts {
+		for s := 0; s < cfg.SetsPerPoint; s++ {
+			tasks = append(tasks, task{p, s})
+		}
+	}
+	// sched[t][a] records whether task t's set was schedulable under
+	// analysis a; aggregated afterwards to keep workers lock-free.
+	sched := make([][]bool, len(tasks))
+
+	err = parallelFor(len(tasks), workers(cfg.Workers), func(ti int) error {
+		tk := tasks[ti]
+		synth := cfg.Synth
+		synth.NumFlows = cfg.FlowCounts[tk.point]
+		synth.Seed = taskSeed(cfg.Seed, tk.point, tk.set)
+		sys, err := workload.Synthetic(topo, synth)
+		if err != nil {
+			return err
+		}
+		sets := core.BuildSets(sys)
+		row := make([]bool, len(cfg.Analyses))
+		for a, spec := range cfg.Analyses {
+			r, err := core.AnalyzeWithSets(sys, sets, spec.Options)
+			if err != nil {
+				return err
+			}
+			row[a] = r.Schedulable
+		}
+		sched[ti] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, row := range sched {
+		for a, ok := range row {
+			if ok {
+				res.Points[tasks[ti].point].Schedulable[a]++
+			}
+		}
+	}
+	if cfg.Progress != nil {
+		fmt.Fprint(cfg.Progress, res.Table())
+	}
+	return res, nil
+}
+
+// Table renders the sweep as an ASCII table of schedulability
+// percentages, one row per flow count.
+func (r *SweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% schedulable flow sets, %s mesh\n", r.Mesh)
+	fmt.Fprintf(&b, "%8s", "#flows")
+	for _, a := range r.Analyses {
+		fmt.Fprintf(&b, " %8s", a)
+	}
+	b.WriteByte('\n')
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d", p.NumFlows)
+		for _, c := range p.Schedulable {
+			fmt.Fprintf(&b, " %8s", percent(c, p.Sets))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as comma-separated values with a header row.
+func (r *SweepResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("flows")
+	for _, a := range r.Analyses {
+		b.WriteString("," + a)
+	}
+	b.WriteByte('\n')
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%d", p.NumFlows)
+		for _, c := range p.Schedulable {
+			fmt.Fprintf(&b, ",%.1f", 100*float64(c)/float64(p.Sets))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

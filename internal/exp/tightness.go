@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/workload"
+)
+
+// TightnessConfig parameterises a bound-tightness study: instead of the
+// binary fully-schedulable verdict of Figure 4, it quantifies *how much*
+// tighter the proposed analysis is, flow by flow — the per-flow view of
+// the pessimism reduction the paper claims.
+type TightnessConfig struct {
+	// Width, Height select the mesh.
+	Width, Height int
+	// FlowCounts is the x-axis.
+	FlowCounts []int
+	// SetsPerPoint is the number of random flow sets per size.
+	SetsPerPoint int
+	// BufDepth is the IBN buffer depth (default 2).
+	BufDepth int
+	// Synth is the generator template; NumFlows and Seed are overridden.
+	Synth workload.SynthConfig
+	// Seed makes the experiment deterministic.
+	Seed int64
+	// Workers bounds parallelism (0 = all CPUs).
+	Workers int
+}
+
+// TightnessPoint aggregates one x-axis point.
+type TightnessPoint struct {
+	NumFlows int
+	// Flows counts flows whose bound both XLWX and IBN could compute
+	// (both Schedulable); ratios below are over these.
+	Flows int
+	// MeanRatio and MaxRatio summarise R_XLWX / R_IBN (>= 1; 1 = no
+	// improvement).
+	MeanRatio, MaxRatio float64
+	// Improved counts flows with R_IBN strictly below R_XLWX.
+	Improved int
+	// SchedulableIBN / SchedulableXLWX count per-flow schedulability
+	// (weighted schedulability numerators) over all analysed flows.
+	SchedulableIBN, SchedulableXLWX int
+	// TotalFlows counts all flows analysed at this point.
+	TotalFlows int
+}
+
+// TightnessResult is the outcome of RunTightness.
+type TightnessResult struct {
+	Mesh     string
+	BufDepth int
+	Points   []TightnessPoint
+}
+
+// RunTightness generates random flow sets and compares the XLWX and IBN
+// bounds flow by flow.
+func RunTightness(cfg TightnessConfig) (*TightnessResult, error) {
+	if len(cfg.FlowCounts) == 0 || cfg.SetsPerPoint < 1 {
+		return nil, fmt.Errorf("exp: tightness needs flow counts and SetsPerPoint >= 1")
+	}
+	if cfg.BufDepth == 0 {
+		cfg.BufDepth = 2
+	}
+	topo, err := noc.NewMesh(cfg.Width, cfg.Height, noc.RouterConfig{
+		BufDepth: cfg.BufDepth, LinkLatency: 1, RouteLatency: 0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &TightnessResult{
+		Mesh:     fmt.Sprintf("%dx%d", cfg.Width, cfg.Height),
+		BufDepth: cfg.BufDepth,
+		Points:   make([]TightnessPoint, len(cfg.FlowCounts)),
+	}
+	type task struct{ point, set int }
+	var tasks []task
+	for p := range cfg.FlowCounts {
+		res.Points[p].NumFlows = cfg.FlowCounts[p]
+		for s := 0; s < cfg.SetsPerPoint; s++ {
+			tasks = append(tasks, task{p, s})
+		}
+	}
+	type sample struct {
+		point                  int
+		sumRatio, maxRatio     float64
+		flows, improved        int
+		schedIBN, schedXLWX, n int
+	}
+	samples := make([]sample, len(tasks))
+	err = parallelFor(len(tasks), workers(cfg.Workers), func(ti int) error {
+		tk := tasks[ti]
+		synth := cfg.Synth
+		synth.NumFlows = cfg.FlowCounts[tk.point]
+		synth.Seed = taskSeed(cfg.Seed, tk.point, tk.set)
+		sys, err := workload.Synthetic(topo, synth)
+		if err != nil {
+			return err
+		}
+		sets := core.BuildSets(sys)
+		xlwx, err := core.AnalyzeWithSets(sys, sets, core.Options{Method: core.XLWX})
+		if err != nil {
+			return err
+		}
+		ibn, err := core.AnalyzeWithSets(sys, sets, core.Options{Method: core.IBN, BufDepth: cfg.BufDepth})
+		if err != nil {
+			return err
+		}
+		s := sample{point: tk.point, n: sys.NumFlows()}
+		for i := 0; i < sys.NumFlows(); i++ {
+			if ibn.Flows[i].Status == core.Schedulable {
+				s.schedIBN++
+			}
+			if xlwx.Flows[i].Status == core.Schedulable {
+				s.schedXLWX++
+			}
+			if ibn.Flows[i].Status == core.Schedulable && xlwx.Flows[i].Status == core.Schedulable {
+				ratio := float64(xlwx.R(i)) / float64(ibn.R(i))
+				s.flows++
+				s.sumRatio += ratio
+				if ratio > s.maxRatio {
+					s.maxRatio = ratio
+				}
+				if xlwx.R(i) > ibn.R(i) {
+					s.improved++
+				}
+			}
+		}
+		samples[ti] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(cfg.FlowCounts))
+	for _, s := range samples {
+		p := &res.Points[s.point]
+		p.Flows += s.flows
+		p.Improved += s.improved
+		p.SchedulableIBN += s.schedIBN
+		p.SchedulableXLWX += s.schedXLWX
+		p.TotalFlows += s.n
+		sums[s.point] += s.sumRatio
+		if s.maxRatio > p.MaxRatio {
+			p.MaxRatio = s.maxRatio
+		}
+	}
+	for p := range res.Points {
+		if res.Points[p].Flows > 0 {
+			res.Points[p].MeanRatio = sums[p] / float64(res.Points[p].Flows)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the tightness study.
+func (r *TightnessResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "XLWX vs IBN (buf=%d) bound tightness, %s mesh\n", r.BufDepth, r.Mesh)
+	fmt.Fprintf(&b, "%8s %10s %10s %10s %12s %12s\n",
+		"#flows", "mean R×", "max R×", "%improved", "%flows IBN", "%flows XLWX")
+	for _, p := range r.Points {
+		improved := "n/a"
+		if p.Flows > 0 {
+			improved = fmt.Sprintf("%5.1f", 100*float64(p.Improved)/float64(p.Flows))
+		}
+		fmt.Fprintf(&b, "%8d %10.3f %10.3f %10s %12s %12s\n",
+			p.NumFlows, p.MeanRatio, p.MaxRatio, improved,
+			percent(p.SchedulableIBN, p.TotalFlows), percent(p.SchedulableXLWX, p.TotalFlows))
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTightness(t *testing.T) {
+	res, err := RunTightness(TightnessConfig{
+		Width: 4, Height: 4,
+		FlowCounts:   []int{60, 220},
+		SetsPerPoint: 6,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.BufDepth != 2 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	for _, p := range res.Points {
+		if p.Flows == 0 {
+			t.Fatalf("no comparable flows at %d", p.NumFlows)
+		}
+		if p.MeanRatio < 1 || p.MaxRatio < p.MeanRatio {
+			t.Errorf("at %d flows: mean %.3f max %.3f (IBN must never be looser)",
+				p.NumFlows, p.MeanRatio, p.MaxRatio)
+		}
+		if p.SchedulableIBN < p.SchedulableXLWX {
+			t.Errorf("at %d flows: IBN schedules fewer flows (%d) than XLWX (%d)",
+				p.NumFlows, p.SchedulableIBN, p.SchedulableXLWX)
+		}
+		if p.SchedulableIBN > p.TotalFlows || p.Improved > p.Flows {
+			t.Errorf("inconsistent counters: %+v", p)
+		}
+	}
+	// At high load the improvement must be substantial (there is real
+	// downstream indirect interference to cap).
+	hi := res.Points[1]
+	if hi.MeanRatio <= 1.0 {
+		t.Errorf("expected measurable tightening at 220 flows, mean ratio %.3f", hi.MeanRatio)
+	}
+	tbl := res.Table()
+	if !strings.Contains(tbl, "4x4") || !strings.Contains(tbl, "mean") {
+		t.Errorf("table rendering:\n%s", tbl)
+	}
+}
+
+func TestRunTightnessErrors(t *testing.T) {
+	if _, err := RunTightness(TightnessConfig{Width: 4, Height: 4}); err == nil {
+		t.Error("empty config must fail")
+	}
+	if _, err := RunTightness(TightnessConfig{Width: 0, Height: 1, FlowCounts: []int{5}, SetsPerPoint: 1}); err == nil {
+		t.Error("bad mesh must fail")
+	}
+}

@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/workload"
+)
+
+// ValidationConfig parameterises the counter-example hunt: random
+// MPB-prone scenarios are attacked with the adversarial phasing search,
+// and every observed latency is compared against every analysis's bound.
+// The paper's safety claims translate to: SB and SLA should be caught
+// producing optimistic bounds (that is the MPB problem), while XLWX and
+// IBN must survive every attack.
+type ValidationConfig struct {
+	// Scenarios is the number of random platforms/workloads attacked.
+	Scenarios int
+	// Duration is the simulation horizon per phasing probe.
+	Duration noc.Cycles
+	// Restarts/ProbesPerFlow tune the per-scenario search effort.
+	Restarts, ProbesPerFlow int
+	// Seed makes the hunt deterministic.
+	Seed int64
+	// Workers bounds parallelism across scenarios (0 = all CPUs).
+	Workers int
+}
+
+// ValidationResult aggregates the hunt.
+type ValidationResult struct {
+	Analyses []string
+	// Violations[a] counts (scenario, flow) pairs where an observed
+	// latency exceeded analysis a's bound for a flow it declared
+	// schedulable.
+	Violations []int
+	// WorstExcess[a] is the largest observed-minus-bound excess in
+	// cycles.
+	WorstExcess []noc.Cycles
+	// Scenarios and FlowsChecked count the attack surface.
+	Scenarios, FlowsChecked int
+}
+
+// RunValidation hunts for counter-examples against all four analyses.
+func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
+	if cfg.Scenarios < 1 {
+		return nil, fmt.Errorf("exp: validation needs Scenarios >= 1")
+	}
+	if cfg.Duration < 1 {
+		cfg.Duration = 80_000
+	}
+	if cfg.Restarts < 1 {
+		cfg.Restarts = 3
+	}
+	if cfg.ProbesPerFlow < 1 {
+		cfg.ProbesPerFlow = 4
+	}
+	specs := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"SB", core.Options{Method: core.SB}},
+		{"SLA", core.Options{Method: core.SLA}},
+		{"XLWX", core.Options{Method: core.XLWX}},
+		{"IBN", core.Options{Method: core.IBN}},
+	}
+	res := &ValidationResult{
+		Analyses:    make([]string, len(specs)),
+		Violations:  make([]int, len(specs)),
+		WorstExcess: make([]noc.Cycles, len(specs)),
+		Scenarios:   cfg.Scenarios,
+	}
+	for a, s := range specs {
+		res.Analyses[a] = s.name
+	}
+
+	type outcome struct {
+		violations []int
+		excess     []noc.Cycles
+		flows      int
+	}
+	outcomes := make([]outcome, cfg.Scenarios)
+	err := parallelFor(cfg.Scenarios, workers(cfg.Workers), func(sc int) error {
+		seed := taskSeed(cfg.Seed, sc, 0)
+		rng := rand.New(rand.NewSource(seed))
+		// MPB-prone platforms: small meshes, moderate buffers, tight
+		// periods relative to packet lengths.
+		topo, err := noc.NewMesh(2+rng.Intn(3), 1+rng.Intn(3), noc.RouterConfig{
+			BufDepth:     2 + rng.Intn(15),
+			LinkLatency:  1,
+			RouteLatency: noc.Cycles(rng.Intn(2)),
+		})
+		if err != nil {
+			return err
+		}
+		if topo.NumNodes() < 2 {
+			topo, err = noc.NewMesh(3, 1, topo.Config())
+			if err != nil {
+				return err
+			}
+		}
+		sys, err := workload.Synthetic(topo, workload.SynthConfig{
+			NumFlows:  3 + rng.Intn(8),
+			PeriodMin: 600,
+			PeriodMax: 15_000,
+			LenMin:    16,
+			LenMax:    320,
+			Seed:      seed,
+		})
+		if err != nil {
+			return err
+		}
+		sets := core.BuildSets(sys)
+		bounds := make([]*core.Result, len(specs))
+		for a, s := range specs {
+			bounds[a], err = core.AnalyzeWithSets(sys, sets, s.opt)
+			if err != nil {
+				return err
+			}
+		}
+		out := outcome{violations: make([]int, len(specs)), excess: make([]noc.Cycles, len(specs))}
+		for target := 0; target < sys.NumFlows(); target++ {
+			// Only attack flows some analysis bounded.
+			any := false
+			for a := range specs {
+				if bounds[a].Flows[target].Status == core.Schedulable {
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			out.flows++
+			search, err := sim.SearchWorstCase(sys, sim.SearchConfig{
+				Base:          sim.Config{Duration: cfg.Duration},
+				Target:        target,
+				Restarts:      cfg.Restarts,
+				RefineSteps:   1,
+				ProbesPerFlow: cfg.ProbesPerFlow,
+				Seed:          taskSeed(cfg.Seed, sc, target+1),
+			})
+			if err != nil {
+				return err
+			}
+			for a := range specs {
+				fr := bounds[a].Flows[target]
+				if fr.Status != core.Schedulable {
+					continue
+				}
+				if search.Worst > fr.R {
+					out.violations[a]++
+					if ex := search.Worst - fr.R; ex > out.excess[a] {
+						out.excess[a] = ex
+					}
+				}
+			}
+		}
+		outcomes[sc] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range outcomes {
+		res.FlowsChecked += out.flows
+		for a := range res.Violations {
+			res.Violations[a] += out.violations[a]
+			if out.excess[a] > res.WorstExcess[a] {
+				res.WorstExcess[a] = out.excess[a]
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the hunt.
+func (r *ValidationResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "counter-example hunt: %d scenarios, %d flow bounds attacked\n",
+		r.Scenarios, r.FlowsChecked)
+	fmt.Fprintf(&b, "%8s %12s %14s %10s\n", "analysis", "violations", "worst excess", "verdict")
+	for a, name := range r.Analyses {
+		verdict := "SAFE so far"
+		if r.Violations[a] > 0 {
+			verdict = "OPTIMISTIC"
+		}
+		fmt.Fprintf(&b, "%8s %12d %14d %10s\n", name, r.Violations[a], r.WorstExcess[a], verdict)
+	}
+	return b.String()
+}

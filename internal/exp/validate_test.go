@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunValidationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation hunt is slow in -short mode")
+	}
+	res, err := RunValidation(ValidationConfig{
+		Scenarios:     4,
+		Duration:      20_000,
+		Restarts:      1,
+		ProbesPerFlow: 2,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenarios != 4 || res.FlowsChecked == 0 {
+		t.Fatalf("hunt shape: %+v", res)
+	}
+	idx := map[string]int{}
+	for a, name := range res.Analyses {
+		idx[name] = a
+	}
+	// The safe analyses must survive every attack.
+	for _, name := range []string{"XLWX", "IBN"} {
+		if v := res.Violations[idx[name]]; v != 0 {
+			t.Errorf("counter-example found against %s (%d violations, worst excess %d)",
+				name, v, res.WorstExcess[idx[name]])
+		}
+	}
+	// The unsafe analyses can only be at least as violated as the safe
+	// ones (their bounds are tighter or equal).
+	if res.Violations[idx["SB"]] < res.Violations[idx["XLWX"]] {
+		t.Error("SB cannot be safer than XLWX")
+	}
+	if !strings.Contains(res.Table(), "analysis") {
+		t.Errorf("table rendering:\n%s", res.Table())
+	}
+}
+
+func TestRunValidationErrors(t *testing.T) {
+	if _, err := RunValidation(ValidationConfig{}); err == nil {
+		t.Error("zero scenarios must fail")
+	}
+}

@@ -1,0 +1,277 @@
+// Package mapopt searches for task-to-node mappings that the
+// response-time analyses certify as schedulable — the design-space
+// exploration that Figure 5 of the paper performs by random sampling,
+// done with the analysis in the optimisation loop instead.
+//
+// A simulated-annealing search mutates a mapping (moving or swapping
+// tasks), instantiates the network flow set for each candidate
+// (rate-monotonic priorities, co-mapped communications dropped) and
+// scores it with a configurable analysis: unschedulable mappings are
+// ranked by how badly they fail, schedulable ones by their worst
+// normalised slack. Because the tighter IBN analysis certifies more of
+// the design space than XLWX, it both finds feasible mappings more often
+// and converges faster — the practical payoff of the paper's
+// contribution.
+package mapopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/priority"
+	"wormnoc/internal/traffic"
+	"wormnoc/internal/workload"
+)
+
+// TaskFlow is one flow of a task graph, with task-level endpoints (the
+// mapping assigns tasks to nodes).
+type TaskFlow struct {
+	Name             string
+	SrcTask, DstTask int
+	Period, Deadline noc.Cycles
+	Jitter           noc.Cycles
+	Length           int
+}
+
+// Graph is an application task graph.
+type Graph struct {
+	NumTasks int
+	Flows    []TaskFlow
+}
+
+// AVGraph returns the autonomous-vehicle benchmark as a Graph.
+func AVGraph() Graph {
+	av := workload.AVFlows()
+	flows := make([]TaskFlow, len(av))
+	for i, f := range av {
+		flows[i] = TaskFlow{
+			Name: f.Name, SrcTask: f.SrcTask, DstTask: f.DstTask,
+			Period: f.Period, Deadline: f.Deadline, Length: f.Length,
+		}
+	}
+	return Graph{NumTasks: workload.NumAVTasks(), Flows: flows}
+}
+
+// Validate checks the graph's well-formedness.
+func (g Graph) Validate() error {
+	if g.NumTasks < 1 {
+		return fmt.Errorf("mapopt: graph needs at least one task")
+	}
+	if len(g.Flows) == 0 {
+		return fmt.Errorf("mapopt: graph has no flows")
+	}
+	for _, f := range g.Flows {
+		if f.SrcTask < 0 || f.SrcTask >= g.NumTasks || f.DstTask < 0 || f.DstTask >= g.NumTasks {
+			return fmt.Errorf("mapopt: flow %q references tasks outside [0,%d)", f.Name, g.NumTasks)
+		}
+		if f.SrcTask == f.DstTask {
+			return fmt.Errorf("mapopt: flow %q is a task self-loop", f.Name)
+		}
+		if f.Period < 1 || f.Deadline < 1 || f.Deadline > f.Period || f.Length < 1 || f.Jitter < 0 {
+			return fmt.Errorf("mapopt: flow %q has invalid parameters", f.Name)
+		}
+	}
+	return nil
+}
+
+// Build instantiates the network flow set of a mapping: flows between
+// co-mapped tasks are dropped (zero network latency) and priorities are
+// assigned rate-monotonically. A nil system (with nil error) means every
+// communication is local — trivially schedulable.
+func (g Graph) Build(topo *noc.Topology, mapping []noc.NodeID) (*traffic.System, error) {
+	if len(mapping) != g.NumTasks {
+		return nil, fmt.Errorf("mapopt: mapping covers %d tasks, want %d", len(mapping), g.NumTasks)
+	}
+	var flows []traffic.Flow
+	for _, f := range g.Flows {
+		src, dst := mapping[f.SrcTask], mapping[f.DstTask]
+		if !topo.ContainsNode(src) || !topo.ContainsNode(dst) {
+			return nil, fmt.Errorf("mapopt: flow %q mapped outside %s", f.Name, topo)
+		}
+		if src == dst {
+			continue
+		}
+		flows = append(flows, traffic.Flow{
+			Name: f.Name, Period: f.Period, Deadline: f.Deadline,
+			Jitter: f.Jitter, Length: f.Length, Src: src, Dst: dst,
+		})
+	}
+	if len(flows) == 0 {
+		return nil, nil
+	}
+	priority.RateMonotonic(flows)
+	return traffic.NewSystem(topo, flows)
+}
+
+// Config parameterises Optimize.
+type Config struct {
+	// Analysis is the schedulability oracle (e.g. IBN with BufDepth 2).
+	Analysis core.Options
+	// Iterations bounds the annealing steps (default 2000).
+	Iterations int
+	// Seed makes the search deterministic.
+	Seed int64
+	// Initial is the starting mapping; nil starts from a random one.
+	Initial []noc.NodeID
+	// InitialTemperature and Cooling control the annealing schedule
+	// (defaults 1.0 and 0.995). Cost deltas are in [−2, 2]-ish units.
+	InitialTemperature, Cooling float64
+	// StopWhenScheduled ends the search at the first certified mapping.
+	StopWhenScheduled bool
+}
+
+// Result reports the best mapping found.
+type Result struct {
+	// Best is the best mapping found (task → node).
+	Best []noc.NodeID
+	// Cost is its cost (lower is better; negative iff schedulable,
+	// -1-slack for a schedulable mapping with worst normalised slack
+	// `slack`).
+	Cost float64
+	// Schedulable reports whether Best was certified by the oracle.
+	Schedulable bool
+	// WorstSlack is the minimum normalised slack (D-R)/D over the flows
+	// of Best (only meaningful when Schedulable).
+	WorstSlack float64
+	// Evaluations counts oracle invocations.
+	Evaluations int
+	// Accepted counts accepted moves.
+	Accepted int
+}
+
+// Cost scores a mapping: schedulable mappings score −1−worstSlack
+// (in [−2, −1]); unschedulable ones score the fraction of flows that are
+// not schedulable plus the relative deadline overrun of the worst flow
+// (≥ 0). Lower is better, and any schedulable mapping beats any
+// unschedulable one.
+func Cost(g Graph, topo *noc.Topology, mapping []noc.NodeID, opt core.Options) (cost float64, schedulable bool, err error) {
+	sys, err := g.Build(topo, mapping)
+	if err != nil {
+		return 0, false, err
+	}
+	if sys == nil {
+		return -2, true, nil // everything local: perfect
+	}
+	res, err := core.Analyze(sys, opt)
+	if err != nil {
+		return 0, false, err
+	}
+	if res.Schedulable {
+		slack := 1.0
+		for i := 0; i < sys.NumFlows(); i++ {
+			s := float64(sys.Flow(i).Deadline-res.R(i)) / float64(sys.Flow(i).Deadline)
+			if s < slack {
+				slack = s
+			}
+		}
+		return -1 - slack, true, nil
+	}
+	bad := 0
+	worst := 0.0
+	for i := 0; i < sys.NumFlows(); i++ {
+		fr := res.Flows[i]
+		if fr.Status == core.Schedulable {
+			continue
+		}
+		bad++
+		if fr.Status == core.DeadlineMiss {
+			over := float64(fr.R-sys.Flow(i).Deadline) / float64(sys.Flow(i).Deadline)
+			if over > worst {
+				worst = over
+			}
+		} else {
+			worst = math.Max(worst, 1)
+		}
+	}
+	return float64(bad)/float64(sys.NumFlows()) + worst, false, nil
+}
+
+// Optimize runs the simulated-annealing search.
+func Optimize(g Graph, topo *noc.Topology, cfg Config) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 2000
+	}
+	if cfg.InitialTemperature <= 0 {
+		cfg.InitialTemperature = 1.0
+	}
+	if cfg.Cooling <= 0 || cfg.Cooling >= 1 {
+		cfg.Cooling = 0.995
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := topo.NumNodes()
+
+	cur := make([]noc.NodeID, g.NumTasks)
+	if cfg.Initial != nil {
+		if len(cfg.Initial) != g.NumTasks {
+			return nil, fmt.Errorf("mapopt: initial mapping covers %d tasks, want %d", len(cfg.Initial), g.NumTasks)
+		}
+		copy(cur, cfg.Initial)
+	} else {
+		for t := range cur {
+			cur[t] = noc.NodeID(rng.Intn(n))
+		}
+	}
+	res := &Result{Best: make([]noc.NodeID, g.NumTasks)}
+	curCost, curSched, err := Cost(g, topo, cur, cfg.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluations++
+	copy(res.Best, cur)
+	res.Cost, res.Schedulable = curCost, curSched
+
+	temp := cfg.InitialTemperature
+	cand := make([]noc.NodeID, g.NumTasks)
+	for it := 0; it < cfg.Iterations; it++ {
+		if cfg.StopWhenScheduled && res.Schedulable {
+			break
+		}
+		copy(cand, cur)
+		if rng.Intn(4) == 0 && g.NumTasks > 1 {
+			// Swap two tasks.
+			a, b := rng.Intn(g.NumTasks), rng.Intn(g.NumTasks-1)
+			if b >= a {
+				b++
+			}
+			cand[a], cand[b] = cand[b], cand[a]
+		} else {
+			// Move one task to another node.
+			t := rng.Intn(g.NumTasks)
+			nn := rng.Intn(n - 1)
+			if noc.NodeID(nn) >= cand[t] {
+				nn++
+			}
+			cand[t] = noc.NodeID(nn)
+		}
+		cost, sched, err := Cost(g, topo, cand, cfg.Analysis)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations++
+		accept := cost <= curCost
+		if !accept && temp > 1e-9 {
+			accept = rng.Float64() < math.Exp((curCost-cost)/temp)
+		}
+		if accept {
+			copy(cur, cand)
+			curCost, curSched = cost, sched
+			res.Accepted++
+			if cost < res.Cost {
+				copy(res.Best, cur)
+				res.Cost, res.Schedulable = cost, sched
+			}
+		}
+		temp *= cfg.Cooling
+	}
+	_ = curSched
+	if res.Schedulable {
+		res.WorstSlack = -res.Cost - 1
+	}
+	return res, nil
+}

@@ -1,0 +1,209 @@
+package mapopt_test
+
+import (
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/mapopt"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/workload"
+)
+
+func smallGraph() mapopt.Graph {
+	return mapopt.Graph{
+		NumTasks: 6,
+		Flows: []mapopt.TaskFlow{
+			{Name: "a", SrcTask: 0, DstTask: 1, Period: 5_000, Deadline: 5_000, Length: 1024},
+			{Name: "b", SrcTask: 1, DstTask: 2, Period: 5_000, Deadline: 5_000, Length: 512},
+			{Name: "c", SrcTask: 2, DstTask: 3, Period: 10_000, Deadline: 10_000, Length: 2048},
+			{Name: "d", SrcTask: 4, DstTask: 3, Period: 2_500, Deadline: 1_250, Length: 64},
+			{Name: "e", SrcTask: 5, DstTask: 3, Period: 20_000, Deadline: 20_000, Length: 2048},
+		},
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	if err := smallGraph().Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	bad := []mapopt.Graph{
+		{NumTasks: 0, Flows: smallGraph().Flows},
+		{NumTasks: 3, Flows: smallGraph().Flows}, // endpoints out of range
+		{NumTasks: 6},                            // no flows
+		{NumTasks: 6, Flows: []mapopt.TaskFlow{{SrcTask: 1, DstTask: 1, Period: 10, Deadline: 10, Length: 1}}},
+		{NumTasks: 6, Flows: []mapopt.TaskFlow{{SrcTask: 0, DstTask: 1, Period: 10, Deadline: 20, Length: 1}}},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("graph %d should be invalid", i)
+		}
+	}
+}
+
+func TestGraphBuild(t *testing.T) {
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	g := smallGraph()
+	mapping := []noc.NodeID{0, 1, 2, 3, 4, 5}
+	sys, err := g.Build(topo, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumFlows() != len(g.Flows) {
+		t.Fatalf("flows = %d, want %d", sys.NumFlows(), len(g.Flows))
+	}
+	// Co-mapping tasks 0 and 1 drops flow "a".
+	mapping2 := []noc.NodeID{0, 0, 2, 3, 4, 5}
+	sys2, err := g.Build(topo, mapping2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.NumFlows() != len(g.Flows)-1 {
+		t.Fatalf("co-mapped build has %d flows, want %d", sys2.NumFlows(), len(g.Flows)-1)
+	}
+	// All tasks on one node: nil system.
+	all0 := make([]noc.NodeID, g.NumTasks)
+	sys3, err := g.Build(topo, all0)
+	if err != nil || sys3 != nil {
+		t.Fatalf("fully local build: sys=%v err=%v", sys3, err)
+	}
+	// Errors.
+	if _, err := g.Build(topo, all0[:2]); err == nil {
+		t.Error("short mapping must fail")
+	}
+	if _, err := g.Build(topo, []noc.NodeID{0, 1, 2, 3, 4, 99}); err == nil {
+		t.Error("out-of-mesh mapping must fail")
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	g := smallGraph()
+	opt := core.Options{Method: core.IBN}
+	// Fully local mapping: perfect cost.
+	all0 := make([]noc.NodeID, g.NumTasks)
+	c0, sched0, err := mapopt.Cost(g, topo, all0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched0 || c0 != -2 {
+		t.Errorf("local mapping cost = %f sched=%v", c0, sched0)
+	}
+	// A spread mapping: schedulable costs must be in [-2, -1].
+	spread := []noc.NodeID{0, 1, 2, 3, 4, 5}
+	c1, sched1, err := mapopt.Cost(g, topo, spread, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched1 && (c1 < -2 || c1 > -1) {
+		t.Errorf("schedulable cost %f outside [-2,-1]", c1)
+	}
+	if !sched1 && c1 < 0 {
+		t.Errorf("unschedulable cost %f must be >= 0", c1)
+	}
+}
+
+func TestOptimizeFindsFeasibleMapping(t *testing.T) {
+	// The AV benchmark on a 4x4: random mappings are schedulable only
+	// ~28% of the time under XLWX / ~66% under IBN (Figure 5), so the
+	// search must reliably find a certified mapping.
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	g := mapopt.AVGraph()
+	res, err := mapopt.Optimize(g, topo, mapopt.Config{
+		Analysis:          core.Options{Method: core.IBN, BufDepth: 2},
+		Iterations:        400,
+		Seed:              1,
+		StopWhenScheduled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("no feasible mapping found in %d evaluations (cost %f)", res.Evaluations, res.Cost)
+	}
+	// Double-check the certificate end to end.
+	sys, err := g.Build(topo, res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys != nil {
+		r, err := core.Analyze(sys, core.Options{Method: core.IBN, BufDepth: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Schedulable {
+			t.Error("optimizer returned an uncertified mapping")
+		}
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	g := smallGraph()
+	run := func() *mapopt.Result {
+		res, err := mapopt.Optimize(g, topo, mapopt.Config{
+			Analysis:   core.Options{Method: core.IBN},
+			Iterations: 200,
+			Seed:       42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cost != b.Cost || a.Evaluations != b.Evaluations || a.Accepted != b.Accepted {
+		t.Errorf("optimizer not deterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Errorf("best mappings differ at task %d", i)
+		}
+	}
+}
+
+func TestOptimizeImprovesOnInitial(t *testing.T) {
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	g := smallGraph()
+	// A deliberately terrible start: everything funnels through one
+	// column.
+	initial := []noc.NodeID{0, 6, 0, 6, 0, 6}
+	start, _, err := mapopt.Cost(g, topo, initial, core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapopt.Optimize(g, topo, mapopt.Config{
+		Analysis:   core.Options{Method: core.IBN},
+		Iterations: 300,
+		Seed:       3,
+		Initial:    initial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > start {
+		t.Errorf("optimizer worsened the mapping: %f -> %f", start, res.Cost)
+	}
+	if res.Schedulable && res.WorstSlack < 0 {
+		t.Errorf("inconsistent slack %f", res.WorstSlack)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	if _, err := mapopt.Optimize(mapopt.Graph{}, topo, mapopt.Config{}); err == nil {
+		t.Error("invalid graph must fail")
+	}
+	if _, err := mapopt.Optimize(smallGraph(), topo, mapopt.Config{Initial: make([]noc.NodeID, 2)}); err == nil {
+		t.Error("short initial mapping must fail")
+	}
+}
+
+func TestAVGraphShape(t *testing.T) {
+	g := mapopt.AVGraph()
+	if g.NumTasks != workload.NumAVTasks() || len(g.Flows) != len(workload.AVFlows()) {
+		t.Errorf("AV graph shape: %d tasks %d flows", g.NumTasks, len(g.Flows))
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("AV graph invalid: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the topology as a Graphviz digraph: one node per router
+// (positioned on the mesh grid), one edge per mesh link, with the local
+// node attached via a dashed injection/ejection pair. Pipe the output
+// through `dot -Kneato -n -Tsvg` to obtain a faithful mesh drawing.
+func (t *Topology) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph mesh {\n")
+	fmt.Fprintf(&b, "  label=\"%s\";\n", t)
+	b.WriteString("  node [shape=box];\n")
+	for r := 0; r < t.NumRouters(); r++ {
+		x, y := t.Coord(RouterID(r))
+		fmt.Fprintf(&b, "  r%d [label=\"r%d\\n(%d,%d)\" pos=\"%d,%d!\"];\n", r, r, x, y, x*120, y*120)
+		fmt.Fprintf(&b, "  n%d [label=\"n%d\" shape=ellipse pos=\"%d,%d!\"];\n", r, r, x*120+45, y*120+45)
+	}
+	for _, l := range t.links {
+		switch l.Kind {
+		case Mesh:
+			fmt.Fprintf(&b, "  r%d -> r%d;\n", int(l.Src), int(l.Dst))
+		case Injection:
+			fmt.Fprintf(&b, "  n%d -> r%d [style=dashed];\n", int(l.Src), int(l.Dst))
+		case Ejection:
+			fmt.Fprintf(&b, "  r%d -> n%d [style=dashed];\n", int(l.Src), int(l.Dst))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders the mesh as a text grid of routers with bidirectional
+// mesh connections, highest row (largest y) first.
+func (t *Topology) ASCII() string {
+	var b strings.Builder
+	cell := 6
+	for y := t.h - 1; y >= 0; y-- {
+		for x := 0; x < t.w; x++ {
+			r := t.RouterAt(x, y)
+			label := fmt.Sprintf("[r%d]", int(r))
+			b.WriteString(label)
+			if x+1 < t.w {
+				b.WriteString(strings.Repeat("─", cell-len(label)+2))
+			}
+		}
+		b.WriteByte('\n')
+		if y > 0 {
+			for x := 0; x < t.w; x++ {
+				b.WriteString("  │   ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// RenderRoute describes a route hop by hop in human-readable form.
+func (t *Topology) RenderRoute(r Route) string {
+	if len(r) == 0 {
+		return "(empty route)"
+	}
+	parts := make([]string, len(r))
+	for i, l := range r {
+		parts[i] = t.Link(l).String()
+	}
+	return strings.Join(parts, " → ")
+}

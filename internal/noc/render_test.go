@@ -1,0 +1,50 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	topo := MustMesh(2, 2, defaultCfg())
+	dot := topo.DOT()
+	if !strings.HasPrefix(dot, "digraph mesh {") || !strings.HasSuffix(dot, "}\n") {
+		t.Errorf("not a digraph:\n%s", dot)
+	}
+	for _, want := range []string{"r0", "r3", "n0 -> r0", "r3 -> n3", "r0 -> r1", "r2 -> r0"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// One edge line per link.
+	edges := strings.Count(dot, "->")
+	if edges != topo.NumLinks() {
+		t.Errorf("DOT has %d edges, want %d links", edges, topo.NumLinks())
+	}
+}
+
+func TestASCII(t *testing.T) {
+	topo := MustMesh(3, 2, defaultCfg())
+	art := topo.ASCII()
+	for r := 0; r < 6; r++ {
+		if !strings.Contains(art, "[r"+string(rune('0'+r))+"]") {
+			t.Errorf("ASCII missing router %d:\n%s", r, art)
+		}
+	}
+	// Highest row first: r3 (y=1) appears before r0 (y=0).
+	if strings.Index(art, "[r3]") > strings.Index(art, "[r0]") {
+		t.Errorf("rows not top-down:\n%s", art)
+	}
+}
+
+func TestRenderRoute(t *testing.T) {
+	topo := MustMesh(3, 1, defaultCfg())
+	r := topo.MustRoute(0, 2)
+	s := topo.RenderRoute(r)
+	if !strings.Contains(s, "→") || !strings.Contains(s, "λ[n0→r0]") {
+		t.Errorf("route rendering: %s", s)
+	}
+	if topo.RenderRoute(nil) != "(empty route)" {
+		t.Error("empty route rendering")
+	}
+}

@@ -1,0 +1,218 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Route is the totally ordered set of links used to transfer packets from
+// a source node to a destination node, including the injection and
+// ejection links, i.e. route(πa, πb) of the system model. Its length
+// |route| counts links; the number of routers traversed is |route|-1.
+type Route []LinkID
+
+// Len returns |route|, the number of links of the route.
+func (r Route) Len() int { return len(r) }
+
+// Hops returns the number of routers the route traverses (|route|-1).
+func (r Route) Hops() int {
+	if len(r) == 0 {
+		return 0
+	}
+	return len(r) - 1
+}
+
+// Order returns the 1-based position of link l in the route
+// (order(λ, route) in the paper), or 0 if the link is not part of it.
+func (r Route) Order(l LinkID) int {
+	for i, x := range r {
+		if x == l {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Contains reports whether link l belongs to the route.
+func (r Route) Contains(l LinkID) bool { return r.Order(l) != 0 }
+
+// First returns first(route): the first link, or NoLink for an empty
+// route.
+func (r Route) First() LinkID {
+	if len(r) == 0 {
+		return NoLink
+	}
+	return r[0]
+}
+
+// Last returns last(route): the last link, or NoLink for an empty route.
+func (r Route) Last() LinkID {
+	if len(r) == 0 {
+		return NoLink
+	}
+	return r[len(r)-1]
+}
+
+// Equal reports whether two routes consist of the same links in the same
+// order.
+func (r Route) Equal(o Route) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if r[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r Route) String() string {
+	parts := make([]string, len(r))
+	for i, l := range r {
+		parts[i] = fmt.Sprintf("%d", int(l))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// RoutingPolicy selects the deterministic dimension-order routing
+// variant of the mesh. Both variants produce minimal routes and
+// contiguous contention domains, which is all the analyses require.
+type RoutingPolicy uint8
+
+const (
+	// XY routes along the X dimension first, then Y (the default and the
+	// paper's configuration).
+	XY RoutingPolicy = iota
+	// YX routes along the Y dimension first, then X.
+	YX
+)
+
+func (p RoutingPolicy) String() string {
+	switch p {
+	case XY:
+		return "XY"
+	case YX:
+		return "YX"
+	default:
+		return fmt.Sprintf("RoutingPolicy(%d)", uint8(p))
+	}
+}
+
+// Route computes route(src, dst) under the topology's dimension-order
+// routing policy (XY by default): the packet first travels along one
+// dimension to completion, then along the other. The route includes the
+// injection link of src and the ejection link of dst.
+//
+// src and dst must be distinct valid nodes.
+func (t *Topology) Route(src, dst NodeID) (Route, error) {
+	if !t.ContainsNode(src) {
+		return nil, fmt.Errorf("noc: source node %d outside %dx%d mesh", int(src), t.w, t.h)
+	}
+	if !t.ContainsNode(dst) {
+		return nil, fmt.Errorf("noc: destination node %d outside %dx%d mesh", int(dst), t.w, t.h)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("noc: route source and destination are both node %d", int(src))
+	}
+	sx, sy := t.Coord(RouterID(src))
+	dx, dy := t.Coord(RouterID(dst))
+	route := make(Route, 0, abs(dx-sx)+abs(dy-sy)+2)
+	route = append(route, t.inj[src])
+	r := RouterID(src)
+	x, y := sx, sy
+	walkX := func() {
+		for x != dx {
+			var d Direction
+			if x < dx {
+				d, x = East, x+1
+			} else {
+				d, x = West, x-1
+			}
+			l := t.MeshLink(r, d)
+			route = append(route, l)
+			r = t.links[l].Dst
+		}
+	}
+	walkY := func() {
+		for y != dy {
+			var d Direction
+			if y < dy {
+				d, y = North, y+1
+			} else {
+				d, y = South, y-1
+			}
+			l := t.MeshLink(r, d)
+			route = append(route, l)
+			r = t.links[l].Dst
+		}
+	}
+	if t.routing == YX {
+		walkY()
+		walkX()
+	} else {
+		walkX()
+		walkY()
+	}
+	route = append(route, t.ej[dst])
+	return route, nil
+}
+
+// MustRoute is Route that panics on error; intended for tests and
+// examples.
+func (t *Topology) MustRoute(src, dst NodeID) Route {
+	r, err := t.Route(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ContentionDomain computes cd(a, b) = a ∩ b: the set of links shared by
+// two routes, ordered by their appearance along route a. Under
+// dimension-order routing the result is always a contiguous segment of
+// both routes (the system model assumes contention domains are never
+// disjoint sets of links).
+func ContentionDomain(a, b Route) Route {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	inB := make(map[LinkID]struct{}, len(b))
+	for _, l := range b {
+		inB[l] = struct{}{}
+	}
+	var cd Route
+	for _, l := range a {
+		if _, ok := inB[l]; ok {
+			cd = append(cd, l)
+		}
+	}
+	return cd
+}
+
+// IsContiguousIn reports whether the links of cd occupy consecutive
+// positions, in order, along route r. The response-time analyses rely on
+// contention domains being contiguous segments of both routes involved;
+// this helper lets callers (and tests) validate the assumption.
+func (r Route) IsContiguousIn(cd Route) bool {
+	if len(cd) == 0 {
+		return true
+	}
+	start := r.Order(cd[0])
+	if start == 0 {
+		return false
+	}
+	for i, l := range cd {
+		if r.Order(l) != start+i {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

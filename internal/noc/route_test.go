@@ -1,0 +1,240 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRouteStructure pins concrete XY routes.
+func TestRouteStructure(t *testing.T) {
+	topo := MustMesh(4, 4, defaultCfg())
+	// 0=(0,0) → 15=(3,3): X first (east x3) then Y (north x3).
+	r := topo.MustRoute(0, 15)
+	if r.Len() != 8 {
+		t.Fatalf("|route(0,15)| = %d, want 8", r.Len())
+	}
+	if topo.Link(r.First()).Kind != Injection {
+		t.Error("route must start with the injection link")
+	}
+	if topo.Link(r.Last()).Kind != Ejection {
+		t.Error("route must end with the ejection link")
+	}
+	// Middle links: 3 easts then 3 norths.
+	wantDst := []int{1, 2, 3, 7, 11, 15}
+	for i, l := range r[1 : len(r)-1] {
+		link := topo.Link(l)
+		if link.Kind != Mesh {
+			t.Fatalf("hop %d is %v, want mesh", i, link.Kind)
+		}
+		if int(link.Dst) != wantDst[i] {
+			t.Errorf("hop %d reaches router %d, want %d", i, int(link.Dst), wantDst[i])
+		}
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	topo := MustMesh(4, 4, defaultCfg())
+	if _, err := topo.Route(0, 0); err == nil {
+		t.Error("route to self must fail")
+	}
+	if _, err := topo.Route(-1, 3); err == nil {
+		t.Error("negative source must fail")
+	}
+	if _, err := topo.Route(0, 16); err == nil {
+		t.Error("out-of-mesh destination must fail")
+	}
+}
+
+func TestRouteHelpers(t *testing.T) {
+	topo := MustMesh(4, 1, defaultCfg())
+	r := topo.MustRoute(0, 3) // inj, 3 mesh, ej = 5 links
+	if r.Hops() != 4 {
+		t.Errorf("Hops = %d, want 4", r.Hops())
+	}
+	for i, l := range r {
+		if got := r.Order(l); got != i+1 {
+			t.Errorf("Order(link %d) = %d, want %d", i, got, i+1)
+		}
+		if !r.Contains(l) {
+			t.Errorf("Contains(link %d) = false", i)
+		}
+	}
+	if r.Order(LinkID(10_000)) != 0 {
+		t.Error("Order of absent link must be 0")
+	}
+	if r.Contains(LinkID(10_000)) {
+		t.Error("Contains of absent link must be false")
+	}
+	if r.First() != r[0] || r.Last() != r[len(r)-1] {
+		t.Error("First/Last mismatch")
+	}
+	var empty Route
+	if empty.First() != NoLink || empty.Last() != NoLink || empty.Hops() != 0 {
+		t.Error("empty route helpers must return sentinels")
+	}
+	if !r.Equal(r) {
+		t.Error("route must equal itself")
+	}
+	if r.Equal(r[:len(r)-1]) {
+		t.Error("routes of different length must differ")
+	}
+	other := topo.MustRoute(3, 0)
+	if r.Equal(other) {
+		t.Error("opposite routes must differ")
+	}
+	if r.String() == "" {
+		t.Error("route String must not be empty")
+	}
+}
+
+// TestRoutePropertiesXY checks, over random node pairs on random meshes,
+// the defining properties of dimension-order routing: minimality (the
+// route has Manhattan-distance mesh links plus injection and ejection),
+// X-before-Y ordering, contiguity (each link starts where the previous
+// ended) and determinism.
+func TestRoutePropertiesXY(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(9), 1+rng.Intn(9)
+		if w*h < 2 {
+			w, h = 2, 1
+		}
+		topo := MustMesh(w, h, defaultCfg())
+		src := NodeID(rng.Intn(w * h))
+		dst := NodeID(rng.Intn(w*h - 1))
+		if dst >= src {
+			dst++
+		}
+		r := topo.MustRoute(src, dst)
+		sx, sy := topo.Coord(RouterID(src))
+		dx, dy := topo.Coord(RouterID(dst))
+		if r.Len() != abs(sx-dx)+abs(sy-dy)+2 {
+			t.Logf("non-minimal route %v for %d→%d on %dx%d", r, src, dst, w, h)
+			return false
+		}
+		if topo.Link(r.First()).Kind != Injection || topo.Link(r.Last()).Kind != Ejection {
+			return false
+		}
+		// Contiguity and X-before-Y.
+		cur := RouterID(src)
+		seenY := false
+		for _, lid := range r[1 : len(r)-1] {
+			l := topo.Link(lid)
+			if l.Kind != Mesh || l.Src != cur {
+				return false
+			}
+			ax, _ := topo.Coord(l.Src)
+			bx, _ := topo.Coord(l.Dst)
+			if ax == bx { // Y move
+				seenY = true
+			} else if seenY {
+				t.Logf("X move after Y move in %v", r)
+				return false
+			}
+			cur = l.Dst
+		}
+		if cur != RouterID(dst) {
+			return false
+		}
+		// Determinism.
+		return r.Equal(topo.MustRoute(src, dst))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContentionDomainProperties checks, over random flow pairs, the
+// system-model assumption the analyses rely on: contention domains are
+// contiguous segments of both routes involved, and symmetric as sets.
+func TestContentionDomainProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 2+rng.Intn(8), 2+rng.Intn(8)
+		topo := MustMesh(w, h, defaultCfg())
+		pick := func() (NodeID, NodeID) {
+			s := NodeID(rng.Intn(w * h))
+			d := NodeID(rng.Intn(w*h - 1))
+			if d >= s {
+				d++
+			}
+			return s, d
+		}
+		s1, d1 := pick()
+		s2, d2 := pick()
+		a := topo.MustRoute(s1, d1)
+		b := topo.MustRoute(s2, d2)
+		cdA := ContentionDomain(a, b)
+		cdB := ContentionDomain(b, a)
+		if len(cdA) != len(cdB) {
+			return false
+		}
+		seen := make(map[LinkID]bool, len(cdA))
+		for _, l := range cdA {
+			seen[l] = true
+		}
+		for _, l := range cdB {
+			if !seen[l] {
+				return false
+			}
+		}
+		if !a.IsContiguousIn(cdA) {
+			t.Logf("cd %v not contiguous in route a %v", cdA, a)
+			return false
+		}
+		if !b.IsContiguousIn(cdB) {
+			t.Logf("cd %v not contiguous in route b %v", cdB, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContentionDomainConcrete(t *testing.T) {
+	topo := MustMesh(6, 1, defaultCfg())
+	r2 := topo.MustRoute(0, 5)
+	r3 := topo.MustRoute(1, 4)
+	cd := ContentionDomain(r3, r2)
+	if len(cd) != 3 {
+		t.Fatalf("|cd| = %d, want 3", len(cd))
+	}
+	// All three shared links are mesh links between routers 1..4.
+	for _, l := range cd {
+		if topo.Link(l).Kind != Mesh {
+			t.Errorf("shared link %v should be a mesh link", topo.Link(l))
+		}
+	}
+	// Empty cases.
+	if cd := ContentionDomain(nil, r2); cd != nil {
+		t.Error("empty route gives nil contention domain")
+	}
+	rA := topo.MustRoute(0, 1)
+	rB := topo.MustRoute(4, 5)
+	if cd := ContentionDomain(rA, rB); len(cd) != 0 {
+		t.Errorf("disjoint routes share %v", cd)
+	}
+}
+
+func TestIsContiguousIn(t *testing.T) {
+	topo := MustMesh(5, 1, defaultCfg())
+	r := topo.MustRoute(0, 4)
+	if !r.IsContiguousIn(nil) {
+		t.Error("empty cd is contiguous")
+	}
+	if !r.IsContiguousIn(Route{r[1], r[2]}) {
+		t.Error("adjacent sub-route is contiguous")
+	}
+	if r.IsContiguousIn(Route{r[1], r[3]}) {
+		t.Error("gapped subset is not contiguous")
+	}
+	if r.IsContiguousIn(Route{r[2], r[1]}) {
+		t.Error("reversed subset is not contiguous")
+	}
+	if r.IsContiguousIn(Route{LinkID(999)}) {
+		t.Error("foreign link is not contiguous")
+	}
+}

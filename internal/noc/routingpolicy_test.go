@@ -1,0 +1,126 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWithRouting(t *testing.T) {
+	topo := MustMesh(4, 4, defaultCfg())
+	if topo.Routing() != XY {
+		t.Fatalf("default routing = %v, want XY", topo.Routing())
+	}
+	yx, err := topo.WithRouting(YX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yx.Routing() != YX || topo.Routing() != XY {
+		t.Error("WithRouting must not mutate the original")
+	}
+	if _, err := topo.WithRouting(RoutingPolicy(7)); err == nil {
+		t.Error("unknown policy must be rejected")
+	}
+	for _, p := range []RoutingPolicy{XY, YX, RoutingPolicy(7)} {
+		if p.String() == "" {
+			t.Errorf("RoutingPolicy(%d).String() empty", uint8(p))
+		}
+	}
+}
+
+func TestYXRouteStructure(t *testing.T) {
+	topo, err := MustMesh(4, 4, defaultCfg()).WithRouting(YX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0=(0,0) → 15=(3,3): Y first (north x3) then X (east x3).
+	r := topo.MustRoute(0, 15)
+	if r.Len() != 8 {
+		t.Fatalf("|route| = %d, want 8", r.Len())
+	}
+	wantDst := []int{4, 8, 12, 13, 14, 15}
+	for i, l := range r[1 : len(r)-1] {
+		if got := int(topo.Link(l).Dst); got != wantDst[i] {
+			t.Errorf("hop %d reaches router %d, want %d", i, got, wantDst[i])
+		}
+	}
+}
+
+// TestYXMirrorsXY: the YX route between two nodes visits the transposed
+// routers of the XY route on the transposed mesh.
+func TestYXMirrorsXY(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 2+rng.Intn(6), 2+rng.Intn(6)
+		xyT := MustMesh(w, h, defaultCfg())
+		yxT, err := MustMesh(h, w, defaultCfg()).WithRouting(YX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.Intn(w * h)
+		dst := rng.Intn(w*h - 1)
+		if dst >= src {
+			dst++
+		}
+		// Compare router sequences: XY on (w,h) from (sx,sy) to (dx,dy)
+		// equals YX on (h,w) from (sy,sx) to (dy,dx) with coordinates
+		// swapped.
+		sx, sy := xyT.Coord(RouterID(src))
+		dx, dy := xyT.Coord(RouterID(dst))
+		xyRoute := xyT.MustRoute(NodeID(src), NodeID(dst))
+		yxRoute := yxT.MustRoute(NodeID(sy+sx*h), NodeID(dy+dx*h))
+		if xyRoute.Len() != yxRoute.Len() {
+			t.Logf("lengths differ: %d vs %d", xyRoute.Len(), yxRoute.Len())
+			return false
+		}
+		for i := 1; i < xyRoute.Len()-1; i++ {
+			a := xyT.Link(xyRoute[i])
+			b := yxT.Link(yxRoute[i])
+			axx, axy := xyT.Coord(a.Dst)
+			byx, byy := yxT.Coord(b.Dst)
+			if axx != byy || axy != byx {
+				t.Logf("hop %d: XY reaches (%d,%d), YX reaches (%d,%d)", i, axx, axy, byx, byy)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestYXRoutePropertiesHold: minimality and contiguous contention
+// domains hold under YX exactly as under XY.
+func TestYXRoutePropertiesHold(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 2+rng.Intn(6), 2+rng.Intn(6)
+		topo, err := MustMesh(w, h, defaultCfg()).WithRouting(YX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pick := func() (NodeID, NodeID) {
+			s := rng.Intn(w * h)
+			d := rng.Intn(w*h - 1)
+			if d >= s {
+				d++
+			}
+			return NodeID(s), NodeID(d)
+		}
+		s1, d1 := pick()
+		s2, d2 := pick()
+		a := topo.MustRoute(s1, d1)
+		b := topo.MustRoute(s2, d2)
+		sx, sy := topo.Coord(RouterID(s1))
+		dx, dy := topo.Coord(RouterID(d1))
+		if a.Len() != abs(sx-dx)+abs(sy-dy)+2 {
+			return false
+		}
+		cd := ContentionDomain(a, b)
+		return a.IsContiguousIn(cd) && b.IsContiguousIn(ContentionDomain(b, a))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package priority_test
+
+import (
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/priority"
+	"wormnoc/internal/traffic"
+)
+
+// TestAudsleyUnassignedOrderRegression reproduces a scenario where the
+// lowest-priority-first search only succeeds if the hypothetical
+// higher-priority flows are ordered sensibly (deadline-monotonically):
+// with them in input order, the tight-deadline flow misses up top and
+// poisons every candidate's bound with DependencyFailed, making the
+// search falsely report infeasibility even though a schedulable
+// assignment exists.
+func TestAudsleyUnassignedOrderRegression(t *testing.T) {
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	flows := []traffic.Flow{
+		{Name: "bulkA", Period: 5_000, Deadline: 5_000, Length: 1500, Src: 0, Dst: 12},
+		{Name: "bulkB", Period: 6_000, Deadline: 6_000, Length: 1500, Src: 1, Dst: 12},
+		{Name: "tight", Period: 9_000, Deadline: 900, Length: 64, Src: 4, Dst: 12},
+		{Name: "telemetry", Period: 20_000, Deadline: 20_000, Length: 512, Src: 5, Dst: 12},
+	}
+	out, ok, err := priority.Audsley(topo, flows, core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Audsley must find the (deadline-monotonic) assignment")
+	}
+	sys := traffic.MustSystem(topo, out)
+	res, err := core.Analyze(sys, core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("returned assignment unschedulable: %+v", out)
+	}
+	// Rate-monotonic fails on the same set (the example's premise).
+	rm := make([]traffic.Flow, len(flows))
+	copy(rm, flows)
+	priority.RateMonotonic(rm)
+	rmRes, err := core.Analyze(traffic.MustSystem(topo, rm), core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmRes.Schedulable {
+		t.Error("premise broken: RM should fail this set")
+	}
+}

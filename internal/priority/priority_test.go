@@ -1,0 +1,173 @@
+package priority_test
+
+import (
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/priority"
+	"wormnoc/internal/traffic"
+	"wormnoc/internal/workload"
+)
+
+func TestMonotonicAssignments(t *testing.T) {
+	flows := []traffic.Flow{
+		{Name: "a", Period: 300, Deadline: 80},
+		{Name: "b", Period: 100, Deadline: 100},
+		{Name: "c", Period: 200, Deadline: 150},
+	}
+	priority.RateMonotonic(flows)
+	if flows[1].Priority != 1 || flows[2].Priority != 2 || flows[0].Priority != 3 {
+		t.Errorf("RM: %+v", flows)
+	}
+	priority.DeadlineMonotonic(flows)
+	if flows[0].Priority != 1 || flows[1].Priority != 2 || flows[2].Priority != 3 {
+		t.Errorf("DM: %+v", flows)
+	}
+}
+
+// rmFailsDmWorks is the classic constrained-deadline scenario: the
+// short-period flow hogs the shared path, so under RM the tight-deadline
+// flow misses; giving the tight flow top priority schedules both.
+func rmFailsDmWorks(t *testing.T) (*noc.Topology, []traffic.Flow) {
+	t.Helper()
+	topo := noc.MustMesh(4, 1, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	return topo, []traffic.Flow{
+		// C = 5 + 49 = 54.
+		{Name: "bulk", Period: 100, Deadline: 100, Length: 50, Src: 0, Dst: 3},
+		// C = 5 + 9 = 14; D = 40 < one hit of bulk.
+		{Name: "tight", Period: 400, Deadline: 40, Length: 10, Src: 0, Dst: 3},
+	}
+}
+
+func TestRMFailsOnConstrainedDeadlines(t *testing.T) {
+	topo, flows := rmFailsDmWorks(t)
+	priority.RateMonotonic(flows)
+	sys := traffic.MustSystem(topo, flows)
+	res, err := core.Analyze(sys, core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable {
+		t.Fatal("RM should fail on this set")
+	}
+	priority.DeadlineMonotonic(flows)
+	sys = traffic.MustSystem(topo, flows)
+	res, err = core.Analyze(sys, core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("DM should schedule this set: %+v", res.Flows)
+	}
+}
+
+func TestAudsleyFindsAssignmentRMCannot(t *testing.T) {
+	topo, flows := rmFailsDmWorks(t)
+	priority.RateMonotonic(flows) // start from the failing assignment
+	out, ok, err := priority.Audsley(topo, flows, core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Audsley should find an assignment")
+	}
+	sys := traffic.MustSystem(topo, out)
+	res, err := core.Analyze(sys, core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("Audsley's assignment is not schedulable: %+v", out)
+	}
+	// The tight-deadline flow must have ended up on top.
+	for _, f := range out {
+		if f.Name == "tight" && f.Priority != 1 {
+			t.Errorf("tight flow at priority %d", f.Priority)
+		}
+	}
+}
+
+func TestAudsleyReportsInfeasible(t *testing.T) {
+	// Two heavy flows sharing one path, both with deadlines below the
+	// other's C: no priority order works.
+	topo := noc.MustMesh(4, 1, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	flows := []traffic.Flow{
+		{Name: "x", Period: 200, Deadline: 60, Length: 50, Src: 0, Dst: 3}, // C = 54
+		{Name: "y", Period: 200, Deadline: 60, Length: 50, Src: 0, Dst: 3}, // C = 54
+	}
+	out, ok, err := priority.Audsley(topo, flows, core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("no assignment should exist")
+	}
+	// Best-effort priorities must still be a valid permutation.
+	seen := map[int]bool{}
+	for _, f := range out {
+		if f.Priority < 1 || f.Priority > 2 || seen[f.Priority] {
+			t.Errorf("invalid fallback priorities: %+v", out)
+		}
+		seen[f.Priority] = true
+	}
+}
+
+func TestAudsleyPermutationValid(t *testing.T) {
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok, err := priority.Audsley(topo, sys.Flows(), core.Options{Method: core.XLWX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, f := range out {
+		if f.Priority < 1 || f.Priority > len(out) || seen[f.Priority] {
+			t.Fatalf("invalid permutation: %+v", out)
+		}
+		seen[f.Priority] = true
+	}
+	if ok {
+		// The returned assignment must check out end to end.
+		s := traffic.MustSystem(topo, out)
+		res, err := core.Analyze(s, core.Options{Method: core.XLWX})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedulable {
+			t.Error("Audsley claimed success but the set is unschedulable")
+		}
+	}
+}
+
+func TestAudsleyAtLeastAsGoodAsRM(t *testing.T) {
+	// Over a few random sets: whenever RM schedules, Audsley must too.
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	for seed := int64(0); seed < 10; seed++ {
+		sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: 15, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := core.Analyze(sys, core.Options{Method: core.IBN})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ok, err := priority.Audsley(topo, sys.Flows(), core.Options{Method: core.IBN})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rm.Schedulable && !ok {
+			t.Errorf("seed %d: RM schedulable but Audsley failed", seed)
+		}
+	}
+}
+
+func TestAudsleyEmpty(t *testing.T) {
+	topo := noc.MustMesh(2, 2, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	if _, _, err := priority.Audsley(topo, nil, core.Options{Method: core.IBN}); err == nil {
+		t.Error("empty flow set must fail")
+	}
+}

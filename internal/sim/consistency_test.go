@@ -1,0 +1,111 @@
+package sim_test
+
+import (
+	"testing"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/workload"
+)
+
+// TestLongerHorizonNeverReducesWorst: the worst observed latency is
+// monotone in the simulation horizon (more packets observed, same
+// deterministic schedule).
+func TestLongerHorizonNeverReducesWorst(t *testing.T) {
+	sys := workload.Didactic(2)
+	prev := make([]noc.Cycles, sys.NumFlows())
+	for i := range prev {
+		prev[i] = -1
+	}
+	for _, horizon := range []noc.Cycles{2_000, 8_000, 32_000, 128_000} {
+		res, err := sim.Run(sys, sim.Config{Duration: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < sys.NumFlows(); i++ {
+			if res.WorstLatency[i] < prev[i] {
+				t.Errorf("flow %d: worst dropped from %d to %d at horizon %d",
+					i, prev[i], res.WorstLatency[i], horizon)
+			}
+			prev[i] = res.WorstLatency[i]
+		}
+	}
+}
+
+// TestSteadyStatePeriodicity: the didactic scenario is periodic with
+// hyperperiod lcm(200, 4000, 6000) = 12000; per-flow completion counts
+// over k hyperperiods scale linearly once the pipeline is warm.
+func TestSteadyStatePeriodicity(t *testing.T) {
+	sys := workload.Didactic(2)
+	const hyper = 12_000
+	one, err := sim.Run(sys, sim.Config{Duration: 2 * hyper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := sim.Run(sys, sim.Config{Duration: 4 * hyper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sys.NumFlows(); i++ {
+		// Released counts are exactly proportional to the horizon.
+		if two.Released[i] != 2*one.Released[i] {
+			t.Errorf("flow %d: released %d then %d (not proportional)",
+				i, one.Released[i], two.Released[i])
+		}
+		// Worst latency must be identical: the schedule repeats.
+		if two.WorstLatency[i] != one.WorstLatency[i] {
+			t.Errorf("flow %d: worst changed across hyperperiods: %d vs %d",
+				i, one.WorstLatency[i], two.WorstLatency[i])
+		}
+	}
+}
+
+// TestRunIsDeterministic: identical configurations give identical
+// results (the engine has no hidden nondeterminism).
+func TestRunIsDeterministic(t *testing.T) {
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 3, LinkLatency: 1, RouteLatency: 1})
+	sys, err := workload.Synthetic(topo, workload.SynthConfig{
+		NumFlows: 10, PeriodMin: 1_000, PeriodMax: 30_000, LenMin: 16, LenMax: 256, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sim.Run(sys, sim.Config{Duration: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(sys, sim.Config{Duration: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sys.NumFlows(); i++ {
+		if a.WorstLatency[i] != b.WorstLatency[i] || a.Completed[i] != b.Completed[i] ||
+			a.TotalLatency[i] != b.TotalLatency[i] {
+			t.Fatalf("nondeterministic results for flow %d", i)
+		}
+	}
+}
+
+// TestThroughputConservation: over a long horizon with a feasible
+// workload, completions track releases (the network does not silently
+// drop or duplicate packets).
+func TestThroughputConservation(t *testing.T) {
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	sys, err := workload.Synthetic(topo, workload.SynthConfig{
+		NumFlows: 24, PeriodMin: 2_000, PeriodMax: 40_000, LenMin: 16, LenMax: 512, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sys, sim.Config{Duration: 400_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sys.NumFlows(); i++ {
+		gap := res.Released[i] - res.Completed[i]
+		if gap < 0 || gap > 2 {
+			t.Errorf("flow %d: released %d completed %d (gap %d)",
+				i, res.Released[i], res.Completed[i], gap)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package sim_test
+
+import (
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/workload"
+)
+
+func TestSearchWorstCaseDidactic(t *testing.T) {
+	sys := workload.Didactic(2)
+	res, err := sim.SearchWorstCase(sys, sim.SearchConfig{
+		Base:   sim.Config{Duration: 20_000},
+		Target: 2,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exhaustive single-flow sweep finds 334; the joint search must
+	// land in the same region and never beyond the IBN bound.
+	if res.Worst < 300 {
+		t.Errorf("search found only %d; exhaustive sweep reaches 334", res.Worst)
+	}
+	if res.Worst > 348 {
+		t.Errorf("search found %d beyond the IBN bound 348", res.Worst)
+	}
+	if res.Runs < 10 {
+		t.Errorf("suspiciously few runs: %d", res.Runs)
+	}
+	if len(res.Offsets) != sys.NumFlows() {
+		t.Errorf("offsets shape: %v", res.Offsets)
+	}
+	// Replaying the reported phasing reproduces the reported latency.
+	replay, err := sim.Run(sys, sim.Config{Duration: 20_000, Offsets: res.Offsets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.WorstLatency[2] != res.Worst {
+		t.Errorf("replay gives %d, search reported %d", replay.WorstLatency[2], res.Worst)
+	}
+}
+
+func TestSearchWorstCaseDeterministic(t *testing.T) {
+	sys := workload.Didactic(2)
+	cfg := sim.SearchConfig{
+		Base: sim.Config{Duration: 8_000}, Target: 2, Seed: 9,
+		Restarts: 3, RefineSteps: 1, ProbesPerFlow: 4,
+	}
+	a, err := sim.SearchWorstCase(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.SearchWorstCase(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Worst != b.Worst || a.Runs != b.Runs {
+		t.Errorf("search not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSearchWorstCaseErrors(t *testing.T) {
+	sys := workload.Didactic(2)
+	if _, err := sim.SearchWorstCase(sys, sim.SearchConfig{Base: sim.Config{Duration: 100}, Target: 9}); err == nil {
+		t.Error("bad target must fail")
+	}
+	if _, err := sim.SearchWorstCase(sys, sim.SearchConfig{Target: 0}); err == nil {
+		t.Error("zero duration must fail")
+	}
+}
+
+// TestSearchRespectsIBNOnRandomScenario: adversarial phasing search on a
+// random MPB-prone system never breaks the IBN bound.
+func TestSearchRespectsIBNOnRandomScenario(t *testing.T) {
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 4, LinkLatency: 1, RouteLatency: 0})
+	sys, err := workload.Synthetic(topo, workload.SynthConfig{
+		NumFlows: 8, PeriodMin: 1_000, PeriodMax: 20_000, LenMin: 16, LenMax: 256, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ibn, err := core.Analyze(sys, core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for target := 0; target < sys.NumFlows(); target += 3 {
+		if ibn.Flows[target].Status != core.Schedulable {
+			continue
+		}
+		res, err := sim.SearchWorstCase(sys, sim.SearchConfig{
+			Base:     sim.Config{Duration: 60_000},
+			Target:   target,
+			Restarts: 3, RefineSteps: 1, ProbesPerFlow: 4,
+			Seed: int64(target),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Worst > ibn.R(target) {
+			t.Errorf("flow %d: adversarial search found %d beyond IBN bound %d",
+				target, res.Worst, ibn.R(target))
+		}
+	}
+}

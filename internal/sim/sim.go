@@ -1,0 +1,491 @@
+// Package sim is a cycle-accurate, flit-level simulator of the
+// priority-preemptive wormhole NoC of Section II of the paper.
+//
+// It models exactly the router of Figure 1: per-priority virtual channels
+// (one FIFO of buf(Ξ) flits per VC at each input port), credit-based flow
+// control (a flit advances only when the downstream VC buffer has space),
+// and per-output-link priority-preemptive arbitration: every cycle, each
+// link transfers the flit of the highest-priority packet that requests it
+// *and* holds a credit; a blocked high-priority packet with full buffers
+// lets lower-priority packets proceed. Header flits pay the routing
+// latency routl(Ξ) at every router, and every link transfer takes
+// linkl(Ξ) cycles.
+//
+// The simulator is used to reproduce the "sim" columns of Table II (the
+// worst observed latencies under multi-point progressive blocking) and to
+// validate the analytical bounds: on every scenario, observed latencies
+// must stay below the IBN and XLWX bounds, while they can exceed the
+// (unsafe) SB bound.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Duration is the number of simulated cycles. Packets still in flight
+	// when the horizon is reached are not counted in latency statistics
+	// (Result.InFlight reports them).
+	Duration noc.Cycles
+	// Offsets holds the first-release instant of each flow (default 0).
+	// Successive packets are released periodically from the offset.
+	Offsets []noc.Cycles
+	// MaxPacketsPerFlow stops releasing packets of a flow after this many
+	// (0 = release for the whole duration).
+	MaxPacketsPerFlow int
+	// RecordLatencies makes the Result keep every completed packet's
+	// latency (Result.Latencies), enabling distribution statistics at the
+	// cost of memory proportional to the number of packets.
+	RecordLatencies bool
+	// InjectJitter enables release jitter: each packet of a flow with
+	// Jitter J > 0 is released uniformly in [tick, tick+J] after its
+	// periodic tick, deterministically in JitterSeed. Latencies are
+	// measured from the actual (jittered) release, matching the analyses'
+	// convention (an interferer's jitter appears in the interference
+	// terms; a flow's own jitter does not extend its own bound).
+	InjectJitter bool
+	// JitterSeed seeds the jitter sampler (used only with InjectJitter).
+	JitterSeed int64
+	// TraceWriter, when non-nil, receives one CSV line per flit transfer:
+	// cycle,link,flow,packet,flit. Intended for debugging and for the
+	// cmd/nocsim -trace option; it slows simulation down considerably.
+	TraceWriter io.Writer
+}
+
+// Result holds the outcome of a run.
+type Result struct {
+	// WorstLatency[i] is the maximum observed latency (release to arrival
+	// of the last flit) over the completed packets of flow i, or -1 when
+	// none completed within the horizon.
+	WorstLatency []noc.Cycles
+	// TotalLatency[i] is the sum of observed latencies (for averages).
+	TotalLatency []noc.Cycles
+	// Completed[i] counts completed packets of flow i.
+	Completed []int
+	// Released[i] counts released packets of flow i.
+	Released []int
+	// InFlight counts packets not yet fully delivered at the horizon.
+	InFlight int
+	// DeadlineMisses[i] counts completed packets of flow i whose observed
+	// latency exceeded the flow deadline.
+	DeadlineMisses []int
+	// Latencies[i] holds the latency of every completed packet of flow i
+	// in completion order (only with Config.RecordLatencies).
+	Latencies [][]noc.Cycles
+	// MaxOccupancy[i][h] is the maximum number of flits of flow i ever
+	// held in the virtual-channel buffer fed by hop h of its route
+	// (h in [0, |route|-2]). Occupancy can never exceed the platform's
+	// buffer depth — that is the credit-based flow control at work — and
+	// watching it grow along the contention domain during a downstream
+	// blocking is exactly the "buffered interference" of the paper.
+	MaxOccupancy [][]int
+}
+
+// PeakOccupancy returns the largest buffer occupancy flow i reached on
+// any hop of its route.
+func (r *Result) PeakOccupancy(i int) int {
+	peak := 0
+	for _, o := range r.MaxOccupancy[i] {
+		if o > peak {
+			peak = o
+		}
+	}
+	return peak
+}
+
+// MeanLatency returns the average observed latency of flow i, or -1 when
+// no packet of the flow completed.
+func (r *Result) MeanLatency(i int) float64 {
+	if r.Completed[i] == 0 {
+		return -1
+	}
+	return float64(r.TotalLatency[i]) / float64(r.Completed[i])
+}
+
+type packet struct {
+	flow     int
+	id       int
+	release  noc.Cycles
+	length   int
+	injected int // flits handed to the injection link so far
+	arrived  int // flits delivered to the destination node so far
+}
+
+// flit is one flow-control unit inside a VC buffer.
+type flit struct {
+	pkt *packet
+	seq int
+	// readyAt is the earliest cycle a header flit may compete for the
+	// next link (arrival + routl); body flits are ready on arrival.
+	readyAt noc.Cycles
+}
+
+// vcFIFO is the FIFO buffer of one virtual channel at one router input
+// port. Because flow priorities are unique and each priority has its own
+// VC, each FIFO carries flits of exactly one flow.
+type vcFIFO struct {
+	flits    []flit
+	head     int
+	inflight int // flits transferred but not yet arrived (credit debt)
+}
+
+func (f *vcFIFO) len() int { return len(f.flits) - f.head }
+
+func (f *vcFIFO) occupancy() int { return f.len() + f.inflight }
+
+func (f *vcFIFO) push(fl flit) {
+	if f.head > 0 && f.head == len(f.flits) {
+		f.flits = f.flits[:0]
+		f.head = 0
+	} else if f.head > 64 && f.head*2 >= len(f.flits) {
+		n := copy(f.flits, f.flits[f.head:])
+		f.flits = f.flits[:n]
+		f.head = 0
+	}
+	f.flits = append(f.flits, fl)
+}
+
+func (f *vcFIFO) peek() *flit { return &f.flits[f.head] }
+
+func (f *vcFIFO) pop() flit {
+	fl := f.flits[f.head]
+	f.head++
+	return fl
+}
+
+// arrival is a flit in transit over a link.
+type arrival struct {
+	at   noc.Cycles
+	flow int
+	hop  int // index of the link just crossed in the flow's route
+	fl   flit
+}
+
+// engine is the mutable simulation state.
+type engine struct {
+	sys *traffic.System
+	cfg Config
+
+	linkl noc.Cycles
+	routl noc.Cycles
+	buf   int
+
+	routes []noc.Route
+	// fifos[flow][hop] is the VC buffer fed by route[hop], for
+	// hop in [0, len(route)-2]. The ejection link feeds the sink.
+	fifos [][]*vcFIFO
+	// onLink[l] lists the (flow, hop) pairs whose route crosses link l,
+	// i.e. the arbitration candidates of link l.
+	onLink [][]cand
+
+	busyUntil []noc.Cycles // per link
+
+	// source state per flow
+	queue       [][]*packet // released, not fully injected
+	nextRelease []noc.Cycles
+	released    []int
+	pktSeq      []int
+	// jittered releases scheduled but not yet due, ordered by time.
+	pending [][]noc.Cycles
+	jitter  *rand.Rand
+
+	// arrivals is a FIFO of in-transit flits; since every transfer takes
+	// exactly linkl cycles, arrivals complete in submission order.
+	arrivals    []arrival
+	arrivalHead int
+
+	res       *Result
+	inFlight  int
+	flitsLive int // flits inside FIFOs or in transit
+}
+
+type cand struct{ flow, hop int }
+
+// Run simulates the system for cfg.Duration cycles and reports the
+// observed latencies. The flow set must have unique priorities (enforced
+// by traffic.NewSystem).
+func Run(sys *traffic.System, cfg Config) (*Result, error) {
+	if cfg.Duration < 1 {
+		return nil, fmt.Errorf("sim: Duration must be >= 1 cycle, got %d", cfg.Duration)
+	}
+	if cfg.Offsets != nil && len(cfg.Offsets) != sys.NumFlows() {
+		return nil, fmt.Errorf("sim: got %d offsets for %d flows", len(cfg.Offsets), sys.NumFlows())
+	}
+	for i, off := range cfg.Offsets {
+		if off < 0 {
+			return nil, fmt.Errorf("sim: flow %d has negative offset %d", i, off)
+		}
+	}
+	e := newEngine(sys, cfg)
+	e.run()
+	return e.res, nil
+}
+
+func newEngine(sys *traffic.System, cfg Config) *engine {
+	n := sys.NumFlows()
+	topo := sys.Topology()
+	rc := topo.Config()
+	e := &engine{
+		sys:         sys,
+		cfg:         cfg,
+		linkl:       rc.LinkLatency,
+		routl:       rc.RouteLatency,
+		buf:         rc.BufDepth,
+		routes:      make([]noc.Route, n),
+		fifos:       make([][]*vcFIFO, n),
+		onLink:      make([][]cand, topo.NumLinks()),
+		busyUntil:   make([]noc.Cycles, topo.NumLinks()),
+		queue:       make([][]*packet, n),
+		nextRelease: make([]noc.Cycles, n),
+		released:    make([]int, n),
+		pktSeq:      make([]int, n),
+		pending:     make([][]noc.Cycles, n),
+		jitter:      rand.New(rand.NewSource(cfg.JitterSeed)),
+		res: &Result{
+			WorstLatency:   make([]noc.Cycles, n),
+			TotalLatency:   make([]noc.Cycles, n),
+			Completed:      make([]int, n),
+			Released:       make([]int, n),
+			DeadlineMisses: make([]int, n),
+			MaxOccupancy:   make([][]int, n),
+		},
+	}
+	if cfg.RecordLatencies {
+		e.res.Latencies = make([][]noc.Cycles, n)
+	}
+	for i := 0; i < n; i++ {
+		e.res.WorstLatency[i] = -1
+		e.routes[i] = sys.Route(i)
+		e.res.MaxOccupancy[i] = make([]int, e.routes[i].Len()-1)
+		e.fifos[i] = make([]*vcFIFO, e.routes[i].Len()-1)
+		for h := range e.fifos[i] {
+			e.fifos[i][h] = &vcFIFO{}
+		}
+		for h, l := range e.routes[i] {
+			e.onLink[l] = append(e.onLink[l], cand{flow: i, hop: h})
+		}
+		if cfg.Offsets != nil {
+			e.nextRelease[i] = cfg.Offsets[i]
+		}
+	}
+	// Keep candidate lists priority-sorted so arbitration scans stop at
+	// the first eligible candidate.
+	for l := range e.onLink {
+		cands := e.onLink[l]
+		for a := 1; a < len(cands); a++ {
+			for b := a; b > 0 && sys.Flow(cands[b].flow).Priority < sys.Flow(cands[b-1].flow).Priority; b-- {
+				cands[b], cands[b-1] = cands[b-1], cands[b]
+			}
+		}
+	}
+	return e
+}
+
+func (e *engine) run() {
+	var transfers []cand
+	for t := noc.Cycles(0); t < e.cfg.Duration; t++ {
+		// 1. Deliver flits whose link traversal completes at t.
+		for e.arrivalHead < len(e.arrivals) && e.arrivals[e.arrivalHead].at <= t {
+			a := e.arrivals[e.arrivalHead]
+			e.arrivalHead++
+			e.deliver(a)
+		}
+		if e.arrivalHead == len(e.arrivals) && e.arrivalHead > 0 {
+			e.arrivals = e.arrivals[:0]
+			e.arrivalHead = 0
+		}
+		// 2. Release periodic packets whose tick is due. With jitter
+		// injection the actual release may trail the tick by up to J
+		// cycles; releases of one flow stay ordered (a source emits
+		// packets in order).
+		for i := 0; i < e.sys.NumFlows(); i++ {
+			f := e.sys.Flow(i)
+			for e.nextRelease[i] <= t {
+				if e.cfg.MaxPacketsPerFlow > 0 && e.released[i] >= e.cfg.MaxPacketsPerFlow {
+					break
+				}
+				e.released[i]++
+				relAt := e.nextRelease[i]
+				if e.cfg.InjectJitter && f.Jitter > 0 {
+					relAt += noc.Cycles(e.jitter.Int63n(int64(f.Jitter) + 1))
+					if n := len(e.pending[i]); n > 0 && relAt < e.pending[i][n-1] {
+						relAt = e.pending[i][n-1]
+					}
+				}
+				if relAt <= t {
+					e.releasePacket(i, relAt)
+				} else {
+					e.pending[i] = append(e.pending[i], relAt)
+				}
+				e.nextRelease[i] += f.Period
+			}
+			for len(e.pending[i]) > 0 && e.pending[i][0] <= t {
+				e.releasePacket(i, e.pending[i][0])
+				e.pending[i] = e.pending[i][1:]
+			}
+		}
+		// Fast-forward across idle gaps: nothing can happen before the
+		// next (possibly jittered) release when the network is empty.
+		if e.flitsLive == 0 && e.allQueuesEmpty() {
+			next := e.cfg.Duration
+			for i := range e.nextRelease {
+				if len(e.pending[i]) > 0 && e.pending[i][0] < next {
+					next = e.pending[i][0]
+				}
+				if e.cfg.MaxPacketsPerFlow > 0 && e.released[i] >= e.cfg.MaxPacketsPerFlow {
+					continue
+				}
+				if e.nextRelease[i] < next {
+					next = e.nextRelease[i]
+				}
+			}
+			if next > t+1 {
+				t = next - 1 // loop increment brings us to the release
+			}
+			continue
+		}
+		// 3. Arbitrate every link: highest-priority eligible candidate
+		// (head flit, routed, with downstream credit) wins.
+		transfers = transfers[:0]
+		for l, cands := range e.onLink {
+			if e.busyUntil[l] > t || len(cands) == 0 {
+				continue
+			}
+			for _, c := range cands {
+				if e.eligible(c, t) {
+					transfers = append(transfers, c)
+					break
+				}
+			}
+		}
+		// 4. Apply the transfers decided this cycle simultaneously.
+		for _, c := range transfers {
+			e.transfer(c, t)
+		}
+	}
+	e.res.InFlight = e.inFlight
+}
+
+// releasePacket makes a packet of flow i available for injection at
+// cycle relAt (its latency is measured from relAt).
+func (e *engine) releasePacket(i int, relAt noc.Cycles) {
+	p := &packet{
+		flow:    i,
+		id:      e.pktSeq[i],
+		release: relAt,
+		length:  e.sys.Flow(i).Length,
+	}
+	e.pktSeq[i]++
+	e.res.Released[i]++
+	e.inFlight++
+	e.queue[i] = append(e.queue[i], p)
+}
+
+func (e *engine) allQueuesEmpty() bool {
+	for _, q := range e.queue {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// eligible reports whether candidate c (flow crossing hop c.hop of its
+// route) can transfer a flit this cycle: it must have a head flit that
+// has been routed, and the downstream VC buffer must have a free slot
+// (credit-based flow control).
+func (e *engine) eligible(c cand, t noc.Cycles) bool {
+	route := e.routes[c.flow]
+	if c.hop == 0 {
+		// Injection: the source node offers the next flit of its oldest
+		// pending packet.
+		q := e.queue[c.flow]
+		if len(q) == 0 {
+			return false
+		}
+		return e.fifos[c.flow][0].occupancy() < e.buf
+	}
+	f := e.fifos[c.flow][c.hop-1]
+	if f.len() == 0 {
+		return false
+	}
+	if f.peek().readyAt > t {
+		return false // header still being routed
+	}
+	if c.hop == route.Len()-1 {
+		return true // ejection into the node: always consumes
+	}
+	return e.fifos[c.flow][c.hop].occupancy() < e.buf
+}
+
+// transfer moves one flit of candidate c onto its link at cycle t.
+func (e *engine) transfer(c cand, t noc.Cycles) {
+	route := e.routes[c.flow]
+	l := route[c.hop]
+	var fl flit
+	if c.hop == 0 {
+		p := e.queue[c.flow][0]
+		fl = flit{pkt: p, seq: p.injected}
+		p.injected++
+		if p.injected == p.length {
+			e.queue[c.flow] = e.queue[c.flow][1:]
+		}
+		e.flitsLive++
+	} else {
+		fl = e.fifos[c.flow][c.hop-1].pop()
+	}
+	if c.hop < route.Len()-1 {
+		e.fifos[c.flow][c.hop].inflight++
+	}
+	e.busyUntil[l] = t + e.linkl
+	e.arrivals = append(e.arrivals, arrival{at: t + e.linkl, flow: c.flow, hop: c.hop, fl: fl})
+	if e.cfg.TraceWriter != nil {
+		fmt.Fprintf(e.cfg.TraceWriter, "%d,%d,%d,%d,%d\n", t, int(l), c.flow, fl.pkt.id, fl.seq)
+	}
+}
+
+// deliver completes a link traversal: the flit lands in the next VC
+// buffer, or in the destination node when the link was the ejection one.
+func (e *engine) deliver(a arrival) {
+	route := e.routes[a.flow]
+	if a.hop == route.Len()-1 {
+		// Ejected: consumed by the destination node.
+		p := a.fl.pkt
+		p.arrived++
+		e.flitsLive--
+		if p.arrived == p.length {
+			e.inFlight--
+			lat := a.at - p.release
+			e.res.Completed[a.flow]++
+			e.res.TotalLatency[a.flow] += lat
+			if lat > e.res.WorstLatency[a.flow] {
+				e.res.WorstLatency[a.flow] = lat
+			}
+			if lat > e.sys.Flow(a.flow).Deadline {
+				e.res.DeadlineMisses[a.flow]++
+			}
+			if e.cfg.RecordLatencies {
+				e.res.Latencies[a.flow] = append(e.res.Latencies[a.flow], lat)
+			}
+		}
+		return
+	}
+	f := e.fifos[a.flow][a.hop]
+	f.inflight--
+	fl := a.fl
+	if fl.seq == 0 {
+		fl.readyAt = a.at + e.routl // header pays the routing latency
+	} else {
+		fl.readyAt = a.at
+	}
+	f.push(fl)
+	if occ := f.len(); occ > e.res.MaxOccupancy[a.flow][a.hop] {
+		e.res.MaxOccupancy[a.flow][a.hop] = occ
+	}
+}

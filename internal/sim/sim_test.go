@@ -1,0 +1,168 @@
+package sim_test
+
+import (
+	"testing"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/traffic"
+	"wormnoc/internal/workload"
+)
+
+// TestZeroLoadMatchesEquation1 checks that an uncontended packet's
+// simulated latency equals the analytical zero-load latency C (Eq. 1)
+// exactly, across route lengths, packet lengths, link latencies, routing
+// latencies and buffer depths.
+func TestZeroLoadMatchesEquation1(t *testing.T) {
+	cases := []struct {
+		name     string
+		w, h     int
+		src, dst int
+		length   int
+		buf      int
+		linkl    noc.Cycles
+		routl    noc.Cycles
+	}{
+		{"line-short", 6, 1, 0, 5, 60, 2, 1, 0},
+		{"line-long-pkt", 6, 1, 0, 5, 198, 2, 1, 0},
+		{"one-hop", 4, 4, 0, 1, 16, 2, 1, 0},
+		{"diagonal", 4, 4, 0, 15, 128, 4, 1, 0},
+		{"routing-latency", 4, 4, 0, 15, 128, 4, 1, 3},
+		{"slow-links", 3, 3, 0, 8, 32, 2, 2, 1},
+		{"deep-buffers", 8, 8, 0, 63, 512, 100, 1, 2},
+		{"single-flit", 4, 4, 5, 6, 1, 2, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo := noc.MustMesh(tc.w, tc.h, noc.RouterConfig{
+				BufDepth: tc.buf, LinkLatency: tc.linkl, RouteLatency: tc.routl,
+			})
+			sys := traffic.MustSystem(topo, []traffic.Flow{{
+				Name: "f", Priority: 1, Period: 1 << 40, Deadline: 1 << 40,
+				Length: tc.length, Src: noc.NodeID(tc.src), Dst: noc.NodeID(tc.dst),
+			}})
+			res, err := sim.Run(sys, sim.Config{Duration: 1 << 20, MaxPacketsPerFlow: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed[0] != 1 {
+				t.Fatalf("packet did not complete (released %d, in flight %d)", res.Released[0], res.InFlight)
+			}
+			if want := sys.C(0); res.WorstLatency[0] != want {
+				t.Errorf("zero-load latency = %d, want C = %d", res.WorstLatency[0], want)
+			}
+		})
+	}
+}
+
+// TestDirectPreemption: a high-priority packet released while a
+// low-priority one is in flight preempts it on the shared link and still
+// achieves its zero-load latency.
+func TestDirectPreemption(t *testing.T) {
+	topo := noc.MustMesh(6, 1, noc.RouterConfig{BufDepth: 4, LinkLatency: 1})
+	sys := traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "hi", Priority: 1, Period: 1 << 30, Deadline: 1 << 30, Length: 50, Src: 0, Dst: 5},
+		{Name: "lo", Priority: 2, Period: 1 << 30, Deadline: 1 << 30, Length: 200, Src: 0, Dst: 5},
+	})
+	res, err := sim.Run(sys, sim.Config{
+		Duration:          1 << 16,
+		Offsets:           []noc.Cycles{40, 0}, // lo first, hi preempts mid-flight
+		MaxPacketsPerFlow: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstLatency[0] != sys.C(0) {
+		t.Errorf("preempting flow latency = %d, want its zero-load C = %d", res.WorstLatency[0], sys.C(0))
+	}
+	// lo is fully preempted for the duration of hi's remaining traffic.
+	if res.WorstLatency[1] <= sys.C(1) {
+		t.Errorf("preempted flow latency = %d, want > C = %d", res.WorstLatency[1], sys.C(1))
+	}
+}
+
+// TestBlockedHighPriorityYieldsLink reproduces the arbitration rule of
+// Section II: when the highest-priority packet has no credit (blocked
+// downstream), the next packet may use the link.
+func TestBlockedHighPriorityYieldsLink(t *testing.T) {
+	// τk (P1) blocks τj (P2) downstream of τi's (P3) contention domain;
+	// while τj is stalled with full buffers, τi must advance. This is the
+	// didactic MPB geometry.
+	sys := workload.Didactic(2)
+	// Release τ1 (the hammer) periodically; with MPB, τ3 finishes even
+	// though τ2 occupies the shared links first.
+	res, err := sim.Run(sys, sim.Config{Duration: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if res.Completed[i] == 0 {
+			t.Fatalf("flow %d completed no packets: %+v", i, res)
+		}
+	}
+	// τ3 must have observed MPB interference beyond C but stayed within
+	// its IBN bound (348 at buf=2).
+	if res.WorstLatency[2] < sys.C(2) {
+		t.Errorf("τ3 latency %d below its zero-load latency %d", res.WorstLatency[2], sys.C(2))
+	}
+	if res.WorstLatency[2] > 348 {
+		t.Errorf("τ3 latency %d exceeds its IBN b=2 bound 348", res.WorstLatency[2])
+	}
+}
+
+// TestTableIISimulationColumns reproduces the simulation columns of
+// Table II: sweeping τ1's phase, the worst observed latencies must stay
+// below the IBN bounds, and for b=10 the MPB effect must push τ3 beyond
+// the unsafe SB bound of 336.
+func TestTableIISimulationColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("offset sweep is slow in -short mode")
+	}
+	for _, tc := range []struct {
+		buf      int
+		ibnBound noc.Cycles // IBN bound for τ3 at this depth
+	}{
+		{10, 396},
+		{2, 348},
+	} {
+		sys := workload.Didactic(tc.buf)
+		sweep, err := sim.SweepOffsets(sys, sim.Config{Duration: 20_000}, 0, 200, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := sweep.Worst[2]
+		t.Logf("buf=%d: worst observed τ3 latency %d (offset %d), IBN bound %d",
+			tc.buf, worst, sweep.WorstOffset[2], tc.ibnBound)
+		if worst > tc.ibnBound {
+			t.Errorf("buf=%d: observed τ3 latency %d exceeds IBN bound %d", tc.buf, worst, tc.ibnBound)
+		}
+		if worst < 336-60 {
+			t.Errorf("buf=%d: observed τ3 latency %d implausibly low (paper observes ~336-352)", tc.buf, worst)
+		}
+		if tc.buf == 10 && worst <= 336 {
+			t.Errorf("buf=10: observed τ3 latency %d does not exceed the SB bound 336; MPB not reproduced", worst)
+		}
+	}
+}
+
+// TestBufferOccupancyNeverExceedsDepth drives the MPB scenario and
+// verifies completion counts balance.
+func TestConservationOfPackets(t *testing.T) {
+	sys := workload.Didactic(2)
+	res, err := sim.Run(sys, sim.Config{Duration: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if res.Completed[i] > res.Released[i] {
+			t.Errorf("flow %d: completed %d > released %d", i, res.Completed[i], res.Released[i])
+		}
+	}
+	inFlight := 0
+	for i := 0; i < 3; i++ {
+		inFlight += res.Released[i] - res.Completed[i]
+	}
+	if inFlight != res.InFlight {
+		t.Errorf("in-flight accounting mismatch: per-flow %d vs reported %d", inFlight, res.InFlight)
+	}
+}

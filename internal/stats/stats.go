@@ -1,0 +1,131 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness and tools need: means, percentiles and fixed-width
+// histograms over latency samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample set.
+type Summary struct {
+	Count         int
+	Min, Max      float64
+	Mean          float64
+	StdDev        float64
+	P50, P90, P99 float64
+}
+
+// Summarise computes a Summary; it returns a zero Summary for an empty
+// sample set.
+func Summarise(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(samples), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(samples))
+	var sq float64
+	for _, v := range samples {
+		d := v - s.Mean
+		sq += d * d
+	}
+	s.StdDev = math.Sqrt(sq / float64(len(samples)))
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 50)
+	s.P90 = Percentile(sorted, 90)
+	s.P99 = Percentile(sorted, 99)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of an ASCENDING-sorted
+// sample set, with linear interpolation between ranks. It returns NaN
+// for empty input.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%.1f p50=%.1f mean=%.1f p90=%.1f p99=%.1f max=%.1f σ=%.1f",
+		s.Count, s.Min, s.P50, s.Mean, s.P90, s.P99, s.Max, s.StdDev)
+}
+
+// Histogram renders a fixed-width ASCII histogram of the samples over
+// `bins` equal-width buckets, `width` characters for the largest bar.
+func Histogram(samples []float64, bins, width int) string {
+	if len(samples) == 0 || bins < 1 {
+		return "(no samples)\n"
+	}
+	if width < 1 {
+		width = 40
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range samples {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range samples {
+		b := int(float64(bins) * (v - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var sb strings.Builder
+	for b, c := range counts {
+		from := lo + float64(b)*(hi-lo)/float64(bins)
+		to := lo + float64(b+1)*(hi-lo)/float64(bins)
+		bar := strings.Repeat("█", c*width/maxC)
+		fmt.Fprintf(&sb, "[%10.1f, %10.1f) %6d %s\n", from, to, c, bar)
+	}
+	return sb.String()
+}

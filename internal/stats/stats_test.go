@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarise(t *testing.T) {
+	s := Summarise([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("summary: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("stddev = %f", s.StdDev)
+	}
+	if z := Summarise(nil); z.Count != 0 || z.String() != "n=0" {
+		t.Errorf("empty summary: %+v", z)
+	}
+	if !strings.Contains(s.String(), "mean=3.0") {
+		t.Errorf("rendering: %s", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {200, 40},
+	}
+	for _, tc := range cases {
+		if got := Percentile(sorted, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("P%.0f = %f, want %f", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single sample: %f", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile must be NaN")
+	}
+}
+
+// TestSummaryInvariants: min <= p50 <= p90 <= p99 <= max, and the mean
+// lies within [min, max], for random samples.
+func TestSummaryInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64()*100 + 500
+		}
+		s := Summarise(samples)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max &&
+			s.Mean >= s.Min && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{1, 1, 2, 9}, 4, 20)
+	if strings.Count(h, "\n") != 4 {
+		t.Errorf("histogram rows:\n%s", h)
+	}
+	if !strings.Contains(h, "█") {
+		t.Errorf("no bars:\n%s", h)
+	}
+	if Histogram(nil, 4, 20) != "(no samples)\n" {
+		t.Error("empty histogram placeholder")
+	}
+	// Constant samples must not divide by zero.
+	if h := Histogram([]float64{5, 5, 5}, 3, 10); !strings.Contains(h, "3") {
+		t.Errorf("constant histogram:\n%s", h)
+	}
+}

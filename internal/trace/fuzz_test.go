@@ -1,0 +1,39 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"wormnoc/internal/trace"
+)
+
+// FuzzParse checks the trace parser never panics and that accepted
+// traces have as many events as non-empty, non-header lines.
+func FuzzParse(f *testing.F) {
+	f.Add("cycle,link,flow,packet,flit\n0,1,2,3,4\n")
+	f.Add("0,1,2,3,4\n5,6,7,8,9\n")
+	f.Add("")
+	f.Add("a,b,c,d,e")
+	f.Add("1,2,3\n")
+	f.Add("-1,-2,-3,-4,-5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			t.Skip()
+		}
+		events, err := trace.Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		lines := 0
+		for i, l := range strings.Split(in, "\n") {
+			l = strings.TrimSpace(l)
+			if l == "" || (i == 0 && strings.HasPrefix(l, "cycle")) {
+				continue
+			}
+			lines++
+		}
+		if len(events) != lines {
+			t.Fatalf("parsed %d events from %d data lines", len(events), lines)
+		}
+	})
+}

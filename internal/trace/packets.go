@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// PacketRecord reconstructs one packet's journey from a trace.
+type PacketRecord struct {
+	Flow, Packet int
+	// Injected is the cycle the first flit entered the injection link.
+	Injected noc.Cycles
+	// Completed is the cycle the last flit arrived at the destination
+	// (its ejection-transfer start plus the link latency), or -1 if the
+	// packet did not finish within the trace.
+	Completed noc.Cycles
+	// Flits counts distinct flits seen on the ejection link.
+	Flits int
+}
+
+// Packets reconstructs per-packet records from a trace: for each packet
+// it reports when injection started and when (and whether) the last flit
+// reached the destination. Records are ordered by flow, then packet id.
+func Packets(sys *traffic.System, events []Event) ([]PacketRecord, error) {
+	linkl := sys.Topology().Config().LinkLatency
+	type key struct{ flow, pkt int }
+	recs := make(map[key]*PacketRecord)
+	for _, e := range events {
+		if e.Flow < 0 || e.Flow >= sys.NumFlows() {
+			return nil, fmt.Errorf("trace: event references flow %d outside the system", e.Flow)
+		}
+		route := sys.Route(e.Flow)
+		k := key{e.Flow, e.Packet}
+		r, ok := recs[k]
+		if !ok {
+			r = &PacketRecord{Flow: e.Flow, Packet: e.Packet, Injected: -1, Completed: -1}
+			recs[k] = r
+		}
+		switch e.Link {
+		case route.First():
+			if r.Injected < 0 || e.Cycle < r.Injected {
+				r.Injected = e.Cycle
+			}
+		case route.Last():
+			r.Flits++
+			if done := e.Cycle + linkl; done > r.Completed {
+				r.Completed = done
+			}
+		}
+	}
+	out := make([]PacketRecord, 0, len(recs))
+	for _, r := range recs {
+		if r.Flits != sys.Flow(r.Flow).Length {
+			r.Completed = -1 // partial delivery within the trace window
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Flow != out[b].Flow {
+			return out[a].Flow < out[b].Flow
+		}
+		return out[a].Packet < out[b].Packet
+	})
+	return out, nil
+}

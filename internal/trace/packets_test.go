@@ -1,0 +1,84 @@
+package trace_test
+
+import (
+	"testing"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/trace"
+	"wormnoc/internal/workload"
+)
+
+// TestPacketsCrossValidatesSimulator: packet records reconstructed from
+// the trace must agree with the simulator's own accounting — completion
+// counts, and latencies for packets whose release instants are known
+// (offset 0, periodic).
+func TestPacketsCrossValidatesSimulator(t *testing.T) {
+	sys := workload.Didactic(2)
+	events, res := captureTrace(t, sys, sim.Config{Duration: 15_000})
+	recs, err := trace.Packets(sys, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := make([]int, sys.NumFlows())
+	worst := make([]noc.Cycles, sys.NumFlows())
+	for i := range worst {
+		worst[i] = -1
+	}
+	for _, r := range recs {
+		if r.Completed < 0 {
+			continue
+		}
+		completed[r.Flow]++
+		// Release = packet id × period (offsets 0, no jitter).
+		release := noc.Cycles(r.Packet) * sys.Flow(r.Flow).Period
+		if r.Injected < release {
+			t.Errorf("flow %d packet %d injected at %d before release %d",
+				r.Flow, r.Packet, r.Injected, release)
+		}
+		if lat := r.Completed - release; lat > worst[r.Flow] {
+			worst[r.Flow] = lat
+		}
+	}
+	for i := 0; i < sys.NumFlows(); i++ {
+		if completed[i] != res.Completed[i] {
+			t.Errorf("flow %d: trace reconstructs %d completions, simulator reports %d",
+				i, completed[i], res.Completed[i])
+		}
+		if worst[i] != res.WorstLatency[i] {
+			t.Errorf("flow %d: trace-reconstructed worst %d, simulator reports %d",
+				i, worst[i], res.WorstLatency[i])
+		}
+	}
+}
+
+// TestPacketsPartialDelivery: a packet cut off by the horizon reports
+// Completed = -1.
+func TestPacketsPartialDelivery(t *testing.T) {
+	sys := workload.Didactic(2)
+	// τ2 needs 324+ cycles; cut at 100 so it is mid-flight.
+	events, res := captureTrace(t, sys, sim.Config{Duration: 100, MaxPacketsPerFlow: 1})
+	if res.InFlight == 0 {
+		t.Fatal("expected packets in flight at the horizon")
+	}
+	recs, err := trace.Packets(sys, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPartial := false
+	for _, r := range recs {
+		if r.Completed < 0 {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Error("no partial packet reconstructed")
+	}
+}
+
+func TestPacketsRejectsForeignFlows(t *testing.T) {
+	sys := workload.Didactic(2)
+	if _, err := trace.Packets(sys, []trace.Event{{Flow: 99}}); err == nil {
+		t.Error("foreign flow index must fail")
+	}
+}

@@ -1,0 +1,165 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/trace"
+	"wormnoc/internal/traffic"
+	"wormnoc/internal/workload"
+)
+
+func captureTrace(t *testing.T, sys *traffic.System, cfg sim.Config) ([]trace.Event, *sim.Result) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.TraceWriter = &buf
+	res, err := sim.Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, res
+}
+
+func TestParse(t *testing.T) {
+	in := "cycle,link,flow,packet,flit\n0,3,1,0,0\n1,4,1,0,1\n\n2,3,0,2,5\n"
+	events, err := trace.Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	want := trace.Event{Cycle: 2, Link: 3, Flow: 0, Packet: 2, Flit: 5}
+	if events[2] != want {
+		t.Errorf("event = %+v, want %+v", events[2], want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"short line": "1,2,3\n",
+		"non-number": "a,b,c,d,e\n",
+	} {
+		if _, err := trace.Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestTraceMatchesSimulation: every flit of a completed packet crosses
+// every link of its route exactly once, in route order.
+func TestTraceMatchesSimulation(t *testing.T) {
+	sys := workload.Didactic(2)
+	events, res := captureTrace(t, sys, sim.Config{Duration: 8_000, MaxPacketsPerFlow: 1})
+	if res.Completed[1] != 1 {
+		t.Fatalf("τ2 did not complete: %+v", res.Completed)
+	}
+	// Count transfers per (flow, link).
+	type key struct {
+		flow int
+		link noc.LinkID
+	}
+	count := map[key]int{}
+	for _, e := range events {
+		count[key{e.Flow, e.Link}]++
+	}
+	for i := 0; i < sys.NumFlows(); i++ {
+		if res.Completed[i] != 1 {
+			continue
+		}
+		for _, l := range sys.Route(i) {
+			if got := count[key{i, l}]; got != sys.Flow(i).Length {
+				t.Errorf("flow %d link %d: %d transfers, want %d", i, int(l), got, sys.Flow(i).Length)
+			}
+		}
+	}
+	// Per-flit ordering along the route.
+	seen := map[[3]int]noc.Cycles{} // (flow, flit, order) -> cycle
+	for _, e := range events {
+		o := sys.Route(e.Flow).Order(e.Link)
+		if o == 0 {
+			t.Fatalf("flow %d crossed link %d not on its route", e.Flow, int(e.Link))
+		}
+		seen[[3]int{e.Flow, e.Flit, o}] = e.Cycle
+	}
+	for k, c := range seen {
+		if k[2] > 1 {
+			prev, ok := seen[[3]int{k[0], k[1], k[2] - 1}]
+			if !ok {
+				t.Fatalf("flow %d flit %d skipped hop %d", k[0], k[1], k[2]-1)
+			}
+			if prev >= c {
+				t.Errorf("flow %d flit %d: hop %d at %d not after hop %d at %d",
+					k[0], k[1], k[2], c, k[2]-1, prev)
+			}
+		}
+	}
+}
+
+func TestLinkUtilisation(t *testing.T) {
+	sys := workload.Didactic(2)
+	events, _ := captureTrace(t, sys, sim.Config{Duration: 8_000, MaxPacketsPerFlow: 1})
+	util := trace.LinkUtilisation(events)
+	// τ2's injection link carries exactly its 198 flits.
+	inj := sys.Route(1)[0]
+	if util[inj] != 198 {
+		t.Errorf("injection link of τ2 carried %d flits, want 198", util[inj])
+	}
+	total := 0
+	for _, c := range util {
+		total += c
+	}
+	if total != len(events) {
+		t.Errorf("utilisation total %d != %d events", total, len(events))
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	sys := workload.Didactic(2)
+	events, _ := captureTrace(t, sys, sim.Config{Duration: 600})
+	out := trace.RenderGantt(sys, events, trace.GanttOptions{Width: 60})
+	if !strings.Contains(out, "cycles 0..") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	// All three flows appear.
+	for _, sym := range []string{"0", "1", "2"} {
+		if !strings.Contains(out, sym) {
+			t.Errorf("flow symbol %s missing:\n%s", sym, out)
+		}
+	}
+	// Row count = number of links with traffic.
+	util := trace.LinkUtilisation(events)
+	if got := strings.Count(out, "|\n"); got != len(util) {
+		t.Errorf("rows = %d, want %d", got, len(util))
+	}
+	// Restricting the window and links works.
+	link := sys.Route(1)[1]
+	small := trace.RenderGantt(sys, events, trace.GanttOptions{
+		From: 100, To: 200, Links: []noc.LinkID{link}, Width: 100,
+	})
+	if strings.Count(small, "|\n") != 1 || !strings.Contains(small, "1 cycle(s) per column") {
+		t.Errorf("restricted render:\n%s", small)
+	}
+	// Degenerate inputs.
+	if out := trace.RenderGantt(sys, nil, trace.GanttOptions{}); !strings.Contains(out, "empty trace") {
+		t.Error("nil events should render a placeholder")
+	}
+	if out := trace.RenderGantt(sys, events, trace.GanttOptions{From: 10, To: 5}); !strings.Contains(out, "empty window") {
+		t.Error("inverted window should render a placeholder")
+	}
+}
+
+func TestFlowLegend(t *testing.T) {
+	sys := workload.Didactic(2)
+	legend := trace.FlowLegend(sys)
+	if !strings.Contains(legend, "0=τ1") || !strings.Contains(legend, "2=τ3") {
+		t.Errorf("legend = %q", legend)
+	}
+}

@@ -1,0 +1,54 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wormnoc/internal/noc"
+)
+
+// FuzzReadJSON checks that arbitrary input never panics the flow-set
+// parser, and that anything it accepts round-trips losslessly.
+func FuzzReadJSON(f *testing.F) {
+	topo := noc.MustMesh(2, 2, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	var buf bytes.Buffer
+	if err := MustSystem(topo, []Flow{
+		{Name: "a", Priority: 1, Period: 100, Deadline: 90, Jitter: 3, Length: 5, Src: 0, Dst: 3},
+	}).WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"mesh":{"width":2,"height":2,"buf":2,"linkl":1,"routl":0},"flows":[]}`)
+	f.Add(`{"mesh":{"width":-1},"flows":null}`)
+	f.Add(`[]`)
+	f.Add(``)
+	f.Add(`{"mesh":{"width":1000000,"height":1000000,"buf":1,"linkl":1},"flows":[{"priority":1,"period":1,"deadline":1,"length":1,"src":0,"dst":1}]}`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 || strings.Contains(in, "000000") {
+			t.Skip("skip giant inputs/meshes")
+		}
+		sys, err := ReadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip to an equivalent system.
+		var out bytes.Buffer
+		if err := sys.WriteJSON(&out); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+		if back.NumFlows() != sys.NumFlows() {
+			t.Fatalf("flow count changed in round trip")
+		}
+		for i := 0; i < sys.NumFlows(); i++ {
+			if back.Flow(i) != sys.Flow(i) {
+				t.Fatalf("flow %d changed in round trip", i)
+			}
+		}
+	})
+}

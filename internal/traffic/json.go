@@ -1,0 +1,115 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wormnoc/internal/noc"
+)
+
+// Document is the on-disk JSON representation of a platform plus flow
+// set, consumed by cmd/analyze and cmd/nocsim and produced by the
+// workload generators' -dump options.
+type Document struct {
+	Mesh   MeshSpec   `json:"mesh"`
+	Flows  []FlowSpec `json:"flows"`
+	Commen string     `json:"comment,omitempty"`
+}
+
+// MeshSpec describes the platform of a Document.
+type MeshSpec struct {
+	Width        int   `json:"width"`
+	Height       int   `json:"height"`
+	BufDepth     int   `json:"buf"`
+	NumVCs       int   `json:"vcs,omitempty"`
+	LinkLatency  int64 `json:"linkl"`
+	RouteLatency int64 `json:"routl"`
+}
+
+// FlowSpec describes one flow of a Document.
+type FlowSpec struct {
+	Name     string `json:"name,omitempty"`
+	Priority int    `json:"priority"`
+	Period   int64  `json:"period"`
+	Deadline int64  `json:"deadline"`
+	Jitter   int64  `json:"jitter,omitempty"`
+	Length   int    `json:"length"`
+	Src      int    `json:"src"`
+	Dst      int    `json:"dst"`
+}
+
+// ToDocument converts a System into its serialisable form.
+func (s *System) ToDocument() Document {
+	cfg := s.topo.Config()
+	doc := Document{
+		Mesh: MeshSpec{
+			Width:        s.topo.Width(),
+			Height:       s.topo.Height(),
+			BufDepth:     cfg.BufDepth,
+			NumVCs:       cfg.NumVCs,
+			LinkLatency:  int64(cfg.LinkLatency),
+			RouteLatency: int64(cfg.RouteLatency),
+		},
+		Flows: make([]FlowSpec, len(s.flows)),
+	}
+	for i, f := range s.flows {
+		doc.Flows[i] = FlowSpec{
+			Name:     f.Name,
+			Priority: f.Priority,
+			Period:   int64(f.Period),
+			Deadline: int64(f.Deadline),
+			Jitter:   int64(f.Jitter),
+			Length:   f.Length,
+			Src:      int(f.Src),
+			Dst:      int(f.Dst),
+		}
+	}
+	return doc
+}
+
+// System materialises the document: it builds the mesh and binds the flow
+// set to it.
+func (d Document) System() (*System, error) {
+	topo, err := noc.NewMesh(d.Mesh.Width, d.Mesh.Height, noc.RouterConfig{
+		BufDepth:     d.Mesh.BufDepth,
+		NumVCs:       d.Mesh.NumVCs,
+		LinkLatency:  noc.Cycles(d.Mesh.LinkLatency),
+		RouteLatency: noc.Cycles(d.Mesh.RouteLatency),
+	})
+	if err != nil {
+		return nil, err
+	}
+	flows := make([]Flow, len(d.Flows))
+	for i, fs := range d.Flows {
+		flows[i] = Flow{
+			Name:     fs.Name,
+			Priority: fs.Priority,
+			Period:   noc.Cycles(fs.Period),
+			Deadline: noc.Cycles(fs.Deadline),
+			Jitter:   noc.Cycles(fs.Jitter),
+			Length:   fs.Length,
+			Src:      noc.NodeID(fs.Src),
+			Dst:      noc.NodeID(fs.Dst),
+		}
+	}
+	return NewSystem(topo, flows)
+}
+
+// WriteJSON serialises the system to w as an indented JSON Document.
+func (s *System) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.ToDocument())
+}
+
+// ReadJSON parses a Document from r and materialises it.
+func ReadJSON(r io.Reader) (*System, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("traffic: decoding flow-set document: %w", err)
+	}
+	return doc.System()
+}

@@ -1,0 +1,81 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wormnoc/internal/noc"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	topo := noc.MustMesh(3, 2, noc.RouterConfig{
+		BufDepth: 8, NumVCs: 4, LinkLatency: 2, RouteLatency: 1,
+	})
+	orig := MustSystem(topo, []Flow{
+		{Name: "α", Priority: 1, Period: 5000, Deadline: 4000, Jitter: 7, Length: 64, Src: 0, Dst: 5},
+		{Name: "β", Priority: 2, Period: 9000, Deadline: 9000, Length: 128, Src: 4, Dst: 1},
+	})
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumFlows() != orig.NumFlows() {
+		t.Fatalf("flow count changed: %d vs %d", back.NumFlows(), orig.NumFlows())
+	}
+	for i := 0; i < orig.NumFlows(); i++ {
+		if back.Flow(i) != orig.Flow(i) {
+			t.Errorf("flow %d changed: %+v vs %+v", i, back.Flow(i), orig.Flow(i))
+		}
+		if back.C(i) != orig.C(i) {
+			t.Errorf("C(%d) changed: %d vs %d", i, back.C(i), orig.C(i))
+		}
+		if !back.Route(i).Equal(orig.Route(i)) {
+			t.Errorf("route %d changed", i)
+		}
+	}
+	got, want := back.Topology().Config(), orig.Topology().Config()
+	if got != want {
+		t.Errorf("router config changed: %+v vs %+v", got, want)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "hello",
+		"unknown fields": `{"mesh":{"width":2,"height":2,"buf":2,"linkl":1,"routl":0},"flows":[],"bogus":1}`,
+		"no flows":       `{"mesh":{"width":2,"height":2,"buf":2,"linkl":1,"routl":0},"flows":[]}`,
+		"bad mesh":       `{"mesh":{"width":0,"height":2,"buf":2,"linkl":1,"routl":0},"flows":[{"priority":1,"period":100,"deadline":100,"length":1,"src":0,"dst":1}]}`,
+		"bad flow":       `{"mesh":{"width":2,"height":2,"buf":2,"linkl":1,"routl":0},"flows":[{"priority":0,"period":100,"deadline":100,"length":1,"src":0,"dst":1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDocumentSystem(t *testing.T) {
+	doc := Document{
+		Mesh: MeshSpec{Width: 2, Height: 2, BufDepth: 2, LinkLatency: 1},
+		Flows: []FlowSpec{
+			{Name: "x", Priority: 1, Period: 100, Deadline: 100, Length: 4, Src: 0, Dst: 3},
+		},
+	}
+	sys, err := doc.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Flow(0).Name != "x" || sys.Route(0).Len() != 4 {
+		t.Errorf("unexpected system: %+v route len %d", sys.Flow(0), sys.Route(0).Len())
+	}
+	// ToDocument inverse.
+	doc2 := sys.ToDocument()
+	if len(doc2.Flows) != 1 || doc2.Mesh.Width != 2 || doc2.Flows[0].Name != "x" {
+		t.Errorf("ToDocument mismatch: %+v", doc2)
+	}
+}

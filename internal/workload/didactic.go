@@ -1,0 +1,46 @@
+// Package workload builds the traffic workloads evaluated in the paper:
+// the didactic 3-flow MPB example of Section V, the synthetically
+// generated flow sets of increasing load of Section VI, and a substitute
+// for the autonomous-vehicle (AV) benchmark of Indrusiak 2014 used in
+// Figure 5 (see DESIGN.md §4 for the substitution rationale).
+package workload
+
+import (
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// DidacticBufDefault is the buffer depth the paper tabulates first for
+// the didactic example (Table II also reports 2-flit buffers).
+const DidacticBufDefault = 10
+
+// Didactic returns the didactic example of Section V of the paper
+// (Figure 3 and Table I): three flows on a six-router line with
+// single-cycle links and combinational routing, chosen to highlight the
+// downstream indirect interference of τ1 over τ3 through τ2.
+//
+// Nodes a..f are 0..5 on a 6x1 mesh:
+//
+//	τ1: e→f  (P1, L=60,  T=D=200)   — the short high-priority "hammer"
+//	τ2: a→f  (P2, L=198, T=D=4000)  — the long victim-turned-interferer
+//	τ3: b→e  (P3, L=128, T=D=6000)  — the analysed low-priority flow
+//
+// τ3 shares three links with τ2 (cd₂₃ = r2→r3→r4→r5); τ1 shares one link
+// with τ2 (r5→r6) downstream of cd₂₃ and none with τ3, so every hit of τ1
+// on τ2 lets buffered flits of τ2 re-interfere with τ3 — the MPB effect.
+//
+// The zero-load latencies reproduce Table I exactly:
+// C₁=62, C₂=204, C₃=132 (|route| of 3, 7 and 5 links).
+func Didactic(bufDepth int) *traffic.System {
+	topo := noc.MustMesh(6, 1, noc.RouterConfig{
+		BufDepth:     bufDepth,
+		LinkLatency:  1,
+		RouteLatency: 0,
+	})
+	flows := []traffic.Flow{
+		{Name: "τ1", Priority: 1, Length: 60, Period: 200, Deadline: 200, Src: 4, Dst: 5},
+		{Name: "τ2", Priority: 2, Length: 198, Period: 4000, Deadline: 4000, Src: 0, Dst: 5},
+		{Name: "τ3", Priority: 3, Length: 128, Period: 6000, Deadline: 6000, Src: 1, Dst: 4},
+	}
+	return traffic.MustSystem(topo, flows)
+}

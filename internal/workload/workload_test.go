@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+func TestDidacticMatchesTableI(t *testing.T) {
+	sys := Didactic(2)
+	if sys.NumFlows() != 3 {
+		t.Fatalf("flows = %d", sys.NumFlows())
+	}
+	want := []struct {
+		c        noc.Cycles
+		length   int
+		routeLen int
+		period   noc.Cycles
+		prio     int
+	}{
+		{62, 60, 3, 200, 1},
+		{204, 198, 7, 4000, 2},
+		{132, 128, 5, 6000, 3},
+	}
+	for i, w := range want {
+		f := sys.Flow(i)
+		if sys.C(i) != w.c || f.Length != w.length || sys.Route(i).Len() != w.routeLen ||
+			f.Period != w.period || f.Priority != w.prio || f.Deadline != f.Period || f.Jitter != 0 {
+			t.Errorf("τ%d mismatch: C=%d %+v", i+1, sys.C(i), f)
+		}
+	}
+	if got := sys.Topology().Config().BufDepth; got != 2 {
+		t.Errorf("buf depth = %d", got)
+	}
+	if Didactic(10).Topology().Config().BufDepth != 10 {
+		t.Error("buffer depth parameter ignored")
+	}
+}
+
+func TestSyntheticRespectsBounds(t *testing.T) {
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	prop := func(seed int64) bool {
+		sys, err := Synthetic(topo, SynthConfig{NumFlows: 50, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.NumFlows() != 50 {
+			return false
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < 50; i++ {
+			f := sys.Flow(i)
+			if f.Period < DefaultPeriodMin || f.Period > DefaultPeriodMax {
+				t.Logf("period %d out of range", f.Period)
+				return false
+			}
+			if f.Length < DefaultLenMin || f.Length > DefaultLenMax {
+				return false
+			}
+			if f.Deadline != f.Period || f.Jitter != 0 || f.Src == f.Dst {
+				return false
+			}
+			if seen[f.Priority] {
+				t.Logf("duplicate priority %d", f.Priority)
+				return false
+			}
+			seen[f.Priority] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyntheticRateMonotonic(t *testing.T) {
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	sys, err := Synthetic(topo, SynthConfig{NumFlows: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Priority order must equal period order.
+	byP := sys.ByPriority()
+	for i := 1; i < len(byP); i++ {
+		if sys.Flow(byP[i-1]).Period > sys.Flow(byP[i]).Period {
+			t.Fatalf("RM violated: P%d has T=%d before P%d with T=%d",
+				i, sys.Flow(byP[i-1]).Period, i+1, sys.Flow(byP[i]).Period)
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	a, err := Synthetic(topo, SynthConfig{NumFlows: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(topo, SynthConfig{NumFlows: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if a.Flow(i) != b.Flow(i) {
+			t.Fatalf("flow %d differs across identical seeds", i)
+		}
+	}
+	c, err := Synthetic(topo, SynthConfig{NumFlows: 30, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 30; i++ {
+		if a.Flow(i) != c.Flow(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	bad := []SynthConfig{
+		{NumFlows: 0},
+		{NumFlows: 5, PeriodMin: 100, PeriodMax: 50},
+		{NumFlows: 5, LenMin: 100, LenMax: 50},
+		{NumFlows: 5, PeriodMin: -1, PeriodMax: 50},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthetic(topo, cfg); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestAssignPriorities(t *testing.T) {
+	flows := []traffic.Flow{
+		{Period: 300, Deadline: 100},
+		{Period: 100, Deadline: 300},
+		{Period: 200, Deadline: 200},
+	}
+	AssignRateMonotonic(flows)
+	if flows[1].Priority != 1 || flows[2].Priority != 2 || flows[0].Priority != 3 {
+		t.Errorf("RM priorities: %+v", flows)
+	}
+	AssignDeadlineMonotonic(flows)
+	if flows[0].Priority != 1 || flows[2].Priority != 2 || flows[1].Priority != 3 {
+		t.Errorf("DM priorities: %+v", flows)
+	}
+	// Ties broken stably by position.
+	tied := []traffic.Flow{{Period: 100}, {Period: 100}, {Period: 100}}
+	AssignRateMonotonic(tied)
+	for i, f := range tied {
+		if f.Priority != i+1 {
+			t.Errorf("stable tie-break violated: %+v", tied)
+		}
+	}
+}
+
+func TestAVGraphShape(t *testing.T) {
+	names := AVTaskNames()
+	if len(names) != NumAVTasks() || len(names) != 38 {
+		t.Fatalf("AV tasks = %d names for %d tasks", len(names), NumAVTasks())
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("bad/duplicate task name %q", n)
+		}
+		seen[n] = true
+	}
+	flows := AVFlows()
+	if len(flows) != 39 {
+		t.Fatalf("AV flows = %d, want 39", len(flows))
+	}
+	for _, f := range flows {
+		if f.SrcTask < 0 || f.SrcTask >= NumAVTasks() || f.DstTask < 0 || f.DstTask >= NumAVTasks() {
+			t.Errorf("flow %q has endpoints outside the task set", f.Name)
+		}
+		if f.SrcTask == f.DstTask {
+			t.Errorf("flow %q is a self loop", f.Name)
+		}
+		if f.Period < 1 || f.Deadline < 1 || f.Deadline > f.Period || f.Length < 1 {
+			t.Errorf("flow %q has bad parameters: %+v", f.Name, f)
+		}
+	}
+}
+
+func TestMapAV(t *testing.T) {
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	sys, err := MapAV(topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumFlows() < 1 || sys.NumFlows() > 39 {
+		t.Fatalf("mapped flows = %d", sys.NumFlows())
+	}
+	// Determinism.
+	sys2, err := MapAV(topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.NumFlows() != sys.NumFlows() {
+		t.Error("MapAV not deterministic")
+	}
+	for i := 0; i < sys.NumFlows(); i++ {
+		if sys.Flow(i) != sys2.Flow(i) {
+			t.Error("MapAV not deterministic")
+			break
+		}
+	}
+}
+
+func TestBuildAVErrors(t *testing.T) {
+	topo := noc.MustMesh(2, 2, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	if _, err := BuildAV(topo, make([]noc.NodeID, 3)); err == nil {
+		t.Error("short mapping must fail")
+	}
+	badNode := make([]noc.NodeID, NumAVTasks())
+	badNode[5] = 99
+	if _, err := BuildAV(topo, badNode); err == nil {
+		t.Error("out-of-mesh mapping must fail")
+	}
+	// All tasks on one node: no network flow.
+	allZero := make([]noc.NodeID, NumAVTasks())
+	_, err := BuildAV(topo, allZero)
+	if !errors.Is(err, ErrNoNetworkFlows) {
+		t.Errorf("co-mapped AV should yield ErrNoNetworkFlows, got %v", err)
+	}
+}
+
+func TestBuildAVDropsLocalFlows(t *testing.T) {
+	topo := noc.MustMesh(2, 2, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	// Map the camera pipeline pair-wise together: camF becomes local.
+	mapping := make([]noc.NodeID, NumAVTasks())
+	for i := range mapping {
+		mapping[i] = noc.NodeID(i % 4)
+	}
+	mapping[TaskCamFront] = 1
+	mapping[TaskVisPreFront] = 1
+	sys, err := BuildAV(topo, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sys.NumFlows(); i++ {
+		if sys.Flow(i).Name == "camF" {
+			t.Error("co-mapped flow camF must be dropped")
+		}
+		if sys.Flow(i).Src == sys.Flow(i).Dst {
+			t.Error("local flow leaked into the system")
+		}
+	}
+}

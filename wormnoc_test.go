@@ -1,0 +1,83 @@
+package wormnoc_test
+
+import (
+	"testing"
+
+	"wormnoc"
+)
+
+// TestFacadeEndToEnd exercises the public API surface the examples use:
+// platform construction, system validation, the three analyses, the
+// simulator and the phasing sweep — on the paper's didactic scenario.
+func TestFacadeEndToEnd(t *testing.T) {
+	topo, err := wormnoc.NewMesh(6, 1, wormnoc.RouterConfig{
+		BufDepth: 2, LinkLatency: 1, RouteLatency: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := wormnoc.NewSystem(topo, []wormnoc.Flow{
+		{Name: "τ1", Priority: 1, Period: 200, Deadline: 200, Length: 60, Src: 4, Dst: 5},
+		{Name: "τ2", Priority: 2, Period: 4000, Deadline: 4000, Length: 198, Src: 0, Dst: 5},
+		{Name: "τ3", Priority: 3, Period: 6000, Deadline: 6000, Length: 128, Src: 1, Dst: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := wormnoc.ZeroLoadLatency(topo.Config(), 7, 198); got != 204 {
+		t.Errorf("ZeroLoadLatency = %d, want 204", got)
+	}
+
+	sets := wormnoc.BuildSets(sys)
+	want := map[wormnoc.Method]wormnoc.Cycles{
+		wormnoc.SB:   336,
+		wormnoc.XLWX: 460,
+		wormnoc.IBN:  348,
+	}
+	for m, r3 := range want {
+		res, err := wormnoc.AnalyzeWithSets(sys, sets, wormnoc.AnalysisOptions{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedulable {
+			t.Errorf("%v: should be schedulable", m)
+		}
+		if res.R(2) != r3 {
+			t.Errorf("%v: R(τ3) = %d, want %d", m, res.R(2), r3)
+		}
+		for i := range res.Flows {
+			if res.Flows[i].Status != wormnoc.Schedulable {
+				t.Errorf("%v flow %d: status %v", m, i, res.Flows[i].Status)
+			}
+		}
+	}
+
+	// Analyze (without pre-built sets) agrees.
+	res, err := wormnoc.Analyze(sys, wormnoc.AnalysisOptions{Method: wormnoc.IBN, BufDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R(2) != 396 {
+		t.Errorf("IBN b=10 override: R(τ3) = %d, want 396", res.R(2))
+	}
+
+	// Simulator and sweep through the facade.
+	obs, err := wormnoc.Simulate(sys, wormnoc.SimConfig{Duration: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Completed[2] == 0 || obs.WorstLatency[2] > 348 {
+		t.Errorf("simulated τ3: completed %d worst %d", obs.Completed[2], obs.WorstLatency[2])
+	}
+	sweep, err := wormnoc.SweepOffsets(sys, wormnoc.SimConfig{Duration: 12_000}, 0, 200, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Runs != 10 {
+		t.Errorf("sweep runs = %d, want 10", sweep.Runs)
+	}
+	if sweep.Worst[2] > 348 {
+		t.Errorf("swept worst τ3 = %d exceeds IBN bound 348", sweep.Worst[2])
+	}
+}
