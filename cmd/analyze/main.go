@@ -6,6 +6,7 @@
 //
 //	analyze -in flows.json -method IBN
 //	analyze -in flows.json -method IBN -buf 2
+//	analyze -in flows.json -all -v -stats    # all analyses + engine telemetry
 //	generate-something | analyze -method XLWX
 //	analyze -example > flows.json            # emit the didactic example
 package main
@@ -35,6 +36,8 @@ func main() {
 		explain  = flag.String("explain", "", "decompose this flow's bound (name or index) term by term")
 		headroom = flag.Bool("headroom", false, "report the packet-length scaling headroom per analysis")
 		hotspots = flag.Int("hotspots", 0, "print the N most loaded links")
+		verbose  = flag.Bool("v", false, "print per-analysis progress to stderr")
+		stats    = flag.Bool("stats", false, "print analysis-engine telemetry after the run")
 	)
 	flag.Parse()
 
@@ -93,10 +96,15 @@ func main() {
 		}{*method, core.Options{Method: m, BufDepth: *buf}})
 	}
 
-	sets := core.BuildSets(sys)
+	// One engine serves every analysis: the interference sets are built
+	// once and the memo arenas are reused across methods.
+	eng := core.NewEngine(sys)
 	results := make([]*core.Result, len(specs))
 	for i, s := range specs {
-		results[i], err = core.AnalyzeWithSets(sys, sets, s.opt)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "analyzing with %s (%d/%d)...\n", s.name, i+1, len(specs))
+		}
+		results[i], err = eng.Analyze(s.opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -145,7 +153,7 @@ func main() {
 			fatal(fmt.Errorf("no flow named or indexed %q", *explain))
 		}
 		for _, s := range specs {
-			b, err := core.Explain(sys, sets, s.opt, idx)
+			b, err := eng.Explain(s.opt, idx)
 			if err != nil {
 				fatal(err)
 			}
@@ -193,6 +201,10 @@ func main() {
 			exit = 2
 		}
 		fmt.Printf("%-6s: flow set is %s\n", s.name, verdict)
+	}
+	if *stats {
+		fmt.Println()
+		fmt.Print(eng.Telemetry().String())
 	}
 	os.Exit(exit)
 }

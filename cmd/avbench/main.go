@@ -28,6 +28,8 @@ func main() {
 		topos    = flag.String("topos", "", "comma list of WxH shapes (default: the 26 of Figure 5)")
 		optimize = flag.Bool("optimize", false, "run the mapping optimizer per topology (IBN vs XLWX oracle) instead of random sampling")
 		iters    = flag.Int("iters", 1500, "optimizer iteration budget (with -optimize)")
+		verbose  = flag.Bool("v", false, "print task progress to stderr")
+		stats    = flag.Bool("stats", false, "print analysis-engine telemetry after the run")
 	)
 	flag.Parse()
 
@@ -36,10 +38,19 @@ func main() {
 		return
 	}
 
+	runner := &exp.Runner{Workers: *workers}
+	if *verbose {
+		runner.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d tasks", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	cfg := exp.AVConfig{
 		MappingsPerTopology: *mappings,
 		Seed:                *seed,
-		Workers:             *workers,
+		Runner:              runner,
 	}
 	if *topos != "" {
 		for _, t := range strings.Split(*topos, ",") {
@@ -62,6 +73,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(res.Table())
+	if *stats {
+		fmt.Print(res.Telemetry.String())
+	}
 	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
 	if *csvPath != "" {
 		if err := os.WriteFile(*csvPath, []byte(res.CSV()), 0o644); err != nil {

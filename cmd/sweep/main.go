@@ -11,6 +11,7 @@
 //	sweep -mesh 4x4 -buffers              # buffer-size ablation
 //	sweep -mesh 4x4 -variant eq7          # Eq.7-vs-Eq.8 ablation
 //	sweep -mesh 4x4 -flows 40:430:30 -sets 100 -seed 1 -csv out.csv
+//	sweep -mesh 4x4 -v -stats               # progress lines + engine telemetry
 package main
 
 import (
@@ -40,6 +41,8 @@ func main() {
 		avgcase = flag.Bool("avgcase", false, "run the average-case-vs-guarantee buffer study instead of Figure 4")
 		chart   = flag.Bool("chart", false, "also render the sweep as an ASCII line chart (the paper's figure style)")
 		variant = flag.String("variant", "", "extra IBN ablation column: eq7 or nofallback")
+		verbose = flag.Bool("v", false, "print task progress to stderr")
+		stats   = flag.Bool("stats", false, "print analysis-engine telemetry after the run")
 		pmin    = flag.Int64("pmin", int64(workload.DefaultPeriodMin), "minimum period (cycles)")
 		pmax    = flag.Int64("pmax", int64(workload.DefaultPeriodMax), "maximum period (cycles)")
 		lmin    = flag.Int("lmin", workload.DefaultLenMin, "minimum packet length (flits)")
@@ -59,6 +62,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	runner := newRunner(*workers, *verbose)
 
 	start := time.Now()
 	if *avgcase {
@@ -73,12 +77,13 @@ func main() {
 			BufDepths: exp.DefaultBufDepths(),
 			Synth:     synth,
 			Seed:      *seed,
-			Workers:   *workers,
+			Runner:    runner,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(res.Table())
+		printStats(*stats, res.Telemetry)
 		fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
@@ -89,12 +94,13 @@ func main() {
 			SetsPerPoint: *sets,
 			Synth:        synth,
 			Seed:         *seed,
-			Workers:      *workers,
+			Runner:       runner,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(res.Table())
+		printStats(*stats, res.Telemetry)
 		fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
@@ -106,7 +112,7 @@ func main() {
 			SetsPerPoint: *sets,
 			Synth:        synth,
 			Seed:         *seed,
-			Workers:      *workers,
+			Runner:       runner,
 		})
 		if err == nil {
 			if v := exp.CheckBufferMonotonicity(result); v != "" {
@@ -142,7 +148,7 @@ func main() {
 			Analyses:     analyses,
 			Synth:        synth,
 			Seed:         *seed,
-			Workers:      *workers,
+			Runner:       runner,
 		})
 	}
 	if err != nil {
@@ -153,6 +159,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(result.Chart(20))
 	}
+	printStats(*stats, result.Telemetry)
 	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
 	if *csvPath != "" {
 		if err := os.WriteFile(*csvPath, []byte(result.CSV()), 0o644); err != nil {
@@ -215,6 +222,27 @@ func parseCounts(s string, w, h int) ([]int, error) {
 		out = append(out, x)
 	}
 	return out, nil
+}
+
+// newRunner builds the shared task runner; with -v it reports progress
+// on stderr as tasks finish.
+func newRunner(workers int, verbose bool) *exp.Runner {
+	r := &exp.Runner{Workers: workers}
+	if verbose {
+		r.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d tasks", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	return r
+}
+
+func printStats(enabled bool, tel core.Telemetry) {
+	if enabled {
+		fmt.Print(tel.String())
+	}
 }
 
 func fatal(err error) {

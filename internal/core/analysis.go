@@ -133,66 +133,48 @@ func (r *Result) R(i int) noc.Cycles { return r.Flows[i].R }
 // system under the selected analysis. Flows are processed from highest
 // to lowest priority; a flow whose bound depends on an unschedulable
 // higher-priority flow is marked DependencyFailed.
+//
+// For repeated analyses of one system (several methods, buffer depths,
+// or concurrent callers) prefer an Engine, which reuses the interference
+// sets and the per-run working state.
 func Analyze(sys *traffic.System, opt Options) (*Result, error) {
-	sets := BuildSets(sys)
-	return AnalyzeWithSets(sys, sets, opt)
+	return NewEngine(sys).Analyze(opt)
 }
 
 // AnalyzeWithSets is Analyze with pre-built interference sets, allowing
 // several analyses of the same flow set (e.g. SB vs XLWX vs IBN at
 // several buffer depths) to share the set construction.
 func AnalyzeWithSets(sys *traffic.System, sets *Sets, opt Options) (*Result, error) {
-	if opt.Method < SB || opt.Method > SLA {
-		return nil, fmt.Errorf("core: unknown analysis method %d", int(opt.Method))
-	}
-	if opt.MaxIterations <= 0 {
-		opt.MaxIterations = defaultMaxIterations
-	}
-	a := &analyzer{
-		sys:       sys,
-		sets:      sets,
-		opt:       opt,
-		R:         make([]noc.Cycles, sys.NumFlows()),
-		status:    make([]FlowStatus, sys.NumFlows()),
-		analyzed:  make([]bool, sys.NumFlows()),
-		idownMemo: make(map[pair]noc.Cycles),
-	}
-	if opt.Method == IBN {
-		// IBN's upstream fallback reuses the XLWX term, which has its own
-		// memo space to keep the two recursions distinct.
-		a.xlwxMemo = make(map[pair]noc.Cycles)
-	} else {
-		a.xlwxMemo = a.idownMemo
-	}
-	res := &Result{
-		Method:      opt.Method,
-		Flows:       make([]FlowResult, sys.NumFlows()),
-		Schedulable: true,
-	}
-	for _, i := range sys.ByPriority() {
-		a.analyzeFlow(i)
-		res.Flows[i] = FlowResult{R: a.R[i], Status: a.status[i]}
-		if a.status[i] != Schedulable {
-			res.Schedulable = false
-		}
-	}
-	return res, nil
+	return NewEngineWithSets(sys, sets).Analyze(opt)
 }
 
-type pair struct{ j, i int }
+// term is one direct interferer's precomputed contribution to the
+// fixed-point iteration. Interference terms are independent of R_i (they
+// depend only on the already-final bounds of higher-priority flows), so
+// they are computed once and the iteration only re-evaluates ceilings.
+type term struct {
+	jitter  noc.Cycles // J_j (+ interference jitter where applicable)
+	period  noc.Cycles // T_j
+	hit     noc.Cycles // interference added per hit of τj
+	replays noc.Cycles // MPB replay episodes per hit (blocking term)
+}
 
+// analyzer is the working state of one analysis run: the selected
+// method, the arena holding results and memos, and the run's telemetry.
 type analyzer struct {
 	sys  *traffic.System
 	sets *Sets
 	opt  Options
-	// R and status of flows already analysed (higher priority first).
+	m    method
+	ar   *arena
+	// R and status of flows already analysed (higher priority first);
+	// views into the arena.
 	R        []noc.Cycles
 	status   []FlowStatus
 	analyzed []bool
-	// idownMemo caches I^down_{ji} for the configured method;
-	// xlwxMemo caches the XLWX variant used by IBN's upstream fallback.
-	idownMemo map[pair]noc.Cycles
-	xlwxMemo  map[pair]noc.Cycles
+	// depth tracks the live I^down recursion depth for telemetry.
+	depth int64
+	tel   Telemetry
 }
 
 // errDependency signals that a required higher-priority bound is missing.
@@ -214,16 +196,8 @@ func (a *analyzer) analyzeFlow(i int) {
 	fi := a.sys.Flow(i)
 	ci := a.sys.C(i)
 
-	// Interference terms are independent of R_i (they depend only on the
-	// already-final bounds of higher-priority flows), so they are computed
-	// once and the fixed point below only re-evaluates the ceilings.
-	type term struct {
-		jitter  noc.Cycles // J_j (+ interference jitter where applicable)
-		period  noc.Cycles // T_j
-		hit     noc.Cycles // interference added per hit of τj
-		replays noc.Cycles // MPB replay episodes per hit (blocking term)
-	}
-	terms := make([]term, 0, len(a.sets.Direct(i)))
+	terms := a.ar.terms[:0]
+	defer func() { a.ar.terms = terms[:0] }()
 	// Non-preemptive flit-transfer blocking applies only to multi-cycle
 	// links (see blocking.go); it is zero in the paper's configuration.
 	var blockPerEpisode noc.Cycles
@@ -235,38 +209,12 @@ func (a *analyzer) analyzeFlow(i int) {
 			a.status[i] = DependencyFailed
 			return
 		}
-		fj := a.sys.Flow(j)
-		jiJ := a.R[j] - a.sys.C(j) // J^I_j = R_j - C_j
-		t := term{period: fj.Period}
-		switch a.opt.Method {
-		case SB, SLA:
-			// SB adds the interference jitter only for direct interferers
-			// that themselves suffer interference from flows indirect to
-			// τi (the "back-to-back hit" scenario), and bounds every hit
-			// by C_j alone — which is exactly what MPB invalidates. The
-			// stage-level refinement (SLA) subtracts the overlap τi can
-			// buffer during each hit.
-			t.jitter = fj.Jitter
-			if a.hasIndirectVia(i, j) {
-				t.jitter += jiJ
-			}
-			if a.opt.Method == SLA {
-				t.hit = a.slaHit(i, j)
-			} else {
-				t.hit = a.sys.C(j)
-			}
-		case XLWX, IBN:
-			// Equation 5: hits of τj are counted with release jitter plus
-			// interference jitter, each hit costing C_j plus the
-			// downstream indirect interference I^down_{ji}.
-			t.jitter = fj.Jitter + jiJ
-			idown, err := a.idown(j, i)
-			if err != nil {
-				a.status[i] = DependencyFailed
-				return
-			}
-			t.hit = a.sys.C(j) + idown
+		jitter, hit, err := a.m.term(a, i, j)
+		if err != nil {
+			a.status[i] = DependencyFailed
+			return
 		}
+		t := term{jitter: jitter, period: a.sys.Flow(j).Period, hit: hit}
 		if blockPerEpisode > 0 {
 			replays, err := a.replayEpisodes(i, j)
 			if err != nil {
@@ -280,6 +228,7 @@ func (a *analyzer) analyzeFlow(i int) {
 
 	r := ci
 	for iter := 0; ; iter++ {
+		a.tel.Iterations++
 		next := ci
 		episodes := noc.Cycles(1)
 		for _, t := range terms {
@@ -327,22 +276,30 @@ func (a *analyzer) requireR(j int) (noc.Cycles, error) {
 	return a.R[j], nil
 }
 
-// idown returns I^down_{ji} under the configured method.
-func (a *analyzer) idown(j, i int) (noc.Cycles, error) {
-	if a.opt.Method == IBN {
-		return a.idownIBN(j, i)
+// enter/leave bracket one level of the I^down recursion for the depth
+// telemetry.
+func (a *analyzer) enter() {
+	a.depth++
+	if a.depth > a.tel.MaxDownstreamDepth {
+		a.tel.MaxDownstreamDepth = a.depth
 	}
-	return a.idownXLWX(j, i)
 }
+
+func (a *analyzer) leave() { a.depth-- }
 
 // idownXLWX evaluates Equation 3: the downstream indirect interference
 // suffered by τj from every τk ∈ S^downj_Ii, each hit of τk costing its
-// full interference contribution C_k + I^down_{kj}.
+// full interference contribution C_k + I^down_{kj}. Memoised in the
+// arena's XLWX space, which also serves IBN's upstream fallback.
 func (a *analyzer) idownXLWX(j, i int) (noc.Cycles, error) {
-	key := pair{j, i}
-	if v, ok := a.xlwxMemo[key]; ok {
-		return v, nil
+	rank := a.sets.pairRank(j, i)
+	if a.ar.xlwxSet[rank] {
+		a.tel.MemoHits++
+		return a.ar.xlwxVal[rank], nil
 	}
+	a.tel.MemoMisses++
+	a.enter()
+	defer a.leave()
 	rj, err := a.requireR(j)
 	if err != nil {
 		return 0, err
@@ -354,7 +311,7 @@ func (a *analyzer) idownXLWX(j, i int) (noc.Cycles, error) {
 			return 0, err
 		}
 		fk := a.sys.Flow(k)
-		inner, err := a.idownXLWXmemo(k, j)
+		inner, err := a.idownXLWX(k, j)
 		if err != nil {
 			return 0, err
 		}
@@ -362,14 +319,9 @@ func (a *analyzer) idownXLWX(j, i int) (noc.Cycles, error) {
 		hits := ceilDiv(rj+fk.Jitter+jiK, fk.Period)
 		sum += hits * (a.sys.C(k) + inner)
 	}
-	a.xlwxMemo[key] = sum
+	a.ar.xlwxVal[rank] = sum
+	a.ar.xlwxSet[rank] = true
 	return sum, nil
-}
-
-// idownXLWXmemo is idownXLWX routed through the XLWX memo, used both by
-// XLWX itself and by IBN's fallback recursion.
-func (a *analyzer) idownXLWXmemo(j, i int) (noc.Cycles, error) {
-	return a.idownXLWX(j, i)
 }
 
 // idownIBN evaluates the proposed analysis's downstream term:
@@ -382,13 +334,17 @@ func (a *analyzer) idownXLWXmemo(j, i int) (noc.Cycles, error) {
 //     min(bi_ij, C_k + I^down_{kj}), where bi_ij (Equation 6) is the
 //     buffer capacity of the contention domain cd_ij.
 func (a *analyzer) idownIBN(j, i int) (noc.Cycles, error) {
-	key := pair{j, i}
-	if v, ok := a.idownMemo[key]; ok {
-		return v, nil
+	rank := a.sets.pairRank(j, i)
+	if a.ar.ibnSet[rank] {
+		a.tel.MemoHits++
+		return a.ar.ibnVal[rank], nil
 	}
 	if !a.opt.NoUpstreamFallback && len(a.sets.Upstream(i, j)) > 0 {
-		return a.idownXLWXmemo(j, i)
+		return a.idownXLWX(j, i)
 	}
+	a.tel.MemoMisses++
+	a.enter()
+	defer a.leave()
 	rj, err := a.requireR(j)
 	if err != nil {
 		return 0, err
@@ -410,6 +366,7 @@ func (a *analyzer) idownIBN(j, i int) (noc.Cycles, error) {
 		hits := ceilDiv(rj+fk.Jitter, fk.Period)
 		sum += hits * perHit
 	}
-	a.idownMemo[key] = sum
+	a.ar.ibnVal[rank] = sum
+	a.ar.ibnSet[rank] = true
 	return sum, nil
 }

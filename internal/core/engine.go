@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// Telemetry aggregates observability counters of one or more analysis
+// runs. Engine.Telemetry returns the engine's cumulative counters;
+// Engine.AnalyzeWithTelemetry additionally returns a per-run snapshot.
+type Telemetry struct {
+	// Runs counts completed analysis runs.
+	Runs int64
+	// Flows counts flows analysed across all runs.
+	Flows int64
+	// Iterations counts response-time fixed-point iterations.
+	Iterations int64
+	// MemoHits / MemoMisses count downstream-interference memo lookups
+	// (I^down recursion). Both stay zero for SB and SLA, which have no
+	// downstream term.
+	MemoHits, MemoMisses int64
+	// MaxDownstreamDepth is the deepest I^down recursion observed.
+	MaxDownstreamDepth int64
+	// FlowNanos / MaxFlowNanos track per-flow wall time: the sum over
+	// all analysed flows and the slowest single flow.
+	FlowNanos, MaxFlowNanos int64
+	// PerFlowNanos holds the wall time of each flow of one run, indexed
+	// like the system's flows. Only populated on per-run snapshots from
+	// AnalyzeWithTelemetry; Add ignores it.
+	PerFlowNanos []int64
+}
+
+// Add merges the counters of o into t (sums for totals, max for the
+// depth and slowest-flow gauges). Per-flow timings are not merged.
+func (t *Telemetry) Add(o Telemetry) {
+	t.Runs += o.Runs
+	t.Flows += o.Flows
+	t.Iterations += o.Iterations
+	t.MemoHits += o.MemoHits
+	t.MemoMisses += o.MemoMisses
+	if o.MaxDownstreamDepth > t.MaxDownstreamDepth {
+		t.MaxDownstreamDepth = o.MaxDownstreamDepth
+	}
+	t.FlowNanos += o.FlowNanos
+	if o.MaxFlowNanos > t.MaxFlowNanos {
+		t.MaxFlowNanos = o.MaxFlowNanos
+	}
+}
+
+// String renders the telemetry as a short human-readable report (the
+// CLIs' -stats output).
+func (t Telemetry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine telemetry: %d run(s), %d flow(s) analysed\n", t.Runs, t.Flows)
+	fmt.Fprintf(&b, "  fixed-point iterations:   %d\n", t.Iterations)
+	fmt.Fprintf(&b, "  idown memo hits/misses:   %d/%d\n", t.MemoHits, t.MemoMisses)
+	fmt.Fprintf(&b, "  max downstream depth:     %d\n", t.MaxDownstreamDepth)
+	fmt.Fprintf(&b, "  flow wall time: total %v, slowest flow %v\n",
+		time.Duration(t.FlowNanos).Round(time.Microsecond),
+		time.Duration(t.MaxFlowNanos).Round(time.Microsecond))
+	return b.String()
+}
+
+// Engine runs response-time analyses of one system repeatedly and
+// cheaply: the interference sets are built once, and the per-run working
+// state (result arrays and the downstream-interference memos, slices
+// keyed by dense direct-pair ranks instead of per-run map allocations)
+// is recycled through an arena pool. An Engine is safe for concurrent
+// use; every Analyze call works on its own arena.
+type Engine struct {
+	sys  *traffic.System
+	sets *Sets
+	pool sync.Pool
+
+	mu  sync.Mutex
+	tel Telemetry
+}
+
+// NewEngine builds the interference sets of the system and returns an
+// engine ready to run any registered analysis over them.
+func NewEngine(sys *traffic.System) *Engine {
+	return NewEngineWithSets(sys, BuildSets(sys))
+}
+
+// NewEngineWithSets is NewEngine with pre-built interference sets.
+func NewEngineWithSets(sys *traffic.System, sets *Sets) *Engine {
+	return &Engine{sys: sys, sets: sets}
+}
+
+// Sets returns the engine's interference sets (immutable, shared).
+func (e *Engine) Sets() *Sets { return e.sets }
+
+// System returns the analysed system.
+func (e *Engine) System() *traffic.System { return e.sys }
+
+// Telemetry returns a snapshot of the engine's cumulative counters.
+func (e *Engine) Telemetry() Telemetry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tel
+}
+
+// arena is the recyclable working state of one analysis run.
+type arena struct {
+	R         []noc.Cycles
+	status    []FlowStatus
+	analyzed  []bool
+	flowNanos []int64
+	// Downstream-interference memos, keyed by Sets.pairRank. xlwx is the
+	// Equation-3 memo (XLWX runs and IBN's upstream fallback); ibn is
+	// the Equation-8 memo.
+	xlwxVal, ibnVal []noc.Cycles
+	xlwxSet, ibnSet []bool
+	// terms is scratch space for the per-flow interference terms.
+	terms []term
+}
+
+func (e *Engine) acquire(opt Options, m method) *analyzer {
+	ar, _ := e.pool.Get().(*arena)
+	if ar == nil {
+		n, p := e.sys.NumFlows(), e.sets.numPairs()
+		ar = &arena{
+			R:         make([]noc.Cycles, n),
+			status:    make([]FlowStatus, n),
+			analyzed:  make([]bool, n),
+			flowNanos: make([]int64, n),
+			xlwxVal:   make([]noc.Cycles, p),
+			ibnVal:    make([]noc.Cycles, p),
+			xlwxSet:   make([]bool, p),
+			ibnSet:    make([]bool, p),
+		}
+	} else {
+		for i := range ar.R {
+			ar.R[i] = 0
+			ar.status[i] = Schedulable
+			ar.analyzed[i] = false
+			ar.flowNanos[i] = 0
+		}
+		for i := range ar.xlwxSet {
+			ar.xlwxSet[i] = false
+			ar.ibnSet[i] = false
+		}
+	}
+	return &analyzer{
+		sys:      e.sys,
+		sets:     e.sets,
+		opt:      opt,
+		m:        m,
+		ar:       ar,
+		R:        ar.R,
+		status:   ar.status,
+		analyzed: ar.analyzed,
+	}
+}
+
+// release merges the run's telemetry into the engine and returns the
+// arena to the pool. The analyzer must not be used afterwards.
+func (e *Engine) release(a *analyzer) {
+	e.mu.Lock()
+	e.tel.Add(a.tel)
+	e.mu.Unlock()
+	e.pool.Put(a.ar)
+}
+
+// prepare validates the options against the method registry and applies
+// the iteration-cap default — the single place both Analyze and Explain
+// (and any future entry point) normalise options.
+func prepare(opt Options) (method, Options, error) {
+	m, ok := methods[opt.Method]
+	if !ok {
+		return nil, opt, fmt.Errorf("core: unknown analysis method %d", int(opt.Method))
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = defaultMaxIterations
+	}
+	return m, opt, nil
+}
+
+// run executes one full analysis pass (highest to lowest priority) and
+// returns the analyzer holding the final per-flow state. The caller
+// must release it via e.release.
+func (e *Engine) run(opt Options) (*analyzer, error) {
+	m, opt, err := prepare(opt)
+	if err != nil {
+		return nil, err
+	}
+	a := e.acquire(opt, m)
+	for _, i := range e.sys.ByPriority() {
+		t0 := time.Now()
+		a.analyzeFlow(i)
+		d := time.Since(t0).Nanoseconds()
+		a.ar.flowNanos[i] = d
+		a.tel.FlowNanos += d
+		if d > a.tel.MaxFlowNanos {
+			a.tel.MaxFlowNanos = d
+		}
+		a.tel.Flows++
+	}
+	a.tel.Runs = 1
+	return a, nil
+}
+
+// Analyze computes worst-case response-time bounds for every flow of the
+// engine's system under the selected analysis.
+func (e *Engine) Analyze(opt Options) (*Result, error) {
+	res, _, err := e.analyze(opt, false)
+	return res, err
+}
+
+// AnalyzeWithTelemetry is Analyze plus a per-run telemetry snapshot
+// including per-flow wall times.
+func (e *Engine) AnalyzeWithTelemetry(opt Options) (*Result, Telemetry, error) {
+	return e.analyze(opt, true)
+}
+
+func (e *Engine) analyze(opt Options, wantTelemetry bool) (*Result, Telemetry, error) {
+	a, err := e.run(opt)
+	if err != nil {
+		return nil, Telemetry{}, err
+	}
+	res := &Result{
+		Method:      opt.Method,
+		Flows:       make([]FlowResult, e.sys.NumFlows()),
+		Schedulable: true,
+	}
+	for i := range res.Flows {
+		res.Flows[i] = FlowResult{R: a.R[i], Status: a.status[i]}
+		if a.status[i] != Schedulable {
+			res.Schedulable = false
+		}
+	}
+	tel := a.tel
+	if wantTelemetry {
+		tel.PerFlowNanos = append([]int64(nil), a.ar.flowNanos...)
+	}
+	e.release(a)
+	return res, tel, nil
+}

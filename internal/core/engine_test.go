@@ -1,0 +1,258 @@
+package core_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+	"wormnoc/internal/workload"
+)
+
+var engineMethods = []struct {
+	name string
+	opt  core.Options
+}{
+	{"SB", core.Options{Method: core.SB}},
+	{"SLA", core.Options{Method: core.SLA}},
+	{"XLWX", core.Options{Method: core.XLWX}},
+	{"IBN", core.Options{Method: core.IBN}},
+	{"IBN-eq7", core.Options{Method: core.IBN, Eq7: true}},
+	{"IBN-nofb", core.Options{Method: core.IBN, NoUpstreamFallback: true}},
+}
+
+func sameResult(t *testing.T, label string, want, got *core.Result) {
+	t.Helper()
+	if want.Schedulable != got.Schedulable {
+		t.Errorf("%s: Schedulable = %v, want %v", label, got.Schedulable, want.Schedulable)
+	}
+	if len(want.Flows) != len(got.Flows) {
+		t.Fatalf("%s: %d flows, want %d", label, len(got.Flows), len(want.Flows))
+	}
+	for i := range want.Flows {
+		if want.Flows[i] != got.Flows[i] {
+			t.Errorf("%s: flow %d = %+v, want %+v", label, i, got.Flows[i], want.Flows[i])
+		}
+	}
+}
+
+// TestEngineMatchesAnalyze pins the refactoring invariant: an Engine must
+// reproduce core.Analyze bit for bit, for every method, on the didactic
+// example and on random systems — including repeated runs on the same
+// engine (recycled arenas must not leak state between runs).
+func TestEngineMatchesAnalyze(t *testing.T) {
+	systems := []*traffic.System{workload.Didactic(2), workload.Didactic(100)}
+	for seed := int64(1); seed <= 8; seed++ {
+		systems = append(systems, randomSystem(t, seed, 20))
+	}
+	for si, sys := range systems {
+		eng := core.NewEngine(sys)
+		for round := 0; round < 2; round++ { // round 1 exercises pooled arenas
+			for _, m := range engineMethods {
+				want, err := core.Analyze(sys, m.opt)
+				if err != nil {
+					t.Fatalf("system %d %s: Analyze: %v", si, m.name, err)
+				}
+				got, err := eng.Analyze(m.opt)
+				if err != nil {
+					t.Fatalf("system %d %s: engine: %v", si, m.name, err)
+				}
+				sameResult(t, m.name, want, got)
+			}
+		}
+	}
+}
+
+// TestEngineConcurrentReuse runs all four analyses over one shared engine
+// from parallel goroutines (under -race in CI) and checks every result
+// against a sequential baseline, plus that the cumulative telemetry saw
+// the traffic.
+func TestEngineConcurrentReuse(t *testing.T) {
+	sys := randomSystem(t, 3, 25)
+	eng := core.NewEngine(sys)
+	baseline := make([]*core.Result, len(engineMethods))
+	for mi, m := range engineMethods {
+		res, err := eng.Analyze(m.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		baseline[mi] = res
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(engineMethods))
+	for r := 0; r < rounds; r++ {
+		for mi := range engineMethods {
+			wg.Add(1)
+			go func(mi int) {
+				defer wg.Done()
+				got, err := eng.Analyze(engineMethods[mi].opt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range got.Flows {
+					if got.Flows[i] != baseline[mi].Flows[i] {
+						t.Errorf("%s: concurrent flow %d = %+v, want %+v",
+							engineMethods[mi].name, i, got.Flows[i], baseline[mi].Flows[i])
+						return
+					}
+				}
+			}(mi)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	tel := eng.Telemetry()
+	wantRuns := int64((rounds + 1) * len(engineMethods))
+	if tel.Runs != wantRuns {
+		t.Errorf("Runs = %d, want %d", tel.Runs, wantRuns)
+	}
+	if want := wantRuns * int64(sys.NumFlows()); tel.Flows != want {
+		t.Errorf("Flows = %d, want %d", tel.Flows, want)
+	}
+	if tel.Iterations == 0 {
+		t.Error("Iterations = 0, want > 0")
+	}
+	if tel.MemoMisses == 0 {
+		t.Error("MemoMisses = 0, want > 0 (XLWX/IBN ran)")
+	}
+	if tel.FlowNanos == 0 || tel.MaxFlowNanos == 0 {
+		t.Errorf("FlowNanos = %d, MaxFlowNanos = %d, want > 0", tel.FlowNanos, tel.MaxFlowNanos)
+	}
+}
+
+func TestAnalyzeWithTelemetry(t *testing.T) {
+	sys := workload.Didactic(2)
+	eng := core.NewEngine(sys)
+	res, tel, err := eng.AnalyzeWithTelemetry(core.Options{Method: core.XLWX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("didactic set must be XLWX-schedulable: %+v", res.Flows)
+	}
+	if tel.Runs != 1 {
+		t.Errorf("Runs = %d, want 1", tel.Runs)
+	}
+	if tel.Flows != int64(sys.NumFlows()) {
+		t.Errorf("Flows = %d, want %d", tel.Flows, sys.NumFlows())
+	}
+	if tel.Iterations < int64(sys.NumFlows()) {
+		t.Errorf("Iterations = %d, want >= one per flow", tel.Iterations)
+	}
+	if tel.MemoMisses == 0 {
+		t.Error("MemoMisses = 0, want > 0 (didactic has direct interference)")
+	}
+	if len(tel.PerFlowNanos) != sys.NumFlows() {
+		t.Fatalf("len(PerFlowNanos) = %d, want %d", len(tel.PerFlowNanos), sys.NumFlows())
+	}
+	var sum, max int64
+	for _, d := range tel.PerFlowNanos {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if sum != tel.FlowNanos || max != tel.MaxFlowNanos {
+		t.Errorf("per-flow timings (sum %d, max %d) disagree with totals (%d, %d)",
+			sum, max, tel.FlowNanos, tel.MaxFlowNanos)
+	}
+
+	// The SB/SLA paths have no downstream recursion, so their runs must
+	// not touch the memos.
+	_, tel, err = eng.AnalyzeWithTelemetry(core.Options{Method: core.SB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.MemoHits != 0 || tel.MemoMisses != 0 {
+		t.Errorf("SB run touched the idown memo: hits %d, misses %d", tel.MemoHits, tel.MemoMisses)
+	}
+}
+
+func TestTelemetryAddAndString(t *testing.T) {
+	a := core.Telemetry{Runs: 1, Flows: 4, Iterations: 10, MemoHits: 2, MemoMisses: 3,
+		MaxDownstreamDepth: 2, FlowNanos: 100, MaxFlowNanos: 60}
+	b := core.Telemetry{Runs: 2, Flows: 8, Iterations: 5, MemoHits: 1, MemoMisses: 1,
+		MaxDownstreamDepth: 5, FlowNanos: 50, MaxFlowNanos: 40}
+	a.Add(b)
+	if a.Runs != 3 || a.Flows != 12 || a.Iterations != 15 || a.MemoHits != 3 || a.MemoMisses != 4 {
+		t.Errorf("Add sums wrong: %+v", a)
+	}
+	if a.MaxDownstreamDepth != 5 || a.MaxFlowNanos != 60 || a.FlowNanos != 150 {
+		t.Errorf("Add gauges wrong: %+v", a)
+	}
+	s := a.String()
+	for _, want := range []string{"3 run(s)", "12 flow(s)", "15", "3/4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestEngineUnknownMethod(t *testing.T) {
+	eng := core.NewEngine(workload.Didactic(2))
+	_, err := eng.Analyze(core.Options{Method: core.Method(99)})
+	if err == nil || !strings.Contains(err.Error(), "unknown analysis method") {
+		t.Fatalf("err = %v, want unknown-method error", err)
+	}
+	_, err = eng.Explain(core.Options{Method: core.Method(99)}, 0)
+	if err == nil || !strings.Contains(err.Error(), "unknown analysis method") {
+		t.Fatalf("Explain err = %v, want unknown-method error", err)
+	}
+	_, err = eng.Explain(core.Options{Method: core.IBN}, 99)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Explain err = %v, want out-of-range error", err)
+	}
+}
+
+// benchSystem is a 4x4 mesh with enough flows for the memo arenas to
+// matter.
+func benchSystem(b *testing.B) *traffic.System {
+	b.Helper()
+	topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: 60, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkEngineReuse measures repeated analysis on one engine: the
+// sets are built once and the arenas are recycled.
+func BenchmarkEngineReuse(b *testing.B) {
+	sys := benchSystem(b)
+	eng := core.NewEngine(sys)
+	opt := core.Options{Method: core.IBN}
+	if _, err := eng.Analyze(opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Analyze(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnginePerCallAnalyze is the baseline: a fresh engine (sets,
+// arenas) per call, which is what core.Analyze does.
+func BenchmarkEnginePerCallAnalyze(b *testing.B) {
+	sys := benchSystem(b)
+	opt := core.Options{Method: core.IBN}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(sys, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -64,38 +64,28 @@ type Breakdown struct {
 // into per-interferer terms evaluated at the fixed point. The identity
 // R = C + Σ terms holds exactly for Schedulable flows.
 func Explain(sys *traffic.System, sets *Sets, opt Options, flow int) (*Breakdown, error) {
-	if flow < 0 || flow >= sys.NumFlows() {
-		return nil, fmt.Errorf("core: flow index %d out of range (%d flows)", flow, sys.NumFlows())
+	return NewEngineWithSets(sys, sets).Explain(opt, flow)
+}
+
+// Explain runs the analysis over the engine's system and decomposes the
+// bound of the given flow into per-interferer terms evaluated at the
+// fixed point. It shares the run machinery (option normalisation,
+// fixed-point iterator, memo arenas) with Analyze.
+func (e *Engine) Explain(opt Options, flow int) (*Breakdown, error) {
+	if flow < 0 || flow >= e.sys.NumFlows() {
+		return nil, fmt.Errorf("core: flow index %d out of range (%d flows)", flow, e.sys.NumFlows())
 	}
-	if opt.Method < SB || opt.Method > SLA {
-		return nil, fmt.Errorf("core: unknown analysis method %d", int(opt.Method))
+	a, err := e.run(opt)
+	if err != nil {
+		return nil, err
 	}
-	if opt.MaxIterations <= 0 {
-		opt.MaxIterations = defaultMaxIterations
-	}
-	a := &analyzer{
-		sys:       sys,
-		sets:      sets,
-		opt:       opt,
-		R:         make([]noc.Cycles, sys.NumFlows()),
-		status:    make([]FlowStatus, sys.NumFlows()),
-		analyzed:  make([]bool, sys.NumFlows()),
-		idownMemo: make(map[pair]noc.Cycles),
-	}
-	if opt.Method == IBN {
-		a.xlwxMemo = make(map[pair]noc.Cycles)
-	} else {
-		a.xlwxMemo = a.idownMemo
-	}
-	for _, i := range sys.ByPriority() {
-		a.analyzeFlow(i)
-	}
+	defer e.release(a)
 
 	b := &Breakdown{
 		Method: opt.Method,
 		Flow:   flow,
-		Name:   sys.Flow(flow).Name,
-		C:      sys.C(flow),
+		Name:   e.sys.Flow(flow).Name,
+		C:      e.sys.C(flow),
 		R:      a.R[flow],
 		Status: a.status[flow],
 	}
@@ -103,44 +93,16 @@ func Explain(sys *traffic.System, sets *Sets, opt Options, flow int) (*Breakdown
 		return b, nil
 	}
 	var blockPerEpisode noc.Cycles
-	if linkl := sys.Topology().Config().LinkLatency; linkl > 1 {
+	if linkl := e.sys.Topology().Config().LinkLatency; linkl > 1 {
 		blockPerEpisode = (linkl - 1) * noc.Cycles(a.sharedLowLinks(flow))
 	}
 	episodes := noc.Cycles(1)
 	for _, j := range a.sets.Direct(flow) {
-		fj := sys.Flow(j)
-		term := InterferenceTerm{
-			Interferer:       j,
-			Cj:               sys.C(j),
-			Downstream:       a.sets.Downstream(flow, j),
-			Upstream:         a.sets.Upstream(flow, j),
-			ContentionDomain: len(a.sets.CD(flow, j)),
+		term, err := a.m.explainTerm(a, flow, j)
+		if err != nil {
+			return nil, err
 		}
-		jiJ := a.R[j] - sys.C(j)
-		switch opt.Method {
-		case SB, SLA:
-			term.Jitter = fj.Jitter
-			if a.hasIndirectVia(flow, j) {
-				term.Jitter += jiJ
-			}
-			term.PerHit = term.Cj
-			if opt.Method == SLA {
-				term.PerHit = a.slaHit(flow, j)
-			}
-		case XLWX, IBN:
-			term.Jitter = fj.Jitter + jiJ
-			idown, err := a.idown(j, flow)
-			if err != nil {
-				return nil, err
-			}
-			term.IDown = idown
-			term.PerHit = term.Cj + idown
-			if opt.Method == IBN {
-				term.BufferedInterference = a.sets.BufferedInterference(flow, j, opt.BufDepth)
-				term.UsedFallback = !opt.NoUpstreamFallback && len(term.Upstream) > 0
-			}
-		}
-		term.Hits = ceilDiv(a.R[flow]+term.Jitter, fj.Period)
+		term.Hits = ceilDiv(a.R[flow]+term.Jitter, e.sys.Flow(j).Period)
 		term.Total = term.Hits * term.PerHit
 		if blockPerEpisode > 0 {
 			replays, err := a.replayEpisodes(flow, j)

@@ -18,6 +18,8 @@
 package core
 
 import (
+	"sort"
+
 	"wormnoc/internal/noc"
 	"wormnoc/internal/traffic"
 )
@@ -36,6 +38,13 @@ type Sets struct {
 	// indirect[i] is S^I_i: flows not in S^D_i that directly interfere
 	// with at least one member of S^D_i. Sorted by flow index.
 	indirect [][]int
+	// pairOffset[i] is the dense rank of the first (j, i) direct pair of
+	// flow i in the flattened enumeration of all direct sets;
+	// pairOffset[n] is the total pair count. The downstream-interference
+	// recursions only ever memoise keys (j, i) with j ∈ S^D_i, so this
+	// ranking lets the engine replace per-run map[pair] memos with
+	// reusable slices.
+	pairOffset []int
 }
 
 // BuildSets computes contention domains and the direct/indirect
@@ -109,7 +118,26 @@ func BuildSets(sys *traffic.System) *Sets {
 			}
 		}
 	}
+	s.pairOffset = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		s.pairOffset[i+1] = s.pairOffset[i] + len(s.direct[i])
+	}
 	return s
+}
+
+// numPairs returns the total number of (direct interferer, flow) pairs —
+// the size of the engine's memo arenas.
+func (s *Sets) numPairs() int { return s.pairOffset[len(s.pairOffset)-1] }
+
+// pairRank maps a memo key (j, i), with j a direct interferer of τi, to
+// its dense rank in [0, numPairs()).
+func (s *Sets) pairRank(j, i int) int {
+	d := s.direct[i]
+	k := sort.SearchInts(d, j)
+	if k == len(d) || d[k] != j {
+		panic("core: memo key is not a direct-interference pair")
+	}
+	return s.pairOffset[i] + k
 }
 
 // CD returns the contention domain cd_ij (links shared by route_i and

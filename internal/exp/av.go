@@ -38,6 +38,10 @@ type AVConfig struct {
 	Seed int64
 	// Workers bounds parallelism (0 = all CPUs).
 	Workers int
+	// Runner, when non-nil, executes the experiment's tasks (its worker
+	// bound overrides Workers); use it for context cancellation and
+	// progress callbacks.
+	Runner *Runner
 	// Progress, when non-nil, receives the final table.
 	Progress io.Writer
 }
@@ -56,6 +60,8 @@ type AVPoint struct {
 type AVResult struct {
 	Analyses []string
 	Points   []AVPoint
+	// Telemetry aggregates the engine counters of every analysis run.
+	Telemetry core.Telemetry
 }
 
 // RunAV maps the AV benchmark cfg.MappingsPerTopology times onto every
@@ -101,8 +107,9 @@ func RunAV(cfg AVConfig) (*AVResult, error) {
 		}
 	}
 	sched := make([][]bool, len(tasks))
+	tels := make([]core.Telemetry, len(tasks))
 
-	err := parallelFor(len(tasks), workers(cfg.Workers), func(i int) error {
+	err := taskRunner(cfg.Runner, cfg.Workers).Run(len(tasks), func(i int) error {
 		tk := tasks[i]
 		row := make([]bool, len(cfg.Analyses))
 		sys, err := workload.MapAV(topos[tk.topo], taskSeed(cfg.Seed, tk.topo, tk.mapping))
@@ -117,15 +124,16 @@ func RunAV(cfg AVConfig) (*AVResult, error) {
 		case err != nil:
 			return err
 		}
-		sets := core.BuildSets(sys)
+		eng := core.NewEngine(sys)
 		for a, spec := range cfg.Analyses {
-			r, err := core.AnalyzeWithSets(sys, sets, spec.Options)
+			r, err := eng.Analyze(spec.Options)
 			if err != nil {
 				return err
 			}
 			row[a] = r.Schedulable
 		}
 		sched[i] = row
+		tels[i] = eng.Telemetry()
 		return nil
 	})
 	if err != nil {
@@ -140,6 +148,7 @@ func RunAV(cfg AVConfig) (*AVResult, error) {
 				res.Points[tasks[i].topo].Schedulable[a]++
 			}
 		}
+		res.Telemetry.Add(tels[i])
 	}
 	if cfg.Progress != nil {
 		fmt.Fprint(cfg.Progress, res.Table())

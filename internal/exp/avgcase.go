@@ -35,6 +35,9 @@ type AvgCaseConfig struct {
 	Seed int64
 	// Workers bounds parallelism (0 = all CPUs).
 	Workers int
+	// Runner, when non-nil, executes the study's tasks (its worker bound
+	// overrides Workers).
+	Runner *Runner
 }
 
 // AvgCasePoint aggregates one buffer depth.
@@ -59,6 +62,8 @@ type AvgCasePoint struct {
 type AvgCaseResult struct {
 	Mesh   string
 	Points []AvgCasePoint
+	// Telemetry aggregates the engine counters of every analysis run.
+	Telemetry core.Telemetry
 }
 
 // RunAvgCase runs the study. The same flow sets and release phasings are
@@ -95,7 +100,8 @@ func RunAvgCase(cfg AvgCaseConfig) (*AvgCaseResult, error) {
 		totalFlows            int
 	}
 	samples := make([]sample, len(tasks))
-	err := parallelFor(len(tasks), workers(cfg.Workers), func(ti int) error {
+	tels := make([]core.Telemetry, len(tasks))
+	err := taskRunner(cfg.Runner, cfg.Workers).Run(len(tasks), func(ti int) error {
 		tk := tasks[ti]
 		topo, err := noc.NewMesh(cfg.Width, cfg.Height, noc.RouterConfig{
 			BufDepth: cfg.BufDepths[tk.depth], LinkLatency: 1, RouteLatency: 0,
@@ -120,7 +126,8 @@ func RunAvgCase(cfg AvgCaseConfig) (*AvgCaseResult, error) {
 		if err != nil {
 			return err
 		}
-		ibn, err := core.Analyze(sys, core.Options{Method: core.IBN})
+		eng := core.NewEngine(sys)
+		ibn, err := eng.Analyze(core.Options{Method: core.IBN})
 		if err != nil {
 			return err
 		}
@@ -139,10 +146,14 @@ func RunAvgCase(cfg AvgCaseConfig) (*AvgCaseResult, error) {
 			}
 		}
 		samples[ti] = s
+		tels[ti] = eng.Telemetry()
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, t := range tels {
+		res.Telemetry.Add(t)
 	}
 	type agg struct {
 		obs, worst, bound          float64

@@ -29,6 +29,9 @@ type BufferAblationConfig struct {
 	Seed int64
 	// Workers bounds parallelism (0 = all CPUs).
 	Workers int
+	// Runner, when non-nil, executes the ablation's tasks (its worker
+	// bound overrides Workers).
+	Runner *Runner
 	// Progress, when non-nil, receives the final table.
 	Progress io.Writer
 }
@@ -60,6 +63,7 @@ func RunBufferAblation(cfg BufferAblationConfig) (*SweepResult, error) {
 		Synth:        cfg.Synth,
 		Seed:         cfg.Seed,
 		Workers:      cfg.Workers,
+		Runner:       cfg.Runner,
 		Progress:     cfg.Progress,
 	})
 }

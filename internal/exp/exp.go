@@ -10,10 +10,9 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"wormnoc/internal/core"
+	"wormnoc/internal/parallel"
 )
 
 // AnalysisSpec names one analysis configuration of an experiment.
@@ -46,56 +45,29 @@ func AVAnalyses() []AnalysisSpec {
 	}
 }
 
-// workers normalises a worker count (0 = all CPUs).
-func workers(n int) int {
-	if n > 0 {
-		return n
+// Runner executes an experiment's tasks: a context-aware worker pool
+// with early cancellation on the first error and serialised progress
+// callbacks (see internal/parallel). Every experiment config accepts an
+// optional *Runner; when nil, a default runner bounded by the config's
+// Workers field is used.
+type Runner = parallel.Runner
+
+// taskRunner resolves a config's runner: the explicit one when set,
+// else a fresh default bounded by workers.
+func taskRunner(r *Runner, workers int) *Runner {
+	if r != nil {
+		return r
 	}
-	return runtime.GOMAXPROCS(0)
+	return &Runner{Workers: workers}
 }
 
 // parallelFor runs fn(i) for i in [0, n) on w workers and returns the
 // first error (if any). fn must be safe for concurrent invocation on
-// distinct indices.
+// distinct indices. It is a thin wrapper over the context-aware Runner,
+// which — unlike the historic implementation — stops dispatching
+// remaining tasks once a worker has recorded an error.
 func parallelFor(n, w int, fn func(i int) error) error {
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	work := make(chan int)
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	return firstErr
+	return (&Runner{Workers: w}).Run(n, fn)
 }
 
 // taskSeed derives a decorrelated deterministic seed for one experiment

@@ -1,6 +1,10 @@
 package exp
 
 import (
+	"errors"
+	"sync"
+	"time"
+
 	"strings"
 	"testing"
 
@@ -263,5 +267,45 @@ func TestChart(t *testing.T) {
 	}
 	if out := (&SweepResult{}).Chart(10); !strings.Contains(out, "no points") {
 		t.Error("empty chart placeholder missing")
+	}
+}
+
+// TestParallelForStopsAfterError is the regression test for the historic
+// parallelFor bug: the old implementation kept dispatching every
+// remaining task after a worker had already failed. The shared runner
+// must cancel the dispatch instead.
+func TestParallelForStopsAfterError(t *testing.T) {
+	const n = 400
+	var mu sync.Mutex
+	ran := 0
+	err := parallelFor(n, 2, func(i int) error {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		if i == 0 {
+			return errors.New("boom")
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran >= n/2 {
+		t.Errorf("ran %d of %d tasks after the error; dispatch did not stop", ran, n)
+	}
+}
+
+// TestTaskRunner checks the config-level runner resolution: an explicit
+// runner wins, otherwise a default bounded by Workers is built.
+func TestTaskRunner(t *testing.T) {
+	r := &Runner{Workers: 3}
+	if got := taskRunner(r, 7); got != r {
+		t.Error("explicit runner must be returned as is")
+	}
+	if got := taskRunner(nil, 7); got == nil || got.Workers != 7 {
+		t.Errorf("default runner = %+v, want Workers=7", got)
 	}
 }

@@ -30,6 +30,10 @@ type SweepConfig struct {
 	Seed int64
 	// Workers bounds parallelism (0 = all CPUs).
 	Workers int
+	// Runner, when non-nil, executes the sweep's tasks (its worker bound
+	// overrides Workers); use it for context cancellation and progress
+	// callbacks.
+	Runner *Runner
 	// Progress, when non-nil, receives one line per completed point.
 	Progress io.Writer
 }
@@ -81,6 +85,9 @@ type SweepResult struct {
 	Mesh     string
 	Analyses []string
 	Points   []SweepPoint
+	// Telemetry aggregates the engine counters of every analysis run of
+	// the sweep.
+	Telemetry core.Telemetry
 }
 
 // RunSweep generates cfg.SetsPerPoint random flow sets for every entry of
@@ -124,10 +131,12 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		}
 	}
 	// sched[t][a] records whether task t's set was schedulable under
-	// analysis a; aggregated afterwards to keep workers lock-free.
+	// analysis a; tels[t] the task's engine telemetry. Both aggregated
+	// afterwards to keep workers lock-free and results deterministic.
 	sched := make([][]bool, len(tasks))
+	tels := make([]core.Telemetry, len(tasks))
 
-	err = parallelFor(len(tasks), workers(cfg.Workers), func(ti int) error {
+	err = taskRunner(cfg.Runner, cfg.Workers).Run(len(tasks), func(ti int) error {
 		tk := tasks[ti]
 		synth := cfg.Synth
 		synth.NumFlows = cfg.FlowCounts[tk.point]
@@ -136,16 +145,17 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		if err != nil {
 			return err
 		}
-		sets := core.BuildSets(sys)
+		eng := core.NewEngine(sys)
 		row := make([]bool, len(cfg.Analyses))
 		for a, spec := range cfg.Analyses {
-			r, err := core.AnalyzeWithSets(sys, sets, spec.Options)
+			r, err := eng.Analyze(spec.Options)
 			if err != nil {
 				return err
 			}
 			row[a] = r.Schedulable
 		}
 		sched[ti] = row
+		tels[ti] = eng.Telemetry()
 		return nil
 	})
 	if err != nil {
@@ -157,6 +167,7 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 				res.Points[tasks[ti].point].Schedulable[a]++
 			}
 		}
+		res.Telemetry.Add(tels[ti])
 	}
 	if cfg.Progress != nil {
 		fmt.Fprint(cfg.Progress, res.Table())

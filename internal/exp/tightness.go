@@ -28,6 +28,9 @@ type TightnessConfig struct {
 	Seed int64
 	// Workers bounds parallelism (0 = all CPUs).
 	Workers int
+	// Runner, when non-nil, executes the study's tasks (its worker bound
+	// overrides Workers).
+	Runner *Runner
 }
 
 // TightnessPoint aggregates one x-axis point.
@@ -53,6 +56,8 @@ type TightnessResult struct {
 	Mesh     string
 	BufDepth int
 	Points   []TightnessPoint
+	// Telemetry aggregates the engine counters of every analysis run.
+	Telemetry core.Telemetry
 }
 
 // RunTightness generates random flow sets and compares the XLWX and IBN
@@ -90,7 +95,8 @@ func RunTightness(cfg TightnessConfig) (*TightnessResult, error) {
 		schedIBN, schedXLWX, n int
 	}
 	samples := make([]sample, len(tasks))
-	err = parallelFor(len(tasks), workers(cfg.Workers), func(ti int) error {
+	tels := make([]core.Telemetry, len(tasks))
+	err = taskRunner(cfg.Runner, cfg.Workers).Run(len(tasks), func(ti int) error {
 		tk := tasks[ti]
 		synth := cfg.Synth
 		synth.NumFlows = cfg.FlowCounts[tk.point]
@@ -99,12 +105,12 @@ func RunTightness(cfg TightnessConfig) (*TightnessResult, error) {
 		if err != nil {
 			return err
 		}
-		sets := core.BuildSets(sys)
-		xlwx, err := core.AnalyzeWithSets(sys, sets, core.Options{Method: core.XLWX})
+		eng := core.NewEngine(sys)
+		xlwx, err := eng.Analyze(core.Options{Method: core.XLWX})
 		if err != nil {
 			return err
 		}
-		ibn, err := core.AnalyzeWithSets(sys, sets, core.Options{Method: core.IBN, BufDepth: cfg.BufDepth})
+		ibn, err := eng.Analyze(core.Options{Method: core.IBN, BufDepth: cfg.BufDepth})
 		if err != nil {
 			return err
 		}
@@ -129,10 +135,14 @@ func RunTightness(cfg TightnessConfig) (*TightnessResult, error) {
 			}
 		}
 		samples[ti] = s
+		tels[ti] = eng.Telemetry()
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, t := range tels {
+		res.Telemetry.Add(t)
 	}
 	sums := make([]float64, len(cfg.FlowCounts))
 	for _, s := range samples {

@@ -28,6 +28,9 @@ type ValidationConfig struct {
 	Seed int64
 	// Workers bounds parallelism across scenarios (0 = all CPUs).
 	Workers int
+	// Runner, when non-nil, executes the hunt's scenarios (its worker
+	// bound overrides Workers).
+	Runner *Runner
 }
 
 // ValidationResult aggregates the hunt.
@@ -42,6 +45,8 @@ type ValidationResult struct {
 	WorstExcess []noc.Cycles
 	// Scenarios and FlowsChecked count the attack surface.
 	Scenarios, FlowsChecked int
+	// Telemetry aggregates the engine counters of every analysis run.
+	Telemetry core.Telemetry
 }
 
 // RunValidation hunts for counter-examples against all four analyses.
@@ -81,9 +86,10 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 		violations []int
 		excess     []noc.Cycles
 		flows      int
+		tel        core.Telemetry
 	}
 	outcomes := make([]outcome, cfg.Scenarios)
-	err := parallelFor(cfg.Scenarios, workers(cfg.Workers), func(sc int) error {
+	err := taskRunner(cfg.Runner, cfg.Workers).Run(cfg.Scenarios, func(sc int) error {
 		seed := taskSeed(cfg.Seed, sc, 0)
 		rng := rand.New(rand.NewSource(seed))
 		// MPB-prone platforms: small meshes, moderate buffers, tight
@@ -113,15 +119,15 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 		if err != nil {
 			return err
 		}
-		sets := core.BuildSets(sys)
+		eng := core.NewEngine(sys)
 		bounds := make([]*core.Result, len(specs))
 		for a, s := range specs {
-			bounds[a], err = core.AnalyzeWithSets(sys, sets, s.opt)
+			bounds[a], err = eng.Analyze(s.opt)
 			if err != nil {
 				return err
 			}
 		}
-		out := outcome{violations: make([]int, len(specs)), excess: make([]noc.Cycles, len(specs))}
+		out := outcome{violations: make([]int, len(specs)), excess: make([]noc.Cycles, len(specs)), tel: eng.Telemetry()}
 		for target := 0; target < sys.NumFlows(); target++ {
 			// Only attack flows some analysis bounded.
 			any := false
@@ -166,6 +172,7 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	}
 	for _, out := range outcomes {
 		res.FlowsChecked += out.flows
+		res.Telemetry.Add(out.tel)
 		for a := range res.Violations {
 			res.Violations[a] += out.violations[a]
 			if out.excess[a] > res.WorstExcess[a] {

@@ -1,0 +1,117 @@
+// Package parallel provides the worker-pool runner shared by the
+// experiment harness (internal/exp) and the simulator's parameter
+// sweeps (internal/sim). It exists as its own package because both of
+// those import-wise unrelated layers need the same semantics: bounded
+// concurrency, deterministic task indexing, early cancellation on the
+// first error, and serialised progress callbacks.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Runner executes independent tasks on a bounded worker pool.
+//
+// Unlike a fire-and-forget pool, a Runner stops dispatching as soon as a
+// task fails or the context is cancelled: at most Workers tasks that
+// were already in flight still complete, everything else is skipped.
+// The zero value is a valid runner using all CPUs and no cancellation.
+type Runner struct {
+	// Workers bounds concurrency; 0 (or negative) selects GOMAXPROCS.
+	Workers int
+	// Context, when non-nil, cancels the run early: tasks not yet
+	// started are skipped and Run returns the context's error (unless a
+	// task error was recorded first, which takes precedence).
+	Context context.Context
+	// Progress, when non-nil, is called after every successfully
+	// completed task with the number done so far and the total. Calls
+	// are serialised; done is monotonically increasing.
+	Progress func(done, total int)
+}
+
+// Run executes fn(i) for every i in [0, n) and returns the first error
+// recorded (or the context's error when cancelled externally). fn must
+// be safe for concurrent invocation on distinct indices.
+func (r *Runner) Run(n int, fn func(i int) error) error {
+	parent := r.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := parent.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+			if r.Progress != nil {
+				r.Progress(i+1, n)
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	work := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				// A task handed over just before cancellation is
+				// skipped here rather than run.
+				if ctx.Err() != nil {
+					continue
+				}
+				err := fn(i)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				done++
+				if r.Progress != nil {
+					r.Progress(done, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(work)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return parent.Err()
+}

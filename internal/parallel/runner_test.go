@@ -1,0 +1,128 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunnerRunsAllTasks(t *testing.T) {
+	for _, w := range []int{0, 1, 3, 64} {
+		var ran int64
+		err := (&Runner{Workers: w}).Run(40, func(i int) error {
+			atomic.AddInt64(&ran, 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ran != 40 {
+			t.Errorf("workers=%d: ran %d tasks, want 40", w, ran)
+		}
+	}
+}
+
+func TestRunnerSequentialStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int64
+	err := (&Runner{Workers: 1}).Run(100, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran != 4 {
+		t.Errorf("ran %d tasks, want exactly 4 (0..3)", ran)
+	}
+}
+
+// TestRunnerStopsDispatchAfterError is the regression test for the old
+// exp.parallelFor behaviour, which kept dispatching (and running) all n
+// tasks after a worker had already recorded an error. With early
+// cancellation, only tasks already in flight may still run.
+func TestRunnerStopsDispatchAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	const n = 500
+	var ran int64
+	err := (&Runner{Workers: 2}).Run(n, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Task 0 fails ~immediately; with 2 workers and 1ms tasks the
+	// dispatcher must stop long before draining all 500. Allow a
+	// generous margin for scheduling noise.
+	if got := atomic.LoadInt64(&ran); got >= n/2 {
+		t.Errorf("ran %d of %d tasks after the first error; dispatch was not cancelled", got, n)
+	}
+}
+
+func TestRunnerExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run starts
+	var ran int64
+	err := (&Runner{Workers: 4, Context: ctx}).Run(100, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("ran %d tasks under a cancelled context, want 0", ran)
+	}
+}
+
+func TestRunnerTaskErrorBeatsContextError(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := (&Runner{Workers: 2, Context: ctx}).Run(50, func(i int) error {
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the task error", err)
+	}
+}
+
+func TestRunnerProgress(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		var seen []int
+		err := (&Runner{
+			Workers:  w,
+			Progress: func(done, total int) { seen = append(seen, done) },
+		}).Run(20, func(i int) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 20 {
+			t.Fatalf("workers=%d: %d progress calls, want 20", w, len(seen))
+		}
+		for k, d := range seen {
+			if d != k+1 {
+				t.Fatalf("workers=%d: progress not monotone: %v", w, seen)
+			}
+		}
+	}
+}
+
+func TestRunnerZeroTasks(t *testing.T) {
+	if err := (&Runner{}).Run(0, func(i int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+}

@@ -2,10 +2,9 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"wormnoc/internal/noc"
+	"wormnoc/internal/parallel"
 	"wormnoc/internal/traffic"
 )
 
@@ -54,37 +53,26 @@ func SweepOffsets(sys *traffic.System, base Config, flowIdx int, maxOffset, step
 		offsets = append(offsets, off)
 	}
 	results := make([]*Result, len(offsets))
-	errs := make([]error, len(offsets))
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(offsets) {
-		workers = len(offsets)
+	// The shared worker-pool runner stops dispatching remaining offsets
+	// as soon as one simulation fails.
+	err := (&parallel.Runner{}).Run(len(offsets), func(idx int) error {
+		cfg := base
+		cfg.Offsets = make([]noc.Cycles, n)
+		copy(cfg.Offsets, base.Offsets)
+		cfg.Offsets[flowIdx] = offsets[idx]
+		res, err := Run(sys, cfg)
+		if err != nil {
+			return err
+		}
+		results[idx] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range work {
-				cfg := base
-				cfg.Offsets = make([]noc.Cycles, n)
-				copy(cfg.Offsets, base.Offsets)
-				cfg.Offsets[flowIdx] = offsets[idx]
-				results[idx], errs[idx] = Run(sys, cfg)
-			}
-		}()
-	}
-	for idx := range offsets {
-		work <- idx
-	}
-	close(work)
-	wg.Wait()
 
 	for idx, res := range results {
-		if errs[idx] != nil {
-			return nil, errs[idx]
-		}
 		out.Runs++
 		for i := 0; i < n; i++ {
 			if res.WorstLatency[i] > out.Worst[i] {

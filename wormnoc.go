@@ -162,6 +162,20 @@ func AnalyzeWithSets(sys *System, sets *InterferenceSets, opt AnalysisOptions) (
 	return core.AnalyzeWithSets(sys, sets, opt)
 }
 
+// Engine runs analyses of one system repeatedly and cheaply: the
+// interference sets are built once and the per-run working state is
+// recycled. Safe for concurrent use.
+type Engine = core.Engine
+
+// Telemetry carries the engine's observability counters (fixed-point
+// iterations, memo hits/misses, recursion depth, per-flow wall time).
+type Telemetry = core.Telemetry
+
+// NewEngine builds an analysis engine for the system.
+func NewEngine(sys *System) *Engine {
+	return core.NewEngine(sys)
+}
+
 // Simulate runs the cycle-accurate wormhole simulator over the system.
 func Simulate(sys *System, cfg SimConfig) (*SimResult, error) {
 	return sim.Run(sys, cfg)
