@@ -18,7 +18,6 @@ import (
 	"os"
 	"sort"
 	"strconv"
-	"strings"
 
 	"wormnoc/internal/core"
 	"wormnoc/internal/noc"
@@ -40,6 +39,17 @@ func main() {
 		stats    = flag.Bool("stats", false, "print analysis-engine telemetry after the run")
 	)
 	flag.Parse()
+
+	// Validate the method selector before touching any input: a typo'd
+	// -method must fail with usage, not silently analyse with a default.
+	var selected core.Method
+	if !*all {
+		m, err := core.ParseMethod(*method)
+		if err != nil {
+			usageError(err)
+		}
+		selected = m
+	}
 
 	if *example {
 		if err := workload.Didactic(2).WriteJSON(os.Stdout); err != nil {
@@ -86,14 +96,10 @@ func main() {
 			}{"IBN", core.Options{Method: core.IBN, BufDepth: *buf}},
 		)
 	} else {
-		m, err := parseMethod(*method)
-		if err != nil {
-			fatal(err)
-		}
 		specs = append(specs, struct {
 			name string
 			opt  core.Options
-		}{*method, core.Options{Method: m, BufDepth: *buf}})
+		}{selected.String(), core.Options{Method: selected, BufDepth: *buf}})
 	}
 
 	// One engine serves every analysis: the interference sets are built
@@ -209,19 +215,12 @@ func main() {
 	os.Exit(exit)
 }
 
-func parseMethod(s string) (core.Method, error) {
-	switch strings.ToUpper(s) {
-	case "SB":
-		return core.SB, nil
-	case "XLWX":
-		return core.XLWX, nil
-	case "IBN":
-		return core.IBN, nil
-	case "SLA":
-		return core.SLA, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q (want SB, SLA, XLWX or IBN)", s)
-	}
+// usageError reports a bad flag value together with the usage text and
+// exits with the conventional flag-error status 2.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

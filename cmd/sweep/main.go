@@ -50,6 +50,16 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate -variant up front so a typo fails with usage even when the
+	// selected mode (e.g. -buffers) would never consult it.
+	switch *variant {
+	case "", "eq7", "nofallback", "sla":
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown -variant %q (want eq7, nofallback or sla)\n", *variant)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	w, h, err := parseMesh(*mesh)
 	if err != nil {
 		fatal(err)
@@ -138,8 +148,6 @@ func main() {
 				exp.AnalysisSpec{Name: "SLA2", Options: core.Options{Method: core.SLA, BufDepth: 2}},
 				exp.AnalysisSpec{Name: "SLA100", Options: core.Options{Method: core.SLA, BufDepth: 100}},
 			)
-		default:
-			fatal(fmt.Errorf("unknown -variant %q (want eq7, nofallback or sla)", *variant))
 		}
 		result, err = exp.RunSweep(exp.SweepConfig{
 			Width: w, Height: h,

@@ -98,10 +98,11 @@ func TestCmdAnalyze(t *testing.T) {
 	if code != 2 || !strings.Contains(out, "NOT schedulable") {
 		t.Errorf("unschedulable set: exit %d\n%s", code, out)
 	}
-	// Unknown method is rejected.
-	_, code = run(t, bin, example, "-method", "BOGUS")
-	if code != 1 {
-		t.Errorf("bogus method: exit %d", code)
+	// Unknown method is rejected up front with usage and the flag-error
+	// exit status, even before any input is read.
+	out, code = run(t, bin, "", "-method", "BOGUS")
+	if code != 2 || !strings.Contains(out, "unknown analysis method") || !strings.Contains(out, "Usage") {
+		t.Errorf("bogus method: exit %d\n%s", code, out)
 	}
 }
 
@@ -123,6 +124,12 @@ func TestCmdSweep(t *testing.T) {
 	_, code = run(t, bin, "", "-mesh", "bogus")
 	if code != 1 {
 		t.Errorf("bad mesh: exit %d", code)
+	}
+	// A bad -variant fails with usage even in modes that never consult
+	// it (it used to be silently ignored with -buffers).
+	out, code = run(t, bin, "", "-buffers", "-variant", "bogus")
+	if code != 2 || !strings.Contains(out, "unknown -variant") || !strings.Contains(out, "Usage") {
+		t.Errorf("bogus variant: exit %d\n%s", code, out)
 	}
 }
 

@@ -1,0 +1,138 @@
+// Package canon computes canonical cache keys for analysis requests:
+// collision-resistant hashes of (topology, router configuration, flow
+// set, analysis method, analysis options) that the serving layer
+// (internal/serve) uses to deduplicate work across requests.
+//
+// # Stability contract
+//
+// Two requests map to the same key if and only if they are
+// analysis-equivalent — every field that can influence the response is
+// hashed, and nothing else:
+//
+//   - keys are computed from decoded values, so JSON formatting, field
+//     order and the presence of absent-vs-zero optional fields never
+//     matter;
+//   - options are normalised first (see normalize): a zero/negative
+//     MaxIterations and core.DefaultMaxIterations hash identically, a
+//     negative BufDepth hashes as "use the platform's";
+//   - the analysis method is hashed by NAME ("IBN"), not by its numeric
+//     selector, so reordering the core.Method enum cannot silently
+//     repartition a persistent cache;
+//   - flows are hashed in document order, because results are indexed by
+//     flow order; flow names are included since responses echo them.
+//
+// Keys are prefixed with a format version (keyVersion). Any change to
+// the encoding MUST bump it, which atomically invalidates every old key
+// instead of aliasing new requests onto stale cached results. Within one
+// version, keys are stable across processes, platforms and restarts, so
+// they are safe to use in persistent or distributed caches.
+//
+// All functions are pure and safe for concurrent use.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/traffic"
+)
+
+// keyVersion tags the encoding format. Bump on ANY change to what or how
+// fields are hashed.
+const keyVersion = "wormnoc-canon/1\n"
+
+// Key returns the canonical cache key of one analysis request: the
+// hex-encoded SHA-256 of the versioned encoding of the system document
+// and the normalised options.
+func Key(doc traffic.Document, opt core.Options) string {
+	h := sha256.New()
+	h.Write([]byte(keyVersion))
+	hashDocument(h, doc)
+	hashOptions(h, opt)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SystemKey returns the canonical key of the system alone (topology,
+// router configuration and flow set, no analysis options). The serving
+// layer keys its pool of warm engines by it: every method and option
+// combination over one system shares one engine and hence one set of
+// interference sets.
+func SystemKey(doc traffic.Document) string {
+	h := sha256.New()
+	h.Write([]byte(keyVersion))
+	hashDocument(h, doc)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Normalize returns opt with the equivalence classes of the stability
+// contract collapsed to one representative: method names resolved,
+// "default" iteration caps made explicit, and out-of-range overrides
+// zeroed. Key hashes the normalised form, so callers only need Normalize
+// when they want to inspect or store what was actually keyed.
+func Normalize(opt core.Options) core.Options {
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = core.DefaultMaxIterations
+	}
+	if opt.BufDepth < 0 {
+		opt.BufDepth = 0
+	}
+	return opt
+}
+
+func hashDocument(h hash.Hash, doc traffic.Document) {
+	str(h, "mesh")
+	num(h, int64(doc.Mesh.Width))
+	num(h, int64(doc.Mesh.Height))
+	num(h, int64(doc.Mesh.BufDepth))
+	num(h, int64(doc.Mesh.NumVCs))
+	num(h, doc.Mesh.LinkLatency)
+	num(h, doc.Mesh.RouteLatency)
+	str(h, "flows")
+	num(h, int64(len(doc.Flows)))
+	for _, f := range doc.Flows {
+		str(h, f.Name)
+		num(h, int64(f.Priority))
+		num(h, f.Period)
+		num(h, f.Deadline)
+		num(h, f.Jitter)
+		num(h, int64(f.Length))
+		num(h, int64(f.Src))
+		num(h, int64(f.Dst))
+	}
+	// The document comment is presentation-only and deliberately not
+	// hashed: it cannot influence the analysis.
+}
+
+func hashOptions(h hash.Hash, opt core.Options) {
+	opt = Normalize(opt)
+	str(h, "opts")
+	str(h, opt.Method.String())
+	num(h, int64(opt.BufDepth))
+	boolean(h, opt.Eq7)
+	boolean(h, opt.NoUpstreamFallback)
+	num(h, int64(opt.MaxIterations))
+}
+
+// str writes a length-prefixed string, so ("ab","c") and ("a","bc")
+// hash differently.
+func str(h hash.Hash, s string) {
+	num(h, int64(len(s)))
+	h.Write([]byte(s))
+}
+
+func num(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+func boolean(h hash.Hash, v bool) {
+	if v {
+		num(h, 1)
+	} else {
+		num(h, 0)
+	}
+}

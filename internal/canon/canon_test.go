@@ -1,0 +1,135 @@
+package canon
+
+import (
+	"strings"
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/traffic"
+	"wormnoc/internal/workload"
+)
+
+func didacticDoc() traffic.Document {
+	return workload.Didactic(2).ToDocument()
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	opt := core.Options{Method: core.IBN, BufDepth: 2}
+	k1 := Key(didacticDoc(), opt)
+	k2 := Key(didacticDoc(), opt)
+	if k1 != k2 {
+		t.Fatalf("identical requests keyed differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 || strings.ToLower(k1) != k1 {
+		t.Fatalf("key is not lower-case sha256 hex: %q", k1)
+	}
+}
+
+// The didactic key is pinned: it must survive process restarts and
+// refactors of the encoder. If this test fails, the encoding changed and
+// keyVersion MUST be bumped (then update the constant here).
+func TestKeyPinnedAcrossProcesses(t *testing.T) {
+	got := Key(didacticDoc(), core.Options{Method: core.IBN, BufDepth: 2})
+	const want = "cdec552530653adc34fb4317269e0fbd5094b578e8af6902c209e2042b4b97c9"
+	if got != want {
+		t.Fatalf("canonical key drifted:\n got  %s\n want %s\n(bump keyVersion if the encoding changed on purpose)", got, want)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	base := didacticDoc()
+	baseOpt := core.Options{Method: core.IBN, BufDepth: 2}
+	baseKey := Key(base, baseOpt)
+
+	mutations := map[string]func() (traffic.Document, core.Options){
+		"method": func() (traffic.Document, core.Options) {
+			return didacticDoc(), core.Options{Method: core.XLWX, BufDepth: 2}
+		},
+		"bufdepth": func() (traffic.Document, core.Options) {
+			return didacticDoc(), core.Options{Method: core.IBN, BufDepth: 3}
+		},
+		"eq7": func() (traffic.Document, core.Options) {
+			return didacticDoc(), core.Options{Method: core.IBN, BufDepth: 2, Eq7: true}
+		},
+		"nofallback": func() (traffic.Document, core.Options) {
+			return didacticDoc(), core.Options{Method: core.IBN, BufDepth: 2, NoUpstreamFallback: true}
+		},
+		"maxiter": func() (traffic.Document, core.Options) {
+			return didacticDoc(), core.Options{Method: core.IBN, BufDepth: 2, MaxIterations: 7}
+		},
+		"mesh-buf": func() (traffic.Document, core.Options) {
+			d := didacticDoc()
+			d.Mesh.BufDepth++
+			return d, baseOpt
+		},
+		"flow-period": func() (traffic.Document, core.Options) {
+			d := didacticDoc()
+			d.Flows[0].Period++
+			return d, baseOpt
+		},
+		"flow-name": func() (traffic.Document, core.Options) {
+			d := didacticDoc()
+			d.Flows[0].Name += "x"
+			return d, baseOpt
+		},
+		"flow-order": func() (traffic.Document, core.Options) {
+			d := didacticDoc()
+			d.Flows[0], d.Flows[1] = d.Flows[1], d.Flows[0]
+			return d, baseOpt
+		},
+	}
+	for name, mutate := range mutations {
+		doc, opt := mutate()
+		if Key(doc, opt) == baseKey {
+			t.Errorf("mutation %q did not change the key", name)
+		}
+	}
+}
+
+// Length-prefixed strings: shifting a byte between adjacent fields must
+// not collide.
+func TestKeyNoFieldBleed(t *testing.T) {
+	a := didacticDoc()
+	a.Flows[0].Name = "ab"
+	a.Flows[1].Name = "c"
+	b := didacticDoc()
+	b.Flows[0].Name = "a"
+	b.Flows[1].Name = "bc"
+	if Key(a, core.Options{Method: core.SB}) == Key(b, core.Options{Method: core.SB}) {
+		t.Fatal("adjacent string fields bleed into each other")
+	}
+}
+
+func TestKeyNormalisation(t *testing.T) {
+	doc := didacticDoc()
+	// Unset and explicit-default iteration caps are the same request.
+	k0 := Key(doc, core.Options{Method: core.IBN})
+	kDef := Key(doc, core.Options{Method: core.IBN, MaxIterations: core.DefaultMaxIterations})
+	if k0 != kDef {
+		t.Error("MaxIterations 0 and DefaultMaxIterations keyed differently")
+	}
+	kNeg := Key(doc, core.Options{Method: core.IBN, BufDepth: -1})
+	if kNeg != k0 {
+		t.Error("negative and zero BufDepth keyed differently")
+	}
+	// The comment is presentation-only.
+	doc.Commen = "a remark"
+	if Key(doc, core.Options{Method: core.IBN}) != k0 {
+		t.Error("document comment leaked into the key")
+	}
+}
+
+func TestSystemKeyIgnoresOptions(t *testing.T) {
+	doc := didacticDoc()
+	if SystemKey(doc) != SystemKey(doc) {
+		t.Fatal("SystemKey not deterministic")
+	}
+	if SystemKey(doc) == Key(doc, core.Options{Method: core.SB}) {
+		t.Fatal("SystemKey should differ from a full request key")
+	}
+	changed := didacticDoc()
+	changed.Flows[2].Length++
+	if SystemKey(doc) == SystemKey(changed) {
+		t.Fatal("SystemKey insensitive to the flow set")
+	}
+}

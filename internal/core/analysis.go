@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"wormnoc/internal/noc"
@@ -32,6 +33,8 @@ const (
 	SLA
 )
 
+// String returns the method's canonical name ("SB", "XLWX", "IBN",
+// "SLA"), the inverse of ParseMethod.
 func (m Method) String() string {
 	switch m {
 	case SB:
@@ -70,12 +73,16 @@ type Options struct {
 	// must not be used for real guarantees.
 	NoUpstreamFallback bool
 	// MaxIterations caps the response-time fixed-point iteration per flow
-	// (0 means a generous default). The iteration is monotone, so the cap
-	// only triggers on pathological inputs.
+	// (0 means DefaultMaxIterations). The iteration is monotone, so the
+	// cap only triggers on pathological inputs.
 	MaxIterations int
 }
 
-const defaultMaxIterations = 1 << 20
+// DefaultMaxIterations is the per-flow fixed-point iteration cap applied
+// when Options.MaxIterations is zero or negative. Exported so cache-key
+// canonicalisation (internal/canon) can map "unset" and "default" to the
+// same key.
+const DefaultMaxIterations = 1 << 20
 
 // FlowStatus describes the outcome of analysing one flow.
 type FlowStatus int
@@ -92,6 +99,8 @@ const (
 	Diverged
 )
 
+// String returns the status as a lower-case hyphenated word, e.g.
+// "schedulable" or "deadline-miss" (the wire form used by cmd/nocserve).
 func (st FlowStatus) String() string {
 	switch st {
 	case Schedulable:
@@ -141,6 +150,13 @@ func Analyze(sys *traffic.System, opt Options) (*Result, error) {
 	return NewEngine(sys).Analyze(opt)
 }
 
+// AnalyzeContext is Analyze with early cancellation: the run aborts with
+// ctx.Err() as soon as the context expires, checked between flows and
+// every few fixed-point iterations (see Engine.AnalyzeContext).
+func AnalyzeContext(ctx context.Context, sys *traffic.System, opt Options) (*Result, error) {
+	return NewEngine(sys).AnalyzeContext(ctx, opt)
+}
+
 // AnalyzeWithSets is Analyze with pre-built interference sets, allowing
 // several analyses of the same flow set (e.g. SB vs XLWX vs IBN at
 // several buffer depths) to share the set construction.
@@ -167,6 +183,10 @@ type analyzer struct {
 	opt  Options
 	m    method
 	ar   *arena
+	// ctx cancels the run early; checked between flows and periodically
+	// inside the fixed-point loop. Never nil (context.Background() when
+	// the caller supplied none).
+	ctx context.Context
 	// R and status of flows already analysed (higher priority first);
 	// views into the arena.
 	R        []noc.Cycles
@@ -189,9 +209,18 @@ func ceilDiv(a, b noc.Cycles) noc.Cycles {
 	return (a + b - 1) / b
 }
 
+// ctxCheckInterval is how many fixed-point iterations pass between
+// context-cancellation checks. A power of two so the check compiles to a
+// mask; small enough that even a 1ms deadline aborts a pathological
+// iteration promptly.
+const ctxCheckInterval = 64
+
 // analyzeFlow computes the response-time bound of flow i, assuming all
-// higher-priority flows have been analysed already.
-func (a *analyzer) analyzeFlow(i int) {
+// higher-priority flows have been analysed already. It returns a non-nil
+// error only when the run's context was cancelled mid-iteration; every
+// analytical outcome (including divergence) is reported via the flow's
+// status instead.
+func (a *analyzer) analyzeFlow(i int) error {
 	defer func() { a.analyzed[i] = true }()
 	fi := a.sys.Flow(i)
 	ci := a.sys.C(i)
@@ -207,19 +236,19 @@ func (a *analyzer) analyzeFlow(i int) {
 	for _, j := range a.sets.Direct(i) {
 		if a.status[j] != Schedulable {
 			a.status[i] = DependencyFailed
-			return
+			return nil
 		}
 		jitter, hit, err := a.m.term(a, i, j)
 		if err != nil {
 			a.status[i] = DependencyFailed
-			return
+			return nil
 		}
 		t := term{jitter: jitter, period: a.sys.Flow(j).Period, hit: hit}
 		if blockPerEpisode > 0 {
 			replays, err := a.replayEpisodes(i, j)
 			if err != nil {
 				a.status[i] = DependencyFailed
-				return
+				return nil
 			}
 			t.replays = replays
 		}
@@ -228,6 +257,11 @@ func (a *analyzer) analyzeFlow(i int) {
 
 	r := ci
 	for iter := 0; ; iter++ {
+		if iter%ctxCheckInterval == 0 {
+			if err := a.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		a.tel.Iterations++
 		next := ci
 		episodes := noc.Cycles(1)
@@ -240,18 +274,18 @@ func (a *analyzer) analyzeFlow(i int) {
 		if next == r {
 			a.R[i] = r
 			a.status[i] = Schedulable
-			return
+			return nil
 		}
 		r = next
 		if r > fi.Deadline {
 			a.R[i] = r
 			a.status[i] = DeadlineMiss
-			return
+			return nil
 		}
 		if iter >= a.opt.MaxIterations {
 			a.R[i] = r
 			a.status[i] = Diverged
-			return
+			return nil
 		}
 	}
 }

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+	"wormnoc/internal/workload"
+)
+
+func TestAnalyzeContextCancelled(t *testing.T) {
+	sys := workload.Didactic(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := core.NewEngine(sys).AnalyzeContext(ctx, core.Options{Method: core.IBN})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestAnalyzeContextNilAndBackground(t *testing.T) {
+	sys := workload.Didactic(2)
+	eng := core.NewEngine(sys)
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		res, err := eng.AnalyzeContext(ctx, core.Options{Method: core.IBN})
+		if err != nil {
+			t.Fatalf("ctx %v: %v", ctx, err)
+		}
+		if res.R(2) != 348 {
+			t.Fatalf("ctx %v: R(τ3) = %d, want 348", ctx, res.R(2))
+		}
+	}
+}
+
+// A deadline must abort a single pathological flow mid-iteration, not
+// just between flows: the victim flow below sits at the convergence
+// boundary (its interferer fully loads the shared link), so its
+// fixed-point walks towards a 2^40-cycle deadline in ~C-sized steps.
+func TestAnalyzeContextDeadlineInsideFixedPoint(t *testing.T) {
+	topo := noc.MustMesh(2, 1, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	sys := traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "hog", Priority: 1, Period: 100, Deadline: 100, Length: 98, Src: 0, Dst: 1},
+		{Name: "victim", Priority: 2, Period: 1 << 40, Deadline: 1 << 40, Length: 58, Src: 0, Dst: 1},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := core.NewEngine(sys).AnalyzeContext(ctx, core.Options{Method: core.SB, MaxIterations: 1 << 30})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", elapsed)
+	}
+}
+
+// A cancelled run must leave the engine fully usable (the arena goes
+// back to the pool in a resettable state).
+func TestEngineReusableAfterCancellation(t *testing.T) {
+	sys := workload.Didactic(2)
+	eng := core.NewEngine(sys)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.AnalyzeContext(ctx, core.Options{Method: core.IBN}); err == nil {
+		t.Fatal("cancelled run did not error")
+	}
+	res, err := eng.Analyze(core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R(2) != 348 {
+		t.Fatalf("post-cancellation R(τ3) = %d, want 348", res.R(2))
+	}
+}

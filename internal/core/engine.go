@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -176,23 +177,29 @@ func prepare(opt Options) (method, Options, error) {
 		return nil, opt, fmt.Errorf("core: unknown analysis method %d", int(opt.Method))
 	}
 	if opt.MaxIterations <= 0 {
-		opt.MaxIterations = defaultMaxIterations
+		opt.MaxIterations = DefaultMaxIterations
 	}
 	return m, opt, nil
 }
 
 // run executes one full analysis pass (highest to lowest priority) and
 // returns the analyzer holding the final per-flow state. The caller
-// must release it via e.release.
-func (e *Engine) run(opt Options) (*analyzer, error) {
+// must release it via e.release. A cancelled context aborts the pass
+// between flows or mid-iteration and surfaces ctx.Err(); the partially
+// filled analyzer is released here, never returned.
+func (e *Engine) run(ctx context.Context, opt Options) (*analyzer, error) {
 	m, opt, err := prepare(opt)
 	if err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	a := e.acquire(opt, m)
+	a.ctx = ctx
 	for _, i := range e.sys.ByPriority() {
 		t0 := time.Now()
-		a.analyzeFlow(i)
+		err := a.analyzeFlow(i)
 		d := time.Since(t0).Nanoseconds()
 		a.ar.flowNanos[i] = d
 		a.tel.FlowNanos += d
@@ -200,6 +207,11 @@ func (e *Engine) run(opt Options) (*analyzer, error) {
 			a.tel.MaxFlowNanos = d
 		}
 		a.tel.Flows++
+		if err != nil {
+			a.tel.Runs = 1
+			e.release(a)
+			return nil, err
+		}
 	}
 	a.tel.Runs = 1
 	return a, nil
@@ -208,18 +220,28 @@ func (e *Engine) run(opt Options) (*analyzer, error) {
 // Analyze computes worst-case response-time bounds for every flow of the
 // engine's system under the selected analysis.
 func (e *Engine) Analyze(opt Options) (*Result, error) {
-	res, _, err := e.analyze(opt, false)
+	return e.AnalyzeContext(context.Background(), opt)
+}
+
+// AnalyzeContext is Analyze with early cancellation: when ctx expires the
+// run stops and returns ctx.Err() instead of a result. Cancellation is
+// checked before each flow and every ctxCheckInterval fixed-point
+// iterations, so even a single pathological flow (huge deadline, load at
+// the convergence boundary) aborts promptly rather than iterating to
+// MaxIterations. A nil ctx is treated as context.Background().
+func (e *Engine) AnalyzeContext(ctx context.Context, opt Options) (*Result, error) {
+	res, _, err := e.analyzeContext(ctx, opt, false)
 	return res, err
 }
 
 // AnalyzeWithTelemetry is Analyze plus a per-run telemetry snapshot
 // including per-flow wall times.
 func (e *Engine) AnalyzeWithTelemetry(opt Options) (*Result, Telemetry, error) {
-	return e.analyze(opt, true)
+	return e.analyzeContext(context.Background(), opt, true)
 }
 
-func (e *Engine) analyze(opt Options, wantTelemetry bool) (*Result, Telemetry, error) {
-	a, err := e.run(opt)
+func (e *Engine) analyzeContext(ctx context.Context, opt Options, wantTelemetry bool) (*Result, Telemetry, error) {
+	a, err := e.run(ctx, opt)
 	if err != nil {
 		return nil, Telemetry{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -75,7 +76,7 @@ func (e *Engine) Explain(opt Options, flow int) (*Breakdown, error) {
 	if flow < 0 || flow >= e.sys.NumFlows() {
 		return nil, fmt.Errorf("core: flow index %d out of range (%d flows)", flow, e.sys.NumFlows())
 	}
-	a, err := e.run(opt)
+	a, err := e.run(context.Background(), opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"wormnoc/internal/noc"
 )
 
@@ -42,6 +46,36 @@ func init() {
 	registerMethod(XLWX, xlwxMethod{})
 	registerMethod(IBN, ibnMethod{})
 	registerMethod(SLA, slaMethod{})
+}
+
+// Methods returns the selectors of every registered analysis in
+// ascending selector order. The set is fixed at init time, so the result
+// is stable for the lifetime of the process.
+func Methods() []Method {
+	out := make([]Method, 0, len(methods))
+	for id := range methods {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// ParseMethod maps a case-insensitive analysis name ("IBN", "xlwx", …)
+// to its selector — the inverse of Method.String. It is the single
+// parser shared by the CLIs and the HTTP service, so an unknown name
+// yields the same error text everywhere.
+func ParseMethod(s string) (Method, error) {
+	want := strings.ToUpper(strings.TrimSpace(s))
+	for _, id := range Methods() {
+		if id.String() == want {
+			return id, nil
+		}
+	}
+	names := make([]string, 0, len(methods))
+	for _, id := range Methods() {
+		names = append(names, id.String())
+	}
+	return 0, fmt.Errorf("core: unknown analysis method %q (want one of %s)", s, strings.Join(names, ", "))
 }
 
 // baseExplainTerm fills the method-independent fields of a breakdown

@@ -15,6 +15,17 @@
 // analyses: direct sets S^D, indirect sets S^I, and the upstream /
 // downstream partitions of indirect interferers introduced by Xiong et
 // al. to characterise MPB.
+//
+// # Concurrency
+//
+// An Engine is safe for concurrent use: the interference sets it wraps
+// are immutable after construction, every Analyze/Explain call checks
+// out a private arena from a sync.Pool, and the cumulative Telemetry is
+// mutex-guarded. Analyses accept a context (AnalyzeContext) and honour
+// cancellation between flows and inside the fixed-point loops, so a
+// caller-imposed deadline aborts even a single pathological flow
+// promptly. The long-lived serving layer (internal/serve) relies on both
+// guarantees to share one warm engine per system across requests.
 package core
 
 import (

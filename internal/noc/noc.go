@@ -58,6 +58,8 @@ const (
 	Ejection
 )
 
+// String returns the lowercase kind name ("injection", "mesh" or
+// "ejection").
 func (k LinkKind) String() string {
 	switch k {
 	case Injection:
@@ -82,6 +84,7 @@ const (
 	numDirections
 )
 
+// String returns the lowercase compass name of the direction.
 func (d Direction) String() string {
 	switch d {
 	case East:
@@ -111,6 +114,8 @@ type Link struct {
 	Dst  RouterID
 }
 
+// String renders the link in the paper's λ notation, distinguishing
+// node↔router (injection/ejection) from router→router (mesh) hops.
 func (l Link) String() string {
 	switch l.Kind {
 	case Injection:
@@ -325,6 +330,8 @@ func (t *Topology) ContainsNode(n NodeID) bool {
 	return n >= 0 && int(n) < t.NumNodes()
 }
 
+// String summarises the mesh shape and router configuration on one
+// line, e.g. "mesh 4x4 (16 nodes, 80 links, buf=4 linkl=1 routl=0)".
 func (t *Topology) String() string {
 	return fmt.Sprintf("mesh %dx%d (%d nodes, %d links, buf=%d linkl=%d routl=%d)",
 		t.w, t.h, t.NumNodes(), t.NumLinks(),

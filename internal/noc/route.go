@@ -67,6 +67,8 @@ func (r Route) Equal(o Route) bool {
 	return true
 }
 
+// String renders the route as its bracketed link-ID sequence, e.g.
+// "[3 17 22]".
 func (r Route) String() string {
 	parts := make([]string, len(r))
 	for i, l := range r {
@@ -88,6 +90,7 @@ const (
 	YX
 )
 
+// String returns the conventional policy name, "XY" or "YX".
 func (p RoutingPolicy) String() string {
 	switch p {
 	case XY:

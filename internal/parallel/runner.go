@@ -31,6 +31,16 @@ type Runner struct {
 	Progress func(done, total int)
 }
 
+// RunContext is Run with ctx taking the place of the runner's Context
+// field for this call only. It lets a shared, long-lived Runner (e.g.
+// the serving layer's batch fan-out) impose per-call deadlines without
+// mutating the Runner, which would race with concurrent callers.
+func (r *Runner) RunContext(ctx context.Context, n int, fn func(i int) error) error {
+	call := *r
+	call.Context = ctx
+	return call.Run(n, fn)
+}
+
 // Run executes fn(i) for every i in [0, n) and returns the first error
 // recorded (or the context's error when cancelled externally). fn must
 // be safe for concurrent invocation on distinct indices.

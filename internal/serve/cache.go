@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a size-bounded, mutex-guarded least-recently-used cache
+// with string keys. It backs both the result cache (canonical request
+// key → response) and the warm-engine pool (system key → *core.Engine).
+//
+// All methods are safe for concurrent use. Get marks the entry most
+// recently used; Put inserts or refreshes and evicts the least recently
+// used entry once the capacity is exceeded, invoking onEvict (outside
+// any later use, but under the cache lock — keep callbacks cheap).
+type lruCache[V any] struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	onEvict func(key string, v V)
+}
+
+type lruEntry[V any] struct {
+	key string
+	v   V
+}
+
+// newLRU returns a cache bounded to capacity entries (minimum 1).
+func newLRU[V any](capacity int, onEvict func(string, V)) *lruCache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache[V]{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element, capacity),
+		onEvict: onEvict,
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lruCache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).v, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts (or refreshes) key → v, evicting the least recently used
+// entry when the cache is full.
+func (c *lruCache[V]) Put(key string, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry[V]).v = v
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, v: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*lruEntry[V])
+		delete(c.items, e.key)
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.v)
+		}
+	}
+}
+
+// Values returns a snapshot of every cached value, most recently used
+// first, without touching recency.
+func (c *lruCache[V]) Values() []V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]V, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry[V]).v)
+	}
+	return out
+}
+
+// Len returns the current number of entries.
+func (c *lruCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,108 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"wormnoc/internal/serve"
+	"wormnoc/internal/workload"
+)
+
+// A client analyses the paper's didactic example (Table II) over HTTP:
+// POST the system + method to /v1/analyze and read per-flow bounds back.
+// The same request JSON works against a real `nocserve` deployment; the
+// httptest server only exists so this example is compiler-checked.
+func Example_analyzeEndpoint() {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+
+	request := serve.AnalyzeRequest{
+		System:  workload.Didactic(2).ToDocument(),
+		Method:  "IBN",
+		Options: &serve.RequestOptions{BufDepth: 2},
+	}
+	payload, _ := json.Marshal(request)
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var out serve.AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("status:", resp.StatusCode)
+	fmt.Println("schedulable:", out.Schedulable)
+	for _, f := range out.Flows {
+		fmt.Printf("%s R=%d (%s)\n", f.Name, f.R, f.Status)
+	}
+	// Output:
+	// status: 200
+	// schedulable: true
+	// τ1 R=62 (schedulable)
+	// τ2 R=328 (schedulable)
+	// τ3 R=348 (schedulable)
+}
+
+// Re-sending an identical request is served from the result cache: no
+// re-analysis, and the response says so.
+func Example_resultCache() {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+
+	payload, _ := json.Marshal(serve.AnalyzeRequest{
+		System: workload.Didactic(2).ToDocument(),
+		Method: "XLWX",
+	})
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out serve.AnalyzeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("request %d: R(τ3)=%d cached=%v\n", i+1, out.Flows[2].R, out.Cached)
+	}
+	// Output:
+	// request 1: R(τ3)=460 cached=false
+	// request 2: R(τ3)=460 cached=true
+}
+
+// A buffer-depth sweep as one batch call: the same flow set at several
+// buffer depths, fanned out over the server's worker pool.
+func Example_batchEndpoint() {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+
+	req := serve.BatchRequest{Method: "IBN"}
+	for _, buf := range []int{2, 4, 10} {
+		doc := workload.Didactic(buf).ToDocument()
+		req.Systems = append(req.Systems, doc)
+	}
+	payload, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var out serve.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	for i, item := range out.Results {
+		fmt.Printf("buf=%d R(τ3)=%d\n", []int{2, 4, 10}[i], item.Flows[2].R)
+	}
+	// Output:
+	// buf=2 R(τ3)=348
+	// buf=4 R(τ3)=360
+	// buf=10 R(τ3)=396
+}

@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"wormnoc/internal/canon"
+	"wormnoc/internal/core"
+	"wormnoc/internal/parallel"
+	"wormnoc/internal/traffic"
+)
+
+// RequestOptions mirrors core.Options on the wire (see docs/API.md).
+// All fields are optional; the zero value selects the defaults the CLIs
+// use.
+type RequestOptions struct {
+	// BufDepth overrides buf(Ξ) for IBN/SLA when > 0.
+	BufDepth int `json:"buf,omitempty"`
+	// Eq7 selects the un-clamped Equation-7 ablation (IBN only; unsafe).
+	Eq7 bool `json:"eq7,omitempty"`
+	// NoUpstreamFallback disables IBN's upstream-interference safety
+	// fallback (ablation; unsafe).
+	NoUpstreamFallback bool `json:"no_upstream_fallback,omitempty"`
+	// MaxIterations caps the per-flow fixed-point iteration (0 = the
+	// engine default).
+	MaxIterations int `json:"max_iterations,omitempty"`
+}
+
+func (o *RequestOptions) toCore(m core.Method) core.Options {
+	opt := core.Options{Method: m}
+	if o != nil {
+		opt.BufDepth = o.BufDepth
+		opt.Eq7 = o.Eq7
+		opt.NoUpstreamFallback = o.NoUpstreamFallback
+		opt.MaxIterations = o.MaxIterations
+	}
+	return opt
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	// System is the platform + flow set, in the same schema as the CLIs'
+	// flow-set files (internal/traffic.Document).
+	System traffic.Document `json:"system"`
+	// Method names the analysis: "SB", "SLA", "XLWX" or "IBN".
+	Method string `json:"method"`
+	// Options tunes the analysis (optional).
+	Options *RequestOptions `json:"options,omitempty"`
+	// TimeoutMs is this request's deadline in milliseconds; 0 selects
+	// the server default, larger values are capped by it.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// FlowResult is one flow's outcome inside an AnalyzeResponse.
+type FlowResult struct {
+	Name     string `json:"name,omitempty"`
+	Priority int    `json:"priority"`
+	// C is the zero-load latency (Equation 1), R the worst-case bound,
+	// both in cycles. R is meaningful for statuses "schedulable" and
+	// "deadline-miss" only.
+	C        int64  `json:"c"`
+	Deadline int64  `json:"deadline"`
+	R        int64  `json:"r"`
+	Status   string `json:"status"`
+}
+
+// AnalyzeResponse is the body of a successful POST /v1/analyze, and of
+// each successful element of a batch.
+type AnalyzeResponse struct {
+	Method      string       `json:"method"`
+	Schedulable bool         `json:"schedulable"`
+	Flows       []FlowResult `json:"flows"`
+	// Key is the canonical request hash the result is cached under.
+	Key string `json:"key"`
+	// Cached reports whether this response was served from the result
+	// cache without re-analysis.
+	Cached bool `json:"cached"`
+	// ElapsedUs is the analysis wall time of the run that produced the
+	// result (not of this request when Cached).
+	ElapsedUs int64 `json:"elapsed_us"`
+}
+
+// BatchRequest is the body of POST /v1/batch: one method + options
+// applied to many systems (the design-space-exploration shape: same
+// analysis, varied topology/flow set).
+type BatchRequest struct {
+	Systems   []traffic.Document `json:"systems"`
+	Method    string             `json:"method"`
+	Options   *RequestOptions    `json:"options,omitempty"`
+	TimeoutMs int64              `json:"timeout_ms,omitempty"`
+}
+
+// BatchItem is one system's outcome inside a BatchResponse: either an
+// embedded AnalyzeResponse or an error, never both.
+type BatchItem struct {
+	*AnalyzeResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of POST /v1/batch. Results are indexed like
+// the request's systems.
+type BatchResponse struct {
+	Results   []BatchItem `json:"results"`
+	CacheHits int         `json:"cache_hits"`
+}
+
+// MethodInfo describes one registered analysis at GET /v1/methods.
+type MethodInfo struct {
+	Name string `json:"name"`
+	// Safe reports whether the analysis is a sound upper bound under
+	// multi-point progressive blocking. Unsafe analyses are served for
+	// comparison studies only.
+	Safe        bool   `json:"safe"`
+	Description string `json:"description"`
+}
+
+// methodCatalog carries the human-facing metadata of the analyses the
+// core registry cannot know.
+var methodCatalog = map[core.Method]MethodInfo{
+	core.SB:   {Safe: false, Description: "Shi & Burns 2008; historic baseline, optimistic (unsafe) under multi-point progressive blocking"},
+	core.SLA:  {Safe: false, Description: "simplified stage-level analysis; buffer-aware refinement of SB, still unsafe under MPB"},
+	core.XLWX: {Safe: true, Description: "Xiong et al. 2017 with the interference-jitter fix (Eq. 5); safe state-of-the-art baseline"},
+	core.IBN:  {Safe: true, Description: "the paper's buffer-aware analysis (Eqs. 6-8); never looser than XLWX"},
+}
+
+// decodeStrict decodes r into v, rejecting unknown fields and trailing
+// garbage so schema typos fail loudly instead of silently analysing a
+// default.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// analyzeOne runs (or cache-serves) one system+options pair. It is the
+// shared core of /v1/analyze and each /v1/batch element. The returned
+// status is the HTTP status the outcome maps to; resp is nil unless
+// status is 200.
+func (s *Server) analyzeOne(ctx context.Context, doc traffic.Document, opt core.Options) (resp *AnalyzeResponse, status int, err error) {
+	key := canon.Key(doc, opt)
+	if cached, ok := s.results.Get(key); ok {
+		s.met.recordCache(true)
+		hit := *cached
+		hit.Cached = true
+		return &hit, http.StatusOK, nil
+	}
+	s.met.recordCache(false)
+
+	eng, err := s.engine(doc)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	t0 := time.Now()
+	res, err := eng.AnalyzeContext(ctx, opt)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, http.StatusGatewayTimeout, err
+		}
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	sys := eng.System()
+	out := &AnalyzeResponse{
+		Method:      opt.Method.String(),
+		Schedulable: res.Schedulable,
+		Flows:       make([]FlowResult, sys.NumFlows()),
+		Key:         key,
+		ElapsedUs:   time.Since(t0).Microseconds(),
+	}
+	for i := range out.Flows {
+		f := sys.Flow(i)
+		out.Flows[i] = FlowResult{
+			Name:     f.Name,
+			Priority: f.Priority,
+			C:        int64(sys.C(i)),
+			Deadline: int64(f.Deadline),
+			R:        int64(res.Flows[i].R),
+			Status:   res.Flows[i].Status.String(),
+		}
+	}
+	s.results.Put(key, out)
+	return out, http.StatusOK, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	m, err := core.ParseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	opt := req.Options.toCore(m)
+
+	// Cache hits are served without an admission slot: they do no
+	// analysis work, and shedding them would defeat the cache.
+	key := canon.Key(req.System, opt)
+	if cached, ok := s.results.Get(key); ok {
+		s.met.recordCache(true)
+		hit := *cached
+		hit.Cached = true
+		writeJSON(w, http.StatusOK, &hit)
+		return
+	}
+
+	release := s.admit()
+	if release == nil {
+		s.met.recordShed()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "analysis capacity saturated (%d in flight), retry later", s.cfg.MaxInFlight)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMs))
+	defer cancel()
+	resp, status, err := s.analyzeOne(ctx, req.System, opt)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Systems) == 0 {
+		writeError(w, http.StatusUnprocessableEntity, "batch names no systems")
+		return
+	}
+	if len(req.Systems) > s.cfg.MaxBatchSystems {
+		writeError(w, http.StatusUnprocessableEntity, "batch of %d systems exceeds the cap of %d", len(req.Systems), s.cfg.MaxBatchSystems)
+		return
+	}
+	m, err := core.ParseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	opt := req.Options.toCore(m)
+
+	// One admission slot covers the whole batch; its internal fan-out is
+	// bounded separately by BatchWorkers.
+	release := s.admit()
+	if release == nil {
+		s.met.recordShed()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "analysis capacity saturated (%d in flight), retry later", s.cfg.MaxInFlight)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMs))
+	defer cancel()
+
+	out := BatchResponse{Results: make([]BatchItem, len(req.Systems))}
+	runner := &parallel.Runner{Workers: s.cfg.BatchWorkers}
+	// Per-item outcomes (including per-item analysis errors) land in the
+	// result slice; the runner only aborts the fan-out when the shared
+	// context dies, so one bad system cannot cancel its siblings.
+	runErr := runner.RunContext(ctx, len(req.Systems), func(i int) error {
+		resp, _, err := s.analyzeOne(ctx, req.Systems[i], opt)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			out.Results[i] = BatchItem{Error: err.Error()}
+			return nil
+		}
+		out.Results[i] = BatchItem{AnalyzeResponse: resp}
+		return nil
+	})
+	if runErr != nil {
+		writeError(w, http.StatusGatewayTimeout, "batch aborted: %v", runErr)
+		return
+	}
+	for i := range out.Results {
+		if res := out.Results[i].AnalyzeResponse; res != nil && res.Cached {
+			out.CacheHits++
+		}
+	}
+	writeJSON(w, http.StatusOK, &out)
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	ids := core.Methods()
+	out := make([]MethodInfo, 0, len(ids))
+	for _, id := range ids {
+		info := methodCatalog[id]
+		info.Name = id.String()
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.met.snapshot(
+		len(s.sem), s.cfg.MaxInFlight,
+		s.results.Len(), s.cfg.ResultCacheSize,
+		s.engines.Len(), s.cfg.EngineCacheSize,
+		s.liveTelemetry(),
+	)
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}

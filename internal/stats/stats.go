@@ -77,6 +77,8 @@ func Percentile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// String renders the summary's order statistics on one line for tables
+// and log output.
 func (s Summary) String() string {
 	if s.Count == 0 {
 		return "n=0"

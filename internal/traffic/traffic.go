@@ -61,6 +61,8 @@ func (f Flow) Validate() error {
 	return nil
 }
 
+// String renders the flow's full parameter tuple in the paper's τ
+// notation, useful in test failures and debug logs.
 func (f Flow) String() string {
 	return fmt.Sprintf("τ%q(P=%d L=%d T=%d D=%d J=%d %d→%d)",
 		f.Name, f.Priority, f.Length, f.Period, f.Deadline, f.Jitter, int(f.Src), int(f.Dst))
