@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 
+	"wormnoc/internal/faultinject"
 	"wormnoc/internal/noc"
 	"wormnoc/internal/traffic"
 )
@@ -217,7 +219,8 @@ const ctxCheckInterval = 64
 
 // analyzeFlow computes the response-time bound of flow i, assuming all
 // higher-priority flows have been analysed already. It returns a non-nil
-// error only when the run's context was cancelled mid-iteration; every
+// error only when the run's context was cancelled mid-iteration (or a
+// fault was injected at the fixed-point site under test); every
 // analytical outcome (including divergence) is reported via the flow's
 // status instead.
 func (a *analyzer) analyzeFlow(i int) error {
@@ -260,6 +263,11 @@ func (a *analyzer) analyzeFlow(i int) error {
 		if iter%ctxCheckInterval == 0 {
 			if err := a.ctx.Err(); err != nil {
 				return err
+			}
+			if faultinject.Enabled() {
+				if err := faultinject.Fire(a.ctx, faultinject.SiteCoreFixedPoint, strconv.Itoa(i)); err != nil {
+					return err
+				}
 			}
 		}
 		a.tel.Iterations++

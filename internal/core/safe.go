@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"wormnoc/internal/traffic"
+)
+
+// InternalError is a library invariant violation (a panic inside
+// internal/noc, internal/traffic or this package) converted into a
+// typed error at a Guard/AnalyzeSafe boundary. Long-lived callers — the
+// serving layer above all — use these boundaries so an adversarial or
+// malformed system that trips an internal panic (e.g. the memo-key
+// check in sets.go) degrades into an error response instead of killing
+// the process.
+type InternalError struct {
+	// Op names the guarded operation, e.g. "analyze" or "engine build".
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("core: internal error in %s: %v", e.Op, e.Value)
+}
+
+// Guard runs fn and converts a panic into an *InternalError tagged with
+// op. A panic value that already is an *InternalError is passed through
+// unchanged, so nested guards do not re-wrap.
+func Guard(op string, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if ie, ok := v.(*InternalError); ok {
+				err = ie
+				return
+			}
+			err = &InternalError{Op: op, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// NewEngineSafe is NewEngine behind a Guard: a panic while building the
+// interference sets (malformed routes, inconsistent priorities that
+// slipped past validation) returns an *InternalError instead of
+// propagating.
+func NewEngineSafe(sys *traffic.System) (e *Engine, err error) {
+	err = Guard("engine build", func() error {
+		e = NewEngine(sys)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// AnalyzeSafe is AnalyzeContext behind a Guard: any panic raised inside
+// the analysis (invariant violations in the interference sets, the
+// solver, or a registered method) is returned as an *InternalError so
+// callers never see a raw panic. This is the boundary the serving layer
+// crosses for every request.
+func (e *Engine) AnalyzeSafe(ctx context.Context, opt Options) (res *Result, err error) {
+	err = Guard("analyze", func() error {
+		var aerr error
+		res, aerr = e.AnalyzeContext(ctx, opt)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/faultinject"
+	"wormnoc/internal/workload"
+)
+
+func TestGuardConvertsPanic(t *testing.T) {
+	err := core.Guard("demo", func() error { panic("invariant violated") })
+	var ie *core.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v (%T), want *InternalError", err, err)
+	}
+	if ie.Op != "demo" || ie.Value != "invariant violated" {
+		t.Fatalf("InternalError = {Op:%q, Value:%v}", ie.Op, ie.Value)
+	}
+	if len(ie.Stack) == 0 {
+		t.Fatal("stack not captured")
+	}
+	if !strings.Contains(ie.Error(), "internal error in demo") {
+		t.Fatalf("Error() = %q", ie.Error())
+	}
+}
+
+func TestGuardPassesThroughErrorsAndNil(t *testing.T) {
+	sentinel := errors.New("plain")
+	if err := core.Guard("demo", func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("plain error not passed through: %v", err)
+	}
+	if err := core.Guard("demo", func() error { return nil }); err != nil {
+		t.Fatalf("nil not passed through: %v", err)
+	}
+}
+
+func TestGuardDoesNotRewrapNestedInternalError(t *testing.T) {
+	inner := &core.InternalError{Op: "inner", Value: "v"}
+	err := core.Guard("outer", func() error { panic(inner) })
+	var ie *core.InternalError
+	if !errors.As(err, &ie) || ie != inner {
+		t.Fatalf("nested guard re-wrapped: %v", err)
+	}
+}
+
+func TestAnalyzeSafeHappyPath(t *testing.T) {
+	eng, err := core.NewEngineSafe(workload.Didactic(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.AnalyzeSafe(context.Background(), core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R(2) != 348 {
+		t.Fatalf("R(τ3) = %d, want 348", res.R(2))
+	}
+}
+
+// An injected panic inside the fixed-point loop must surface as a typed
+// *InternalError from AnalyzeSafe — and the raw AnalyzeContext would
+// have propagated it, which is exactly what the boundary contains.
+func TestAnalyzeSafeContainsInjectedPanic(t *testing.T) {
+	faultinject.Enable(faultinject.New(7).Add(faultinject.Fault{
+		Site: faultinject.SiteCoreFixedPoint,
+		Kind: faultinject.KindPanic,
+	}))
+	defer faultinject.Disable()
+
+	eng, err := core.NewEngineSafe(workload.Didactic(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.AnalyzeSafe(context.Background(), core.Options{Method: core.IBN})
+	var ie *core.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v (%T), want *InternalError", err, err)
+	}
+	if ie.Op != "analyze" {
+		t.Fatalf("Op = %q, want analyze", ie.Op)
+	}
+	if !strings.Contains(ie.Error(), "injected panic at core.fixedpoint") {
+		t.Fatalf("Error() = %q", ie.Error())
+	}
+
+	// The engine stays usable once the injector is gone.
+	faultinject.Disable()
+	res, err := eng.AnalyzeSafe(context.Background(), core.Options{Method: core.IBN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R(2) != 348 {
+		t.Fatalf("post-recovery R(τ3) = %d, want 348", res.R(2))
+	}
+}
+
+// An injected transient error in the fixed point surfaces unchanged
+// (AnalyzeSafe only converts panics, not errors), preserving its
+// Transient marker for the retry policy above.
+func TestAnalyzeSafePassesThroughInjectedError(t *testing.T) {
+	faultinject.Enable(faultinject.New(7).Add(faultinject.Fault{
+		Site: faultinject.SiteCoreFixedPoint,
+		Kind: faultinject.KindError,
+	}))
+	defer faultinject.Disable()
+
+	eng := core.NewEngine(workload.Didactic(2))
+	_, err := eng.AnalyzeSafe(context.Background(), core.Options{Method: core.IBN})
+	var fe *faultinject.InjectedError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v (%T), want *faultinject.InjectedError", err, err)
+	}
+	if !fe.Transient() {
+		t.Fatal("injected error lost its Transient marker")
+	}
+}

@@ -1,0 +1,102 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// PanicError is a worker panic converted into an error: the Runner
+// recovers every task panic so one corrupted task cannot kill the
+// process (and, in the serving layer, every in-flight request with it).
+// It carries the task index and the stack captured at recovery.
+type PanicError struct {
+	// Index is the task index whose function panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.Index, e.Value)
+}
+
+// newPanicError captures the current stack; call it from a deferred
+// recover only.
+func newPanicError(i int, v any) *PanicError {
+	return &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+}
+
+// TaskErrors aggregates the per-index failures of a KeepGoing run. It
+// is returned by Runner.Run when at least one task failed; tasks absent
+// from the set either succeeded or were never started (context
+// cancelled before dispatch).
+type TaskErrors struct {
+	// NumTasks is the n the run was invoked with.
+	NumTasks int
+	byIndex  map[int]error
+}
+
+// add records err for task i, allocating on first use.
+func (e *TaskErrors) add(i int, err error) *TaskErrors {
+	if e == nil {
+		e = &TaskErrors{byIndex: make(map[int]error)}
+	}
+	e.byIndex[i] = err
+	return e
+}
+
+// Len returns the number of failed tasks.
+func (e *TaskErrors) Len() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.byIndex)
+}
+
+// Of returns the error recorded for task i (nil when the task
+// succeeded or never ran).
+func (e *TaskErrors) Of(i int) error {
+	if e == nil {
+		return nil
+	}
+	return e.byIndex[i]
+}
+
+// Indices returns the failed task indices in ascending order.
+func (e *TaskErrors) Indices() []int {
+	if e == nil {
+		return nil
+	}
+	out := make([]int, 0, len(e.byIndex))
+	for i := range e.byIndex {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (e *TaskErrors) Error() string {
+	idx := e.Indices()
+	if len(idx) == 0 {
+		return "parallel: no task errors"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel: %d of %d task(s) failed; first (task %d): %v",
+		len(idx), e.NumTasks, idx[0], e.byIndex[idx[0]])
+	return b.String()
+}
+
+// Unwrap exposes the recorded errors (ascending task index) to
+// errors.Is / errors.As.
+func (e *TaskErrors) Unwrap() []error {
+	idx := e.Indices()
+	out := make([]error, len(idx))
+	for k, i := range idx {
+		out[k] = e.byIndex[i]
+	}
+	return out
+}

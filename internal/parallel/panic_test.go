@@ -1,0 +1,227 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// A panic in task 0 with a single worker (the serial path) must come
+// back as a typed *PanicError carrying index and stack — never crash
+// the calling goroutine.
+func TestPanicIsolatedSerial(t *testing.T) {
+	err := (&Runner{Workers: 1}).Run(10, func(i int) error {
+		if i == 0 {
+			panic("task zero exploded")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 0 {
+		t.Errorf("panic index = %d, want 0", pe.Index)
+	}
+	if pe.Value != "task zero exploded" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "panic_test") {
+		t.Errorf("stack not captured at the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(pe.Error(), "task 0 panicked") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+// A panic on the concurrent path cancels the pool like a task error and
+// is returned as the first error.
+func TestPanicIsolatedConcurrent(t *testing.T) {
+	var ran int64
+	err := (&Runner{Workers: 4}).Run(200, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 7 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 7 {
+		t.Errorf("panic index = %d, want 7", pe.Index)
+	}
+}
+
+// A task that cancels the external context and then panics: the panic
+// (a task error) takes precedence over the context error, and the pool
+// still shuts down cleanly.
+func TestPanicAfterContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := (&Runner{Workers: 2, Context: ctx}).Run(50, func(i int) error {
+		if i == 0 {
+			cancel()
+			panic("after cancel")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError (task error precedence over ctx)", err)
+	}
+	if pe.Value != "after cancel" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+}
+
+// KeepGoing with every task failing returns a *TaskErrors covering all
+// indices, and every task runs.
+func TestKeepGoingAllTasksFail(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		const n = 23
+		var ran int64
+		err := (&Runner{Workers: w, KeepGoing: true}).Run(n, func(i int) error {
+			atomic.AddInt64(&ran, 1)
+			return fmt.Errorf("fail %d", i)
+		})
+		if ran != n {
+			t.Fatalf("workers=%d: ran %d tasks, want %d", w, ran, n)
+		}
+		var te *TaskErrors
+		if !errors.As(err, &te) {
+			t.Fatalf("workers=%d: err = %v (%T), want *TaskErrors", w, err, err)
+		}
+		if te.Len() != n || te.NumTasks != n {
+			t.Fatalf("workers=%d: %d/%d failures recorded, want %d/%d", w, te.Len(), te.NumTasks, n, n)
+		}
+		for i := 0; i < n; i++ {
+			if got := te.Of(i); got == nil || got.Error() != fmt.Sprintf("fail %d", i) {
+				t.Fatalf("workers=%d: Of(%d) = %v", w, i, got)
+			}
+		}
+		if got := len(te.Unwrap()); got != n {
+			t.Fatalf("workers=%d: Unwrap() has %d errors, want %d", w, got, n)
+		}
+		if !strings.Contains(te.Error(), fmt.Sprintf("%d of %d", n, n)) {
+			t.Errorf("workers=%d: Error() = %q", w, te.Error())
+		}
+	}
+}
+
+// KeepGoing records panics per index as *PanicError while siblings keep
+// running to completion.
+func TestKeepGoingRecordsPanicsPerIndex(t *testing.T) {
+	const n = 40
+	var ran int64
+	err := (&Runner{Workers: 4, KeepGoing: true}).Run(n, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i%10 == 3 {
+			panic(i)
+		}
+		return nil
+	})
+	if ran != n {
+		t.Fatalf("ran %d tasks, want %d (KeepGoing must not cancel)", ran, n)
+	}
+	var te *TaskErrors
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v (%T), want *TaskErrors", err, err)
+	}
+	wantIdx := []int{3, 13, 23, 33}
+	if got := te.Indices(); len(got) != len(wantIdx) {
+		t.Fatalf("failed indices %v, want %v", got, wantIdx)
+	}
+	for _, i := range wantIdx {
+		var pe *PanicError
+		if !errors.As(te.Of(i), &pe) || pe.Index != i || pe.Value != i {
+			t.Fatalf("Of(%d) = %v, want *PanicError{Index:%d, Value:%d}", i, te.Of(i), i, i)
+		}
+	}
+}
+
+// Progress callbacks under panics: serialised, strictly monotone, and
+// counting only successful tasks.
+func TestProgressOrderingUnderPanics(t *testing.T) {
+	for _, keepGoing := range []bool{true, false} {
+		for _, w := range []int{1, 4} {
+			var seen []int
+			const n = 30
+			err := (&Runner{
+				Workers:   w,
+				KeepGoing: keepGoing,
+				Progress:  func(done, total int) { seen = append(seen, done) },
+			}).Run(n, func(i int) error {
+				if i%7 == 2 {
+					panic("drop")
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatalf("keepGoing=%v workers=%d: expected an error", keepGoing, w)
+			}
+			for k, d := range seen {
+				if d != k+1 {
+					t.Fatalf("keepGoing=%v workers=%d: progress not monotone from 1: %v", keepGoing, w, seen)
+				}
+			}
+			if keepGoing {
+				// Every non-panicking task completes: n minus the 5
+				// panicking indices (2, 9, 16, 23, 30 is out of range →
+				// 2, 9, 16, 23).
+				want := 0
+				for i := 0; i < n; i++ {
+					if i%7 != 2 {
+						want++
+					}
+				}
+				if len(seen) != want {
+					t.Fatalf("workers=%d: %d progress calls, want %d", w, len(seen), want)
+				}
+			}
+		}
+	}
+}
+
+// KeepGoing with a cancelled context: started tasks' failures are
+// reported, unstarted tasks are absent (no phantom errors), and with no
+// task failures the context error is surfaced.
+func TestKeepGoingContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := (&Runner{Workers: 3, Context: ctx, KeepGoing: true}).Run(10, func(i int) error {
+		return fmt.Errorf("fail %d", i)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (nothing ran)", err)
+	}
+}
+
+// RunContext with KeepGoing: mixed successes and failures leave the
+// successes untouched.
+func TestKeepGoingMixed(t *testing.T) {
+	results := make([]int, 10)
+	err := (&Runner{Workers: 2, KeepGoing: true}).RunContext(context.Background(), 10, func(i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("odd %d", i)
+		}
+		results[i] = i * i
+		return nil
+	})
+	var te *TaskErrors
+	if !errors.As(err, &te) || te.Len() != 5 {
+		t.Fatalf("err = %v, want *TaskErrors with 5 failures", err)
+	}
+	for i := 0; i < 10; i += 2 {
+		if results[i] != i*i {
+			t.Fatalf("successful task %d result lost", i)
+		}
+		if te.Of(i) != nil {
+			t.Fatalf("task %d succeeded but has error %v", i, te.Of(i))
+		}
+	}
+}

@@ -1,22 +1,31 @@
 // Package parallel provides the worker-pool runner shared by the
-// experiment harness (internal/exp) and the simulator's parameter
-// sweeps (internal/sim). It exists as its own package because both of
-// those import-wise unrelated layers need the same semantics: bounded
+// experiment harness (internal/exp), the simulator's parameter sweeps
+// (internal/sim) and the serving layer's batch fan-out
+// (internal/serve). It exists as its own package because those
+// import-wise unrelated layers need the same semantics: bounded
 // concurrency, deterministic task indexing, early cancellation on the
-// first error, and serialised progress callbacks.
+// first error, serialised progress callbacks — and, since the fault-
+// containment work, panic isolation: a panicking task becomes a typed
+// *PanicError instead of killing the process.
 package parallel
 
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
+
+	"wormnoc/internal/faultinject"
 )
 
 // Runner executes independent tasks on a bounded worker pool.
 //
-// Unlike a fire-and-forget pool, a Runner stops dispatching as soon as a
-// task fails or the context is cancelled: at most Workers tasks that
-// were already in flight still complete, everything else is skipped.
+// By default a Runner stops dispatching as soon as a task fails or the
+// context is cancelled: at most Workers tasks that were already in
+// flight still complete, everything else is skipped. With KeepGoing the
+// pool instead records per-index failures and runs every task. In both
+// modes a task panic is recovered and converted into a *PanicError; it
+// never propagates to the caller's goroutine or crashes the process.
 // The zero value is a valid runner using all CPUs and no cancellation.
 type Runner struct {
 	// Workers bounds concurrency; 0 (or negative) selects GOMAXPROCS.
@@ -27,8 +36,14 @@ type Runner struct {
 	Context context.Context
 	// Progress, when non-nil, is called after every successfully
 	// completed task with the number done so far and the total. Calls
-	// are serialised; done is monotonically increasing.
+	// are serialised; done is monotonically increasing. Failed tasks do
+	// not count as done.
 	Progress func(done, total int)
+	// KeepGoing, when true, records failures per task index instead of
+	// cancelling the pool: every task runs (unless the context dies
+	// first) and Run returns a *TaskErrors aggregating the failures.
+	// The serving layer uses this for per-item batch isolation.
+	KeepGoing bool
 }
 
 // RunContext is Run with ctx taking the place of the runner's Context
@@ -41,9 +56,30 @@ func (r *Runner) RunContext(ctx context.Context, n int, fn func(i int) error) er
 	return call.Run(n, fn)
 }
 
-// Run executes fn(i) for every i in [0, n) and returns the first error
-// recorded (or the context's error when cancelled externally). fn must
-// be safe for concurrent invocation on distinct indices.
+// safeCall runs fn(i) with the pool's fault-injection hook and panic
+// containment: a panic in the task (or injected at the site) is
+// recovered into a *PanicError carrying the index and stack.
+func safeCall(ctx context.Context, i int, fn func(i int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = newPanicError(i, v)
+		}
+	}()
+	if faultinject.Enabled() {
+		if ferr := faultinject.Fire(ctx, faultinject.SiteParallelTask, strconv.Itoa(i)); ferr != nil {
+			return ferr
+		}
+	}
+	return fn(i)
+}
+
+// Run executes fn(i) for every i in [0, n). In the default mode it
+// returns the first error recorded — a task's own error, a *PanicError
+// for a recovered panic, or the context's error when cancelled
+// externally. With KeepGoing it returns a *TaskErrors when at least one
+// task failed, the context's error when the run was cut short with no
+// task failures, and nil otherwise. fn must be safe for concurrent
+// invocation on distinct indices.
 func (r *Runner) Run(n int, fn func(i int) error) error {
 	parent := r.Context
 	if parent == nil {
@@ -57,26 +93,49 @@ func (r *Runner) Run(n int, fn func(i int) error) error {
 		w = n
 	}
 	if w <= 1 {
-		for i := 0; i < n; i++ {
-			if err := parent.Err(); err != nil {
-				return err
-			}
-			if err := fn(i); err != nil {
-				return err
-			}
-			if r.Progress != nil {
-				r.Progress(i+1, n)
-			}
-		}
-		return nil
+		return r.runSerial(parent, n, fn)
 	}
+	return r.runPool(parent, w, n, fn)
+}
 
+func (r *Runner) runSerial(parent context.Context, n int, fn func(i int) error) error {
+	var te *TaskErrors
+	done := 0
+	for i := 0; i < n; i++ {
+		if err := parent.Err(); err != nil {
+			if te != nil {
+				te.NumTasks = n
+				return te
+			}
+			return err
+		}
+		if err := safeCall(parent, i, fn); err != nil {
+			if !r.KeepGoing {
+				return err
+			}
+			te = te.add(i, err)
+			continue
+		}
+		done++
+		if r.Progress != nil {
+			r.Progress(done, n)
+		}
+	}
+	if te != nil {
+		te.NumTasks = n
+		return te
+	}
+	return parent.Err()
+}
+
+func (r *Runner) runPool(parent context.Context, w, n int, fn func(i int) error) error {
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		te       *TaskErrors
 		done     int
 	)
 	work := make(chan int)
@@ -90,9 +149,14 @@ func (r *Runner) Run(n int, fn func(i int) error) error {
 				if ctx.Err() != nil {
 					continue
 				}
-				err := fn(i)
+				err := safeCall(ctx, i, fn)
 				mu.Lock()
 				if err != nil {
+					if r.KeepGoing {
+						te = te.add(i, err)
+						mu.Unlock()
+						continue
+					}
 					if firstErr == nil {
 						firstErr = err
 					}
@@ -122,6 +186,10 @@ dispatch:
 	defer mu.Unlock()
 	if firstErr != nil {
 		return firstErr
+	}
+	if te != nil {
+		te.NumTasks = n
+		return te
 	}
 	return parent.Err()
 }

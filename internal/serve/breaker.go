@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker lifecycle.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-method error-budget circuit breaker. Each analysis
+// method (SB, SLA, XLWX, IBN) carries its own sliding window of recent
+// run outcomes; when the count of *internal* faults (recovered panics,
+// core.InternalError, injected transient faults — never client errors
+// or deadline expiries) in the window reaches the threshold, the method
+// trips open and its requests are shed with 503 until the cooldown
+// expires. A tripped method does not affect its siblings: XLWX keeps
+// serving while IBN is open. After the cooldown one probe request is
+// let through (half-open); success closes the breaker and clears the
+// window, another internal fault re-opens it for a fresh cooldown.
+//
+// /healthz reports the open methods as a degraded-readiness state.
+type breaker struct {
+	mu        sync.Mutex
+	window    int
+	threshold int
+	cooldown  time.Duration
+	// now is replaceable for tests.
+	now     func() time.Time
+	methods map[string]*methodBreaker
+	trips   int64
+	shed    int64
+}
+
+type methodBreaker struct {
+	// ring holds the last `window` outcomes (true = internal fault).
+	ring      []bool
+	idx, n    int
+	fails     int
+	state     breakerState
+	openUntil time.Time
+	// probing guards the half-open state: only one request probes.
+	probing bool
+}
+
+func newBreaker(window, threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		window:    window,
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		methods:   make(map[string]*methodBreaker),
+	}
+}
+
+func (b *breaker) method(name string) *methodBreaker {
+	m, ok := b.methods[name]
+	if !ok {
+		m = &methodBreaker{ring: make([]bool, b.window)}
+		b.methods[name] = m
+	}
+	return m
+}
+
+// allow reports whether a request for the method may run. Shed requests
+// (false) are counted.
+func (b *breaker) allow(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.method(name)
+	switch m.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Before(m.openUntil) {
+			b.shed++
+			return false
+		}
+		m.state = breakerHalfOpen
+		m.probing = true
+		return true
+	default: // half-open
+		if m.probing {
+			b.shed++
+			return false
+		}
+		m.probing = true
+		return true
+	}
+}
+
+// record feeds one run outcome into the method's window. internalFault
+// marks server-side faults only; client errors and timeouts count as
+// successes for error-budget purposes.
+func (b *breaker) record(name string, internalFault bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.method(name)
+	switch m.state {
+	case breakerHalfOpen:
+		m.probing = false
+		if internalFault {
+			m.state = breakerOpen
+			m.openUntil = b.now().Add(b.cooldown)
+			b.trips++
+			return
+		}
+		// Probe succeeded: close with a clean window.
+		m.state = breakerClosed
+		for i := range m.ring {
+			m.ring[i] = false
+		}
+		m.idx, m.n, m.fails = 0, 0, 0
+		return
+	case breakerOpen:
+		// A straggler from before the trip; the window is moot.
+		return
+	}
+	if m.n == len(m.ring) {
+		if m.ring[m.idx] {
+			m.fails--
+		}
+	} else {
+		m.n++
+	}
+	m.ring[m.idx] = internalFault
+	if internalFault {
+		m.fails++
+	}
+	m.idx = (m.idx + 1) % len(m.ring)
+	if m.fails >= b.threshold {
+		m.state = breakerOpen
+		m.openUntil = b.now().Add(b.cooldown)
+		b.trips++
+	}
+}
+
+// openMethods returns the names of methods currently not closed
+// (open or probing half-open), sorted.
+func (b *breaker) openMethods() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for name, m := range b.methods {
+		if m.state != breakerClosed {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// counters returns the cumulative trip and shed counts.
+func (b *breaker) counters() (trips, shed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.shed
+}

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"wormnoc/internal/faultinject"
+	"wormnoc/internal/traffic"
+)
+
+// faultMetrics is the "faults" object of GET /metrics, used to
+// reconcile the counters against the injector's fired counts.
+type faultMetrics struct {
+	Faults struct {
+		Panics       int64    `json:"panics"`
+		ItemPanics   int64    `json:"item_panics"`
+		Retries      int64    `json:"retries"`
+		BreakerTrips int64    `json:"breaker_trips"`
+		BreakerShed  int64    `json:"breaker_shed"`
+		BreakerOpen  []string `json:"breaker_open"`
+	} `json:"faults"`
+}
+
+// The headline chaos test: a batch of 32 distinct systems with panics
+// injected into 8 of them must come back 200 with 24 correct results
+// and 8 typed per-item errors, the server must keep serving afterwards,
+// and the /metrics fault counters must reconcile exactly with the
+// injector's fired counts.
+func TestChaosBatchPartialSuccess(t *testing.T) {
+	panicIdx := map[int]bool{1: true, 5: true, 9: true, 13: true, 17: true, 21: true, 25: true, 29: true}
+	var keys []string
+	for i := range panicIdx {
+		keys = append(keys, strconv.Itoa(i))
+	}
+	in := faultinject.New(1).Add(faultinject.Fault{
+		Site: faultinject.SiteServeBatchItem,
+		Kind: faultinject.KindPanic,
+		Keys: keys,
+	})
+	faultinject.Enable(in)
+	defer faultinject.Disable()
+
+	// A high threshold keeps the circuit breaker out of this test.
+	srv := New(Config{BreakerThreshold: 1000})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 32
+	systems := make([]traffic.Document, n)
+	for i := range systems {
+		systems[i] = didacticDoc()
+		systems[i].Mesh.BufDepth = i + 1 // 32 distinct systems
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Systems: systems, Method: "XLWX"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (want 200 despite 8 injected panics): %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != n {
+		t.Fatalf("got %d results, want %d", len(out.Results), n)
+	}
+	for i, item := range out.Results {
+		if panicIdx[i] {
+			if item.AnalyzeResponse != nil {
+				t.Fatalf("item %d: panic was injected but a result came back: %+v", i, item)
+			}
+			if item.Code != errCodePanic {
+				t.Fatalf("item %d: code %q, want %q (error %q)", i, item.Code, errCodePanic, item.Error)
+			}
+			if !strings.Contains(item.Error, "injected panic at serve.batch.item") {
+				t.Fatalf("item %d: error %q does not name the injected panic", i, item.Error)
+			}
+			continue
+		}
+		if item.AnalyzeResponse == nil || item.Error != "" || item.Code != "" {
+			t.Fatalf("item %d: healthy system failed: %+v", i, item)
+		}
+		// XLWX is buffer-independent: every system bounds R(τ3) = 460.
+		if r := item.Flows[2].R; r != 460 {
+			t.Fatalf("item %d: R(τ3) = %d, want 460", i, r)
+		}
+	}
+	if out.Failed != len(panicIdx) {
+		t.Fatalf("failed = %d, want %d", out.Failed, len(panicIdx))
+	}
+
+	// The metrics counters reconcile exactly with the injector.
+	if fired := in.TotalFired(); fired != int64(len(panicIdx)) {
+		t.Fatalf("injector fired %d faults, want %d", fired, len(panicIdx))
+	}
+	var met faultMetrics
+	getJSON(t, ts.URL+"/metrics", &met)
+	if met.Faults.ItemPanics != in.TotalFired() {
+		t.Fatalf("item_panics = %d, want %d (injector fired)", met.Faults.ItemPanics, in.TotalFired())
+	}
+	if met.Faults.Panics != 0 || met.Faults.Retries != 0 || met.Faults.BreakerTrips != 0 {
+		t.Fatalf("unexpected fault counters: %+v", met.Faults)
+	}
+
+	// The server keeps serving after the chaos.
+	faultinject.Disable()
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up analyze after chaos: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// A transient fault inside the engine's fixed point is retried with
+// backoff and succeeds on the second attempt; the item reports the
+// retry it consumed and /metrics counts it.
+func TestChaosTransientFaultRetried(t *testing.T) {
+	in := faultinject.New(1).Add(faultinject.Fault{
+		Site:  faultinject.SiteCoreFixedPoint,
+		Kind:  faultinject.KindError,
+		Times: 1,
+	})
+	faultinject.Enable(in)
+	defer faultinject.Disable()
+
+	srv := New(Config{RetryBackoff: time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Systems: []traffic.Document{didacticDoc()}, Method: "IBN",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	item := out.Results[0]
+	if item.AnalyzeResponse == nil {
+		t.Fatalf("item failed despite retry budget: %+v", item)
+	}
+	if item.Retries != 1 {
+		t.Fatalf("item consumed %d retries, want 1", item.Retries)
+	}
+	if r := item.Flows[2].R; r != 348 {
+		t.Fatalf("retried result R(τ3) = %d, want 348", r)
+	}
+	if in.TotalFired() != 1 {
+		t.Fatalf("injector fired %d, want 1", in.TotalFired())
+	}
+	var met faultMetrics
+	getJSON(t, ts.URL+"/metrics", &met)
+	if met.Faults.Retries != 1 {
+		t.Fatalf("retries counter = %d, want 1", met.Faults.Retries)
+	}
+	if met.Faults.ItemPanics != 0 || met.Faults.Panics != 0 {
+		t.Fatalf("unexpected panic counters: %+v", met.Faults)
+	}
+}
+
+// Repeated internal faults in one method trip its circuit breaker: that
+// method is shed with 503 while the others keep serving, /healthz turns
+// degraded naming the open method, and after the cooldown a successful
+// probe closes the breaker again.
+func TestChaosBreakerTripsAndRecovers(t *testing.T) {
+	faultinject.Enable(faultinject.New(1).Add(faultinject.Fault{
+		Site: faultinject.SiteServeBatchItem,
+		Kind: faultinject.KindPanic,
+	}))
+	defer faultinject.Disable()
+
+	srv := New(Config{BreakerWindow: 8, BreakerThreshold: 3, BreakerCooldown: time.Hour})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Three injected per-item panics in one IBN batch reach the
+	// threshold and trip the IBN breaker.
+	systems := make([]traffic.Document, 3)
+	for i := range systems {
+		systems[i] = didacticDoc()
+		systems[i].Mesh.BufDepth = i + 1
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Systems: systems, Method: "IBN"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tripping batch: status %d: %s", resp.StatusCode, body)
+	}
+
+	// IBN is now shed — batches and single analyses alike.
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("tripped method: status %d (want 503): %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("breaker 503 without Retry-After")
+	}
+
+	// Sibling methods keep serving: the fault site only fires in
+	// batches, so a plain XLWX analyze is healthy.
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "XLWX"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sibling method was shed too: status %d: %s", resp.StatusCode, body)
+	}
+
+	// /healthz reports degraded readiness naming the open method.
+	var health struct {
+		OK          bool     `json:"ok"`
+		Degraded    bool     `json:"degraded"`
+		OpenMethods []string `json:"open_methods"`
+	}
+	hresp := getJSON(t, ts.URL+"/healthz", &health)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d while degraded, want 200", hresp.StatusCode)
+	}
+	if health.OK || !health.Degraded {
+		t.Fatalf("healthz not degraded: %+v", health)
+	}
+	if len(health.OpenMethods) != 1 || health.OpenMethods[0] != "IBN" {
+		t.Fatalf("open_methods = %v, want [IBN]", health.OpenMethods)
+	}
+	var met faultMetrics
+	getJSON(t, ts.URL+"/metrics", &met)
+	if met.Faults.BreakerTrips != 1 {
+		t.Fatalf("breaker_trips = %d, want 1", met.Faults.BreakerTrips)
+	}
+	if met.Faults.BreakerShed == 0 {
+		t.Fatal("breaker_shed = 0 after a shed request")
+	}
+	if len(met.Faults.BreakerOpen) != 1 || met.Faults.BreakerOpen[0] != "IBN" {
+		t.Fatalf("breaker_open = %v, want [IBN]", met.Faults.BreakerOpen)
+	}
+
+	// Past the cooldown (fake clock) and with the fault gone, the next
+	// IBN request is the half-open probe; its success closes the breaker.
+	faultinject.Disable()
+	srv.brk.mu.Lock()
+	srv.brk.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	srv.brk.mu.Unlock()
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe after cooldown: status %d: %s", resp.StatusCode, body)
+	}
+	// The healthy body omits degraded/open_methods entirely; zero the
+	// struct so stale fields from the degraded decode can't leak in.
+	health.OK, health.Degraded, health.OpenMethods = false, false, nil
+	getJSON(t, ts.URL+"/healthz", &health)
+	if !health.OK || health.Degraded {
+		t.Fatalf("healthz still degraded after recovery: %+v", health)
+	}
+}
+
+// A panic classified out of the analysis path (here: injected into the
+// engine's fixed point) turns into a 500 with an incident ID — and the
+// server, not having died, serves the same request fine once the fault
+// is gone.
+func TestChaosAnalyzePanicBecomes500WithIncident(t *testing.T) {
+	faultinject.Enable(faultinject.New(1).Add(faultinject.Fault{
+		Site: faultinject.SiteCoreFixedPoint,
+		Kind: faultinject.KindPanic,
+	}))
+	defer faultinject.Disable()
+
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d (want 500): %s", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("500 body is not JSON: %s", body)
+	}
+	if e.IncidentID == "" || !strings.Contains(e.Error, e.IncidentID) {
+		t.Fatalf("500 carries no incident ID: %+v", e)
+	}
+	if !strings.Contains(e.Error, "internal error") {
+		t.Fatalf("error %q does not mark itself internal", e.Error)
+	}
+	var met faultMetrics
+	getJSON(t, ts.URL+"/metrics", &met)
+	if met.Faults.Panics != 1 {
+		t.Fatalf("panics counter = %d, want 1", met.Faults.Panics)
+	}
+
+	faultinject.Disable()
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server unhealthy after recovered panic: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// A panic escaping a handler entirely (here: injected into the engine
+// build, outside the per-item boundaries) is caught by the recovery
+// middleware: 500 + incident ID, process alive.
+func TestChaosWrapMiddlewareRecoversHandlerPanic(t *testing.T) {
+	faultinject.Enable(faultinject.New(1).Add(faultinject.Fault{
+		Site: faultinject.SiteServeEngineBuild,
+		Kind: faultinject.KindPanic,
+	}))
+	defer faultinject.Disable()
+
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d (want 500): %s", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("500 body is not JSON: %s", body)
+	}
+	if e.IncidentID == "" {
+		t.Fatalf("500 carries no incident ID: %+v", e)
+	}
+
+	faultinject.Disable()
+	resp, _ = postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server dead after handler panic: status %d", resp.StatusCode)
+	}
+}
+
+// Regression: a nil engine in the pool (only reachable through a bug in
+// the build path) must neither break the eviction callback nor the
+// /metrics telemetry walk.
+func TestNilEngineEvictionGuard(t *testing.T) {
+	srv := New(Config{EngineCacheSize: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.engines.Put("deliberately-nil", nil)
+	// liveTelemetry walks the pool and must skip the nil entry.
+	resp := getJSON(t, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics with a nil pooled engine: status %d", resp.StatusCode)
+	}
+	// Evicting the nil entry exercises the onEvict guard.
+	srv.engines.Put("other", nil)
+	if srv.engines.Len() != 1 {
+		t.Fatalf("pool len = %d, want 1", srv.engines.Len())
+	}
+	// The server still analyses (evicting "other", again nil).
+	resp2, body := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("analyze after nil evictions: status %d: %s", resp2.StatusCode, body)
+	}
+}

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzAnalyzeHandler drives arbitrary request bodies through the full
+// decode → validate → analyze pipeline of POST /v1/analyze. The
+// invariants: no panic escapes the handler stack (the fuzzer itself
+// crashes on one), the status is a sane HTTP code, and every response —
+// success or error — is valid JSON.
+func FuzzAnalyzeHandler(f *testing.F) {
+	valid, err := json.Marshal(AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"system": {}, "method": "IBN"}`))
+	f.Add([]byte(`{"system": {"mesh": {"width": 2, "height": 1, "buf": 1, "linkl": 1, "routl": 0}, "flows": []}, "method": "XLWX"}`))
+	f.Add([]byte(`{"system": {"mesh": {"width": -1, "height": 0, "buf": -5, "linkl": 1, "routl": 0}, "flows": [{"priority": 1, "period": 10, "deadline": 10, "length": 1, "src": 0, "dst": 99}]}, "method": "SB"}`))
+	f.Add([]byte(`{"system": {"mesh": {"width": 2, "height": 2, "buf": 1, "linkl": 1, "routl": 0}, "flows": [{"priority": 1, "period": 9223372036854775807, "deadline": 9223372036854775807, "length": 9223372036854775807, "src": 0, "dst": 3}]}, "method": "IBN", "options": {"max_iterations": 1073741824}, "timeout_ms": 9999999}`))
+	f.Add([]byte(`{"system": {"mesh": {"width": 2, "height": 1, "buf": 1, "linkl": 1, "routl": 0}, "flows": [{"priority": 1, "period": 10, "deadline": 10, "length": 1, "src": 0, "dst": 1}]}, "method": "IBN"} trailing`))
+
+	// A short server deadline keeps adversarial fixed points (huge
+	// periods, tiny links) from stalling the fuzzer.
+	srv := New(Config{DefaultTimeout: 200 * time.Millisecond, MaxRequestBytes: 1 << 20})
+	mux := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code < 200 || rec.Code > 599 {
+			t.Fatalf("status %d outside the HTTP range", rec.Code)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("status %d with a non-JSON body: %q", rec.Code, rec.Body.Bytes())
+		}
+	})
+}

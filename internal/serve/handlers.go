@@ -4,12 +4,17 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
+	"log"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"time"
 
 	"wormnoc/internal/canon"
 	"wormnoc/internal/core"
+	"wormnoc/internal/faultinject"
 	"wormnoc/internal/parallel"
 	"wormnoc/internal/traffic"
 )
@@ -94,18 +99,43 @@ type BatchRequest struct {
 	TimeoutMs int64              `json:"timeout_ms,omitempty"`
 }
 
+// Per-item error codes of a BatchItem (see docs/API.md). They classify
+// the failure so clients can decide what to do per item: re-submitting
+// an "invalid_system" is pointless, a "timeout" may succeed with a
+// larger budget, a "panic" should be reported with its message, and a
+// "transient" already consumed the server-side retry budget.
+const (
+	errCodeInvalid   = "invalid_system"
+	errCodeTimeout   = "timeout"
+	errCodePanic     = "panic"
+	errCodeTransient = "transient"
+)
+
 // BatchItem is one system's outcome inside a BatchResponse: either an
-// embedded AnalyzeResponse or an error, never both.
+// embedded AnalyzeResponse or an error (with its classification code),
+// never both. Items fail independently — a fault in one never discards
+// its siblings' results.
 type BatchItem struct {
 	*AnalyzeResponse
+	// Error is the human-readable failure (empty on success).
 	Error string `json:"error,omitempty"`
+	// Code classifies the failure: "invalid_system", "timeout", "panic"
+	// or "transient" (empty on success).
+	Code string `json:"code,omitempty"`
+	// Retries counts the server-side retry attempts this item consumed
+	// (transient faults only).
+	Retries int `json:"retries,omitempty"`
 }
 
 // BatchResponse is the body of POST /v1/batch. Results are indexed like
-// the request's systems.
+// the request's systems. The response is 200 whenever at least one item
+// produced a result (or no deadline expired); per-item failures are
+// reported in place.
 type BatchResponse struct {
 	Results   []BatchItem `json:"results"`
 	CacheHits int         `json:"cache_hits"`
+	// Failed counts the items that carry an error instead of a result.
+	Failed int `json:"failed"`
 }
 
 // MethodInfo describes one registered analysis at GET /v1/methods.
@@ -142,31 +172,78 @@ func decodeStrict(r io.Reader, v any) error {
 	return nil
 }
 
+// isTransient reports whether err (or anything it wraps) marks itself
+// as retryable via a Transient() bool method. Injected faults do;
+// invalid systems, deadline expiries and panics do not.
+func isTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// classifyError maps an analysis failure to its per-item error code and
+// the HTTP status it carries when it is the whole response.
+func classifyError(err error) (code string, status int) {
+	var pe *parallel.PanicError
+	var ie *core.InternalError
+	switch {
+	case errors.As(err, &pe), errors.As(err, &ie):
+		return errCodePanic, http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return errCodeTimeout, http.StatusGatewayTimeout
+	case isTransient(err):
+		return errCodeTransient, http.StatusInternalServerError
+	default:
+		return errCodeInvalid, http.StatusUnprocessableEntity
+	}
+}
+
+// isInternalFault reports whether err consumes the method's error
+// budget: panics and transient server-side faults do, client errors and
+// deadline expiries do not.
+func isInternalFault(err error) bool {
+	if err == nil {
+		return false
+	}
+	code, _ := classifyError(err)
+	return code == errCodePanic || code == errCodeTransient
+}
+
 // analyzeOne runs (or cache-serves) one system+options pair. It is the
 // shared core of /v1/analyze and each /v1/batch element. The returned
 // status is the HTTP status the outcome maps to; resp is nil unless
-// status is 200.
+// status is 200. Engine construction and the analysis itself run behind
+// the core panic boundary, so a library invariant violation surfaces as
+// a typed *core.InternalError, never a raw panic. An injected cache
+// fault degrades to recompute-and-don't-store rather than failing the
+// request.
 func (s *Server) analyzeOne(ctx context.Context, doc traffic.Document, opt core.Options) (resp *AnalyzeResponse, status int, err error) {
 	key := canon.Key(doc, opt)
-	if cached, ok := s.results.Get(key); ok {
-		s.met.recordCache(true)
-		hit := *cached
-		hit.Cached = true
-		return &hit, http.StatusOK, nil
+	cacheOK := true
+	if faultinject.Enabled() {
+		if ferr := faultinject.Fire(ctx, faultinject.SiteServeCacheGet, key); ferr != nil {
+			cacheOK = false
+		}
+	}
+	if cacheOK {
+		if cached, ok := s.results.Get(key); ok {
+			s.met.recordCache(true)
+			hit := *cached
+			hit.Cached = true
+			return &hit, http.StatusOK, nil
+		}
 	}
 	s.met.recordCache(false)
 
-	eng, err := s.engine(doc)
+	eng, err := s.engine(ctx, doc)
 	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err
+		_, status = classifyError(err)
+		return nil, status, err
 	}
 	t0 := time.Now()
-	res, err := eng.AnalyzeContext(ctx, opt)
+	res, err := eng.AnalyzeSafe(ctx, opt)
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			return nil, http.StatusGatewayTimeout, err
-		}
-		return nil, http.StatusUnprocessableEntity, err
+		_, status = classifyError(err)
+		return nil, status, err
 	}
 	sys := eng.System()
 	out := &AnalyzeResponse{
@@ -187,8 +264,41 @@ func (s *Server) analyzeOne(ctx context.Context, doc traffic.Document, opt core.
 			Status:   res.Flows[i].Status.String(),
 		}
 	}
-	s.results.Put(key, out)
+	if cacheOK {
+		putOK := true
+		if faultinject.Enabled() {
+			if ferr := faultinject.Fire(ctx, faultinject.SiteServeCachePut, key); ferr != nil {
+				putOK = false
+			}
+		}
+		if putOK {
+			s.results.Put(key, out)
+		}
+	}
 	return out, http.StatusOK, nil
+}
+
+// analyzeWithRetry is analyzeOne plus the bounded retry policy for
+// transient faults: up to cfg.ItemRetries re-attempts with doubling,
+// ±50%-jittered backoff, aborted early by the context. The returned
+// retries counts the re-attempts actually executed.
+func (s *Server) analyzeWithRetry(ctx context.Context, doc traffic.Document, opt core.Options) (resp *AnalyzeResponse, status, retries int, err error) {
+	for attempt := 0; ; attempt++ {
+		resp, status, err = s.analyzeOne(ctx, doc, opt)
+		if err == nil || attempt >= s.cfg.ItemRetries || !isTransient(err) || ctx.Err() != nil {
+			return resp, status, attempt, err
+		}
+		d := s.cfg.RetryBackoff << attempt
+		d = d/2 + time.Duration(rand.Int64N(int64(d)))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return resp, status, attempt, err
+		case <-t.C:
+		}
+		s.met.recordRetry()
+	}
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -215,6 +325,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The circuit breaker sheds only the tripped method; cache hits were
+	// already served above, mirroring admission control.
+	if !s.brk.allow(m.String()) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BreakerCooldown/time.Second)+1))
+		writeError(w, http.StatusServiceUnavailable, "analysis method %s is degraded (circuit open), retry later", m)
+		return
+	}
+
 	release := s.admit()
 	if release == nil {
 		s.met.recordShed()
@@ -226,8 +344,23 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMs))
 	defer cancel()
-	resp, status, err := s.analyzeOne(ctx, req.System, opt)
+	resp, status, _, err := s.analyzeWithRetry(ctx, req.System, opt)
+	if err != nil || !resp.Cached {
+		// Cache hits do no engine work and stay out of the error budget.
+		s.brk.record(m.String(), isInternalFault(err))
+	}
 	if err != nil {
+		code, _ := classifyError(err)
+		if code == errCodePanic {
+			id := incidentID()
+			log.Printf("serve: analysis fault (incident %s): %v", id, err)
+			s.met.recordPanic()
+			writeJSON(w, status, errorResponse{
+				Error:      fmt.Sprintf("%v (incident %s)", err, id),
+				IncidentID: id,
+			})
+			return
+		}
 		writeError(w, status, "%v", err)
 		return
 	}
@@ -255,6 +388,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	opt := req.Options.toCore(m)
 
+	// A batch names a single method, so a tripped breaker sheds the
+	// whole batch — and only batches (and analyses) of that method.
+	if !s.brk.allow(m.String()) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BreakerCooldown/time.Second)+1))
+		writeError(w, http.StatusServiceUnavailable, "analysis method %s is degraded (circuit open), retry later", m)
+		return
+	}
+
 	// One admission slot covers the whole batch; its internal fan-out is
 	// bounded separately by BatchWorkers.
 	release := s.admit()
@@ -269,31 +410,76 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMs))
 	defer cancel()
 
-	out := BatchResponse{Results: make([]BatchItem, len(req.Systems))}
-	runner := &parallel.Runner{Workers: s.cfg.BatchWorkers}
-	// Per-item outcomes (including per-item analysis errors) land in the
-	// result slice; the runner only aborts the fan-out when the shared
-	// context dies, so one bad system cannot cancel its siblings.
-	runErr := runner.RunContext(ctx, len(req.Systems), func(i int) error {
-		resp, _, err := s.analyzeOne(ctx, req.Systems[i], opt)
-		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
+	n := len(req.Systems)
+	out := BatchResponse{Results: make([]BatchItem, n)}
+	handled := make([]bool, n)
+	// Every item succeeds, fails or times out independently: the
+	// KeepGoing pool records per-index failures (including recovered
+	// panics) instead of cancelling siblings, and each item consumes its
+	// own retry budget for transient faults.
+	runner := &parallel.Runner{Workers: s.cfg.BatchWorkers, KeepGoing: true}
+	runErr := runner.RunContext(ctx, n, func(i int) error {
+		if faultinject.Enabled() {
+			if ferr := faultinject.Fire(ctx, faultinject.SiteServeBatchItem, strconv.Itoa(i)); ferr != nil {
+				return ferr
 			}
-			out.Results[i] = BatchItem{Error: err.Error()}
-			return nil
 		}
-		out.Results[i] = BatchItem{AnalyzeResponse: resp}
+		resp, _, retries, err := s.analyzeWithRetry(ctx, req.Systems[i], opt)
+		if err != nil || !resp.Cached {
+			s.brk.record(m.String(), isInternalFault(err))
+		}
+		if err != nil {
+			code, _ := classifyError(err)
+			if code == errCodePanic {
+				s.met.recordItemPanic()
+			}
+			out.Results[i] = BatchItem{Error: err.Error(), Code: code, Retries: retries}
+		} else {
+			out.Results[i] = BatchItem{AnalyzeResponse: resp, Retries: retries}
+		}
+		handled[i] = true
 		return nil
 	})
+	// Items the fn above never completed: a panic raised (or injected)
+	// at the task boundary — recorded per index by the KeepGoing pool —
+	// or a task never dispatched because the batch deadline expired.
+	var te *parallel.TaskErrors
 	if runErr != nil {
-		writeError(w, http.StatusGatewayTimeout, "batch aborted: %v", runErr)
-		return
+		errors.As(runErr, &te)
 	}
 	for i := range out.Results {
-		if res := out.Results[i].AnalyzeResponse; res != nil && res.Cached {
-			out.CacheHits++
+		if handled[i] {
+			continue
 		}
+		ierr := te.Of(i)
+		if ierr == nil {
+			cause := ctx.Err()
+			if cause == nil {
+				cause = context.DeadlineExceeded
+			}
+			ierr = fmt.Errorf("batch item not run: %w", cause)
+		}
+		code, _ := classifyError(ierr)
+		if code == errCodePanic {
+			s.met.recordItemPanic()
+			s.brk.record(m.String(), true)
+		}
+		out.Results[i] = BatchItem{Error: ierr.Error(), Code: code}
+	}
+	for i := range out.Results {
+		if res := out.Results[i].AnalyzeResponse; res != nil {
+			if res.Cached {
+				out.CacheHits++
+			}
+		} else {
+			out.Failed++
+		}
+	}
+	// Batch-level 504 only when the deadline expired and *every* item
+	// was lost; any partial success is a 200 with mixed results.
+	if out.Failed == n && ctx.Err() != nil {
+		writeError(w, http.StatusGatewayTimeout, "batch aborted, no item completed: %v", ctx.Err())
+		return
 	}
 	writeJSON(w, http.StatusOK, &out)
 }
@@ -310,15 +496,28 @@ func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	trips, shed := s.brk.counters()
 	snap := s.met.snapshot(
 		len(s.sem), s.cfg.MaxInFlight,
 		s.results.Len(), s.cfg.ResultCacheSize,
 		s.engines.Len(), s.cfg.EngineCacheSize,
 		s.liveTelemetry(),
+		trips, shed, s.brk.openMethods(),
 	)
 	writeJSON(w, http.StatusOK, snap)
 }
 
+// handleHealthz reports liveness plus the degraded-readiness state of
+// the circuit breaker: while one or more methods are tripped the server
+// stays up (200) but flags itself degraded and names the shed methods,
+// so orchestration can distinguish "partially serving" from "dead"
+// (draining is still a 503 via the wrap gate).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	open := s.brk.openMethods()
+	body := map[string]any{"ok": len(open) == 0}
+	if len(open) > 0 {
+		body["degraded"] = true
+		body["open_methods"] = open
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -26,6 +26,13 @@ type metrics struct {
 	// lat is a ring of the most recent analyze/batch latencies (µs).
 	lat  [latencyWindow]int64
 	latN int64 // total recorded, ring index = latN % latencyWindow
+	// Fault-containment counters: request-level recovered panics (500 +
+	// incident), per-batch-item recovered panics, and transient-fault
+	// retry attempts. Chaos tests reconcile these exactly against the
+	// fault injector's fired counts.
+	panics     int64
+	itemPanics int64
+	retries    int64
 	// retired accumulates the telemetry of evicted engines so the
 	// aggregate at /metrics never shrinks when the engine pool rotates.
 	retired core.Telemetry
@@ -69,6 +76,24 @@ func (m *metrics) recordCache(hit bool) {
 	}
 }
 
+func (m *metrics) recordPanic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
+}
+
+func (m *metrics) recordItemPanic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.itemPanics++
+}
+
+func (m *metrics) recordRetry() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retries++
+}
+
 func (m *metrics) retire(tel core.Telemetry) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -91,7 +116,8 @@ func percentile(sorted []int64, p int) int64 {
 // snapshot renders the counters into the wire form of GET /metrics.
 // liveTel is the summed telemetry of the engines currently in the pool;
 // the retired aggregate is added so evictions never lose counters.
-func (m *metrics) snapshot(inflight, maxInflight, cacheLen, cacheCap, engineLen, engineCap int, liveTel core.Telemetry) map[string]any {
+// breakerTrips/breakerShed/openMethods come from the circuit breaker.
+func (m *metrics) snapshot(inflight, maxInflight, cacheLen, cacheCap, engineLen, engineCap int, liveTel core.Telemetry, breakerTrips, breakerShed int64, openMethods []string) map[string]any {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -139,6 +165,14 @@ func (m *metrics) snapshot(inflight, maxInflight, cacheLen, cacheCap, engineLen,
 		"engines": map[string]any{
 			"entries":  engineLen,
 			"capacity": engineCap,
+		},
+		"faults": map[string]any{
+			"panics":        m.panics,
+			"item_panics":   m.itemPanics,
+			"retries":       m.retries,
+			"breaker_trips": breakerTrips,
+			"breaker_shed":  breakerShed,
+			"breaker_open":  append([]string{}, openMethods...),
 		},
 		"latency_us": map[string]any{
 			"count": m.latN,

@@ -36,17 +36,22 @@ package serve
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"wormnoc/internal/canon"
 	"wormnoc/internal/core"
+	"wormnoc/internal/faultinject"
 	"wormnoc/internal/traffic"
 )
 
@@ -74,6 +79,26 @@ type Config struct {
 	MaxBatchSystems int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// ItemRetries bounds how often one analysis unit (a request, or one
+	// batch item) is retried after a *transient* fault (errors exposing
+	// Transient() true, e.g. injected faults). Permanent errors —
+	// invalid systems, deadline expiries, panics — are never retried.
+	// Default 2; negative disables retries.
+	ItemRetries int
+	// RetryBackoff is the base backoff before the first retry, doubled
+	// per attempt and jittered ±50% to avoid retry synchronisation.
+	// Default 2ms.
+	RetryBackoff time.Duration
+	// BreakerWindow is the per-method sliding window of recent run
+	// outcomes the circuit breaker inspects. Default 64.
+	BreakerWindow int
+	// BreakerThreshold trips a method's breaker when at least this many
+	// internal faults (panics, core.InternalError, transient faults)
+	// sit in its window. Default 16.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped method sheds before a probe
+	// request is let through. Default 15s.
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +123,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchSystems <= 0 {
 		c.MaxBatchSystems = 1024
 	}
+	if c.ItemRetries == 0 {
+		c.ItemRetries = 2
+	}
+	if c.ItemRetries < 0 {
+		c.ItemRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 64
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 16
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 15 * time.Second
+	}
 	return c
 }
 
@@ -109,6 +152,7 @@ type Server struct {
 	engines  *lruCache[*core.Engine]
 	sem      chan struct{}
 	met      *metrics
+	brk      *breaker
 	mux      *http.ServeMux
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -125,9 +169,16 @@ func New(cfg Config) *Server {
 	}
 	s.results = newLRU[*AnalyzeResponse](s.cfg.ResultCacheSize, nil)
 	s.engines = newLRU[*core.Engine](s.cfg.EngineCacheSize, func(_ string, e *core.Engine) {
+		// A nil engine can only reach the pool through a bug in the
+		// build path, but a fault there must not take the eviction
+		// path (and the whole server) down with it.
+		if e == nil {
+			return
+		}
 		s.met.retire(e.Telemetry())
 	})
 	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
+	s.brk = newBreaker(s.cfg.BreakerWindow, s.cfg.BreakerThreshold, s.cfg.BreakerCooldown)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/analyze", s.wrap("analyze", true, s.handleAnalyze))
@@ -167,27 +218,65 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // statusRecorder captures the status code a handler writes, for the
-// per-status response counters.
+// per-status response counters and so the panic-recovery middleware
+// knows whether a 500 can still be written.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// wrap applies the request lifecycle shared by every endpoint: in-flight
-// tracking for graceful drain, the 503 gate while draining, body-size
-// capping, and metrics (request/status counters; latency percentiles
-// for the analysis endpoints when timed).
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// incidentID returns a fresh opaque identifier correlating a recovered
+// panic's 500 response with the stack logged server-side.
+func incidentID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to
+		// a time-derived id rather than crashing the recovery path.
+		return fmt.Sprintf("inc-t%x", time.Now().UnixNano())
+	}
+	return "inc-" + hex.EncodeToString(b[:])
+}
+
+// wrap applies the request lifecycle shared by every endpoint: panic
+// recovery (500 + incident ID — a handler fault never kills the
+// process), in-flight tracking for graceful drain, the 503 gate while
+// draining, body-size capping, and metrics (request/status counters;
+// latency percentiles for the analysis endpoints when timed).
 func (s *Server) wrap(endpoint string, timed bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
 		defer s.inflight.Done()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() { s.met.recordRequest(endpoint, rec.status) }()
+		defer func() {
+			if v := recover(); v != nil {
+				id := incidentID()
+				log.Printf("serve: panic in %s handler (incident %s): %v\n%s", endpoint, id, v, debug.Stack())
+				s.met.recordPanic()
+				if !rec.wrote {
+					writeJSON(rec, http.StatusInternalServerError, errorResponse{
+						Error:      fmt.Sprintf("internal error (incident %s)", id),
+						IncidentID: id,
+					})
+				} else {
+					// Headers are gone; the most we can do is record
+					// the real outcome for the status counters.
+					rec.status = http.StatusInternalServerError
+				}
+			}
+		}()
 		if s.draining.Load() {
 			writeError(rec, http.StatusServiceUnavailable, "server is shutting down")
 			return
@@ -216,22 +305,33 @@ func (s *Server) admit() (release func()) {
 }
 
 // engine returns the warm engine for the document's system, building
-// (and caching) system + interference sets on first sight.
-func (s *Server) engine(doc traffic.Document) (*core.Engine, error) {
+// (and caching) system + interference sets on first sight. Construction
+// runs behind core.NewEngineSafe, so a panic while building the
+// interference sets of an adversarial system surfaces as a typed
+// *core.InternalError and never leaves a nil engine in the pool.
+func (s *Server) engine(ctx context.Context, doc traffic.Document) (*core.Engine, error) {
 	key := canon.SystemKey(doc)
-	if e, ok := s.engines.Get(key); ok {
+	if e, ok := s.engines.Get(key); ok && e != nil {
 		return e, nil
 	}
 	s.enginesMu.Lock()
 	defer s.enginesMu.Unlock()
-	if e, ok := s.engines.Get(key); ok {
+	if e, ok := s.engines.Get(key); ok && e != nil {
 		return e, nil
+	}
+	if faultinject.Enabled() {
+		if err := faultinject.Fire(ctx, faultinject.SiteServeEngineBuild, key); err != nil {
+			return nil, err
+		}
 	}
 	sys, err := doc.System()
 	if err != nil {
 		return nil, err
 	}
-	e := core.NewEngine(sys)
+	e, err := core.NewEngineSafe(sys)
+	if err != nil {
+		return nil, err
+	}
 	s.engines.Put(key, e)
 	return e, nil
 }
@@ -240,6 +340,9 @@ func (s *Server) engine(doc traffic.Document) (*core.Engine, error) {
 func (s *Server) liveTelemetry() core.Telemetry {
 	var tel core.Telemetry
 	for _, e := range s.engines.Values() {
+		if e == nil {
+			continue
+		}
 		tel.Add(e.Telemetry())
 	}
 	return tel
@@ -256,9 +359,12 @@ func (s *Server) requestTimeout(timeoutMs int64) time.Duration {
 	return d
 }
 
-// errorResponse is the JSON body of every non-2xx response.
+// errorResponse is the JSON body of every non-2xx response. IncidentID
+// is set on 500s from recovered panics so a client report can be
+// correlated with the stack logged server-side.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error      string `json:"error"`
+	IncidentID string `json:"incident_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
