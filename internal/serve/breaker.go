@@ -25,6 +25,11 @@ const (
 // serving while IBN is open. After the cooldown one probe request is
 // let through (half-open); success closes the breaker and clears the
 // window, another internal fault re-opens it for a fresh cooldown.
+// A probe that finishes without producing a run outcome — shed at
+// admission, served entirely from the result cache — must hand its
+// slot back via release, and a probe silent for a whole further
+// cooldown forfeits the slot to the next request, so the breaker can
+// never wedge in half-open.
 //
 // /healthz reports the open methods as a degraded-readiness state.
 type breaker struct {
@@ -47,7 +52,10 @@ type methodBreaker struct {
 	state     breakerState
 	openUntil time.Time
 	// probing guards the half-open state: only one request probes.
-	probing bool
+	// probeStart is when that probe was admitted; a probe that reports
+	// nothing for a whole cooldown forfeits the slot (see allow).
+	probing    bool
+	probeStart time.Time
 }
 
 func newBreaker(window, threshold int, cooldown time.Duration) *breaker {
@@ -85,14 +93,37 @@ func (b *breaker) allow(name string) bool {
 		}
 		m.state = breakerHalfOpen
 		m.probing = true
+		m.probeStart = b.now()
 		return true
 	default: // half-open
 		if m.probing {
+			// Backstop against a leaked slot: a probe that has reported
+			// nothing for a whole cooldown (its request died outside the
+			// record/release paths) forfeits the slot to this request
+			// instead of wedging the method in half-open.
+			if b.now().Sub(m.probeStart) >= b.cooldown {
+				m.probeStart = b.now()
+				return true
+			}
 			b.shed++
 			return false
 		}
 		m.probing = true
+		m.probeStart = b.now()
 		return true
+	}
+}
+
+// release hands back a half-open probe slot without recording a run
+// outcome. Callers that passed allow but finish without reaching
+// record — shed at admission, or served entirely from the result
+// cache — must call it, or the next probe would wait out the takeover
+// timeout in allow.
+func (b *breaker) release(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if m, ok := b.methods[name]; ok && m.state == breakerHalfOpen {
+		m.probing = false
 	}
 }
 

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// newTestBreaker returns a breaker on a settable fake clock.
+func newTestBreaker(window, threshold int, cooldown time.Duration) (*breaker, *time.Time) {
+	clock := new(time.Time)
+	*clock = time.Unix(0, 0)
+	b := newBreaker(window, threshold, cooldown)
+	b.now = func() time.Time { return *clock }
+	return b, clock
+}
+
+// trip drives the method to the open state via threshold faults.
+func trip(t *testing.T, b *breaker, name string, threshold int) {
+	t.Helper()
+	for i := 0; i < threshold; i++ {
+		if !b.allow(name) {
+			t.Fatalf("fault %d: method already shed", i)
+		}
+		b.record(name, true)
+	}
+	if b.allow(name) {
+		t.Fatal("method not tripped after threshold faults")
+	}
+}
+
+func TestBreakerTripProbeCloseCycle(t *testing.T) {
+	b, clock := newTestBreaker(8, 3, time.Minute)
+	trip(t, b, "IBN", 3)
+
+	// Siblings are unaffected.
+	if !b.allow("XLWX") {
+		t.Fatal("sibling method shed by IBN's trip")
+	}
+
+	// Past the cooldown exactly one probe passes; the next request is
+	// shed while the probe is outstanding.
+	*clock = clock.Add(time.Minute)
+	if !b.allow("IBN") {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if b.allow("IBN") {
+		t.Fatal("second request admitted while probe outstanding")
+	}
+	b.record("IBN", false)
+	if !b.allow("IBN") {
+		t.Fatal("method not closed after successful probe")
+	}
+	if open := b.openMethods(); len(open) != 0 {
+		t.Fatalf("openMethods = %v after recovery", open)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clock := newTestBreaker(8, 2, time.Minute)
+	trip(t, b, "IBN", 2)
+	*clock = clock.Add(time.Minute)
+	if !b.allow("IBN") {
+		t.Fatal("probe not admitted")
+	}
+	b.record("IBN", true)
+	if b.allow("IBN") {
+		t.Fatal("method closed after failed probe")
+	}
+	// A fresh cooldown applies before the next probe.
+	*clock = clock.Add(time.Minute)
+	if !b.allow("IBN") {
+		t.Fatal("second probe not admitted after re-open cooldown")
+	}
+}
+
+// The high-severity leak: a probe that ends without a record (admission
+// shed, cache hit) releases its slot, and the next request probes
+// immediately.
+func TestBreakerProbeReleased(t *testing.T) {
+	b, clock := newTestBreaker(8, 1, time.Minute)
+	trip(t, b, "IBN", 1)
+	*clock = clock.Add(time.Minute)
+	if !b.allow("IBN") {
+		t.Fatal("probe not admitted")
+	}
+	b.release("IBN")
+	if !b.allow("IBN") {
+		t.Fatal("probe slot not returned by release")
+	}
+	b.record("IBN", false)
+	if !b.allow("IBN") {
+		t.Fatal("method not closed after released-then-retried probe")
+	}
+}
+
+// Backstop: even a probe that never records nor releases (its request
+// died) forfeits the slot after a cooldown instead of wedging the
+// method in half-open forever.
+func TestBreakerLeakedProbeTimesOut(t *testing.T) {
+	b, clock := newTestBreaker(8, 1, time.Minute)
+	trip(t, b, "IBN", 1)
+	*clock = clock.Add(time.Minute)
+	if !b.allow("IBN") {
+		t.Fatal("probe not admitted")
+	}
+	// Leak the probe. Before the takeover timeout requests are shed...
+	*clock = clock.Add(30 * time.Second)
+	if b.allow("IBN") {
+		t.Fatal("request admitted while probe within its cooldown")
+	}
+	// ...after it, the slot is forfeited to the next request.
+	*clock = clock.Add(30 * time.Second)
+	if !b.allow("IBN") {
+		t.Fatal("leaked probe slot never timed out")
+	}
+	b.record("IBN", false)
+	if !b.allow("IBN") {
+		t.Fatal("method not closed after takeover probe succeeded")
+	}
+}
+
+// release is a no-op outside half-open: it must not resurrect a closed
+// window or touch unknown methods.
+func TestBreakerReleaseNoOpOutsideHalfOpen(t *testing.T) {
+	b, _ := newTestBreaker(8, 2, time.Minute)
+	b.release("never-seen")
+	if !b.allow("IBN") {
+		t.Fatal("closed method shed")
+	}
+	b.record("IBN", false)
+	b.release("IBN")
+	if !b.allow("IBN") {
+		t.Fatal("release broke a closed method")
+	}
+	trip(t, b, "SLA", 2)
+	b.release("SLA")
+	if b.allow("SLA") {
+		t.Fatal("release re-admitted an open method before its cooldown")
+	}
+}
+
+// Regression: the shifted backoff must not overflow for large attempt
+// counts (a plain base << attempt overflows int64 past ~40 attempts at
+// the 2ms default, making rand.Int64N panic on a non-positive bound).
+func TestRetryDelayClampedNoOverflow(t *testing.T) {
+	base := 2 * time.Millisecond
+	for _, attempt := range []int{0, 1, 10, 40, 63, 64, 200, 1 << 20} {
+		d := retryDelay(base, attempt)
+		if d <= 0 {
+			t.Fatalf("attempt %d: delay %v not positive", attempt, d)
+		}
+		if max := maxRetryBackoff + maxRetryBackoff/2; d > max {
+			t.Fatalf("attempt %d: delay %v exceeds jittered cap %v", attempt, d, max)
+		}
+	}
+	// The doubling still applies below the cap: attempt 2 draws from
+	// [4ms, 12ms) around an 8ms centre.
+	for i := 0; i < 100; i++ {
+		if d := retryDelay(base, 2); d < 4*time.Millisecond || d >= 12*time.Millisecond {
+			t.Fatalf("attempt 2: delay %v outside the jitter envelope", d)
+		}
+	}
+}

@@ -75,8 +75,13 @@ func TestChaosBatchPartialSuccess(t *testing.T) {
 			if item.Code != errCodePanic {
 				t.Fatalf("item %d: code %q, want %q (error %q)", i, item.Code, errCodePanic, item.Error)
 			}
-			if !strings.Contains(item.Error, "injected panic at serve.batch.item") {
-				t.Fatalf("item %d: error %q does not name the injected panic", i, item.Error)
+			// Panic values are redacted on the wire (logged server-side):
+			// the client sees an incident reference, never the raw value.
+			if strings.Contains(item.Error, "injected panic") {
+				t.Fatalf("item %d: error %q leaks the raw panic value", i, item.Error)
+			}
+			if !strings.Contains(item.Error, "internal error (incident ") {
+				t.Fatalf("item %d: error %q is not the redacted incident form", i, item.Error)
 			}
 			continue
 		}
@@ -324,6 +329,118 @@ func TestChaosWrapMiddlewareRecoversHandlerPanic(t *testing.T) {
 	resp, _ = postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("server dead after handler panic: status %d", resp.StatusCode)
+	}
+}
+
+// Regression for the half-open probe-slot leak: a probe request that is
+// shed at admission (429, before any breaker record) must hand its slot
+// back; otherwise the method wedges in half-open, shedding every
+// request with 503 until a restart.
+func TestBreakerProbeSurvivesAdmissionShed(t *testing.T) {
+	faultinject.Enable(faultinject.New(1).Add(faultinject.Fault{
+		Site: faultinject.SiteServeBatchItem,
+		Kind: faultinject.KindPanic,
+	}))
+	defer faultinject.Disable()
+
+	srv := New(Config{BreakerWindow: 8, BreakerThreshold: 1, BreakerCooldown: time.Hour, MaxInFlight: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One injected per-item panic trips the IBN breaker (threshold 1).
+	resp, body := postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Systems: []traffic.Document{didacticDoc()}, Method: "IBN",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tripping batch: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("tripped method: status %d (want 503): %s", resp.StatusCode, body)
+	}
+
+	// Past the cooldown (fake clock), fault gone, but admission is
+	// saturated: the half-open probe passes the breaker gate and is then
+	// shed with 429 before it can record an outcome.
+	faultinject.Disable()
+	srv.brk.mu.Lock()
+	srv.brk.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	srv.brk.mu.Unlock()
+	srv.sem <- struct{}{}
+	srv.sem <- struct{}{}
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("probe while saturated: status %d (want 429): %s", resp.StatusCode, body)
+	}
+
+	// With capacity back, the next request must be admitted as the new
+	// probe and close the breaker — not 503 off a leaked probe slot.
+	<-srv.sem
+	<-srv.sem
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe after admission shed: status %d (want 200; probe slot leaked?): %s", resp.StatusCode, body)
+	}
+}
+
+// Regression for the other probe-leak path: a half-open probe batch
+// served entirely from the result cache records no run outcome and must
+// hand the probe slot back instead of wedging the method.
+func TestBreakerProbeReleasedOnCachedBatch(t *testing.T) {
+	srv := New(Config{BreakerWindow: 8, BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Warm the cache for the didactic system, then trip XLWX with an
+	// injected per-item panic on a different system.
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "XLWX"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming request: status %d: %s", resp.StatusCode, body)
+	}
+	faultinject.Enable(faultinject.New(1).Add(faultinject.Fault{
+		Site: faultinject.SiteServeBatchItem,
+		Kind: faultinject.KindPanic,
+	}))
+	defer faultinject.Disable()
+	other := didacticDoc()
+	other.Mesh.BufDepth = 9
+	resp, body = postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Systems: []traffic.Document{other}, Method: "XLWX",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tripping batch: status %d: %s", resp.StatusCode, body)
+	}
+	faultinject.Disable()
+
+	// Past the cooldown, the probe slot goes to a batch whose only item
+	// is cache-served: no record happens, the slot must be released.
+	srv.brk.mu.Lock()
+	srv.brk.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	srv.brk.mu.Unlock()
+	resp, body = postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Systems: []traffic.Document{didacticDoc()}, Method: "XLWX",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached probe batch: status %d: %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.CacheHits != 1 {
+		t.Fatalf("probe batch cache_hits = %d, want 1", out.CacheHits)
+	}
+
+	// An uncached XLWX request must now be admitted as the real probe
+	// (its success closes the breaker) instead of 503ing forever.
+	uncached := didacticDoc()
+	uncached.Mesh.BufDepth = 11
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: uncached, Method: "XLWX"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe after cached batch: status %d (want 200; probe slot leaked?): %s", resp.StatusCode, body)
+	}
+	if open := srv.brk.openMethods(); len(open) != 0 {
+		t.Fatalf("breaker still open after successful probe: %v", open)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"wormnoc/internal/canon"
@@ -208,6 +209,19 @@ func isInternalFault(err error) bool {
 	return code == errCodePanic || code == errCodeTransient
 }
 
+// itemErrorMessage renders one batch item's failure for the wire.
+// Panic-coded faults mirror the wrap middleware's redaction: the raw
+// panic value (and stack) stays in the server-side log, the client
+// gets an opaque incident reference.
+func itemErrorMessage(i int, code string, err error) string {
+	if code != errCodePanic {
+		return err.Error()
+	}
+	id := incidentID()
+	log.Printf("serve: batch item %d fault (incident %s): %v", i, id, err)
+	return fmt.Sprintf("internal error (incident %s)", id)
+}
+
 // analyzeOne runs (or cache-serves) one system+options pair. It is the
 // shared core of /v1/analyze and each /v1/batch element. The returned
 // status is the HTTP status the outcome maps to; resp is nil unless
@@ -278,6 +292,25 @@ func (s *Server) analyzeOne(ctx context.Context, doc traffic.Document, opt core.
 	return out, http.StatusOK, nil
 }
 
+// maxRetryBackoff caps the exponential retry backoff: it bounds the
+// worst-case per-attempt delay and keeps the doubling below from
+// overflowing time.Duration when ItemRetries is configured large.
+const maxRetryBackoff = time.Second
+
+// retryDelay returns the backoff before retry attempt (0-based): base
+// doubled per attempt, clamped to maxRetryBackoff, jittered ±50% to
+// avoid retry synchronisation.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < maxRetryBackoff; i++ {
+		d <<= 1
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
 // analyzeWithRetry is analyzeOne plus the bounded retry policy for
 // transient faults: up to cfg.ItemRetries re-attempts with doubling,
 // ±50%-jittered backoff, aborted early by the context. The returned
@@ -288,9 +321,7 @@ func (s *Server) analyzeWithRetry(ctx context.Context, doc traffic.Document, opt
 		if err == nil || attempt >= s.cfg.ItemRetries || !isTransient(err) || ctx.Err() != nil {
 			return resp, status, attempt, err
 		}
-		d := s.cfg.RetryBackoff << attempt
-		d = d/2 + time.Duration(rand.Int64N(int64(d)))
-		t := time.NewTimer(d)
+		t := time.NewTimer(retryDelay(s.cfg.RetryBackoff, attempt))
 		select {
 		case <-ctx.Done():
 			t.Stop()
@@ -325,13 +356,25 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The circuit breaker sheds only the tripped method; cache hits were
-	// already served above, mirroring admission control.
+	// The circuit breaker sheds only the tripped method. The cache check
+	// above runs before this gate, so an open breaker never 503s a
+	// cache-servable /v1/analyze request. (Batches of an open method are
+	// shed wholly, cache-servable items included — see handleBatch.)
 	if !s.brk.allow(m.String()) {
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BreakerCooldown/time.Second)+1))
 		writeError(w, http.StatusServiceUnavailable, "analysis method %s is degraded (circuit open), retry later", m)
 		return
 	}
+	// A request that passed the gate but never reaches record below —
+	// shed at admission, or served from the cache inside analyzeOne —
+	// must hand back the half-open probe slot it may hold, or the
+	// breaker would wedge in half-open with no probe outcome arriving.
+	recorded := false
+	defer func() {
+		if !recorded {
+			s.brk.release(m.String())
+		}
+	}()
 
 	release := s.admit()
 	if release == nil {
@@ -348,6 +391,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if err != nil || !resp.Cached {
 		// Cache hits do no engine work and stay out of the error budget.
 		s.brk.record(m.String(), isInternalFault(err))
+		recorded = true
 	}
 	if err != nil {
 		code, _ := classifyError(err)
@@ -355,8 +399,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			id := incidentID()
 			log.Printf("serve: analysis fault (incident %s): %v", id, err)
 			s.met.recordPanic()
+			// The raw panic value stays in the server-side log; the
+			// client sees the same redacted form the wrap middleware
+			// uses for uncontained panics.
 			writeJSON(w, status, errorResponse{
-				Error:      fmt.Sprintf("%v (incident %s)", err, id),
+				Error:      fmt.Sprintf("internal error (incident %s)", id),
 				IncidentID: id,
 			})
 			return
@@ -389,12 +436,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	opt := req.Options.toCore(m)
 
 	// A batch names a single method, so a tripped breaker sheds the
-	// whole batch — and only batches (and analyses) of that method.
+	// whole batch — and only batches (and analyses) of that method. The
+	// gate runs before any per-item cache lookup, so cache-servable
+	// items of an open method are shed too.
 	if !s.brk.allow(m.String()) {
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BreakerCooldown/time.Second)+1))
 		writeError(w, http.StatusServiceUnavailable, "analysis method %s is degraded (circuit open), retry later", m)
 		return
 	}
+	// As in handleAnalyze: a batch that records no run outcome (every
+	// item cache-served, or shed at admission) must hand back a
+	// half-open probe slot it may hold. Items record from worker
+	// goroutines, hence the atomic.
+	var recorded atomic.Bool
+	defer func() {
+		if !recorded.Load() {
+			s.brk.release(m.String())
+		}
+	}()
 
 	// One admission slot covers the whole batch; its internal fan-out is
 	// bounded separately by BatchWorkers.
@@ -427,13 +486,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp, _, retries, err := s.analyzeWithRetry(ctx, req.Systems[i], opt)
 		if err != nil || !resp.Cached {
 			s.brk.record(m.String(), isInternalFault(err))
+			recorded.Store(true)
 		}
 		if err != nil {
 			code, _ := classifyError(err)
 			if code == errCodePanic {
 				s.met.recordItemPanic()
 			}
-			out.Results[i] = BatchItem{Error: err.Error(), Code: code, Retries: retries}
+			out.Results[i] = BatchItem{Error: itemErrorMessage(i, code, err), Code: code, Retries: retries}
 		} else {
 			out.Results[i] = BatchItem{AnalyzeResponse: resp, Retries: retries}
 		}
@@ -462,9 +522,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		code, _ := classifyError(ierr)
 		if code == errCodePanic {
 			s.met.recordItemPanic()
-			s.brk.record(m.String(), true)
 		}
-		out.Results[i] = BatchItem{Error: ierr.Error(), Code: code}
+		// An internal fault surfacing at the task boundary consumes the
+		// error budget exactly like the same fault raised inside
+		// analyzeWithRetry. Items that never ran (deadline expired before
+		// dispatch) had no run outcome and feed nothing into the window.
+		if isInternalFault(ierr) {
+			s.brk.record(m.String(), true)
+			recorded.Store(true)
+		}
+		out.Results[i] = BatchItem{Error: itemErrorMessage(i, code, ierr), Code: code}
 	}
 	for i := range out.Results {
 		if res := out.Results[i].AnalyzeResponse; res != nil {
