@@ -1,0 +1,213 @@
+// Command nocfuzz drives the differential verification oracle from the
+// command line: it generates random scenarios, cross-checks every
+// registered analysis against the simulator's adversarial phasing
+// search, shrinks any invariant violation to a minimal counterexample
+// and persists it as a replayable JSON artifact.
+//
+// Usage:
+//
+//	nocfuzz run -n 400 -seed 1 -out counterexamples   # fuzz 400 scenarios
+//	nocfuzz replay -in counterexamples/ce-000012.json # re-check one artifact
+//	nocfuzz corpus -n 16 -out internal/oracle/testdata/fuzz/FuzzOracleScenario
+//
+// Exit codes: 0 clean, 1 usage or I/O error, 3 a violation was found
+// (run) or still reproduces (replay) — distinct so CI can tell "broken
+// invocation" from "broken invariant".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/oracle"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	case "corpus":
+		cmdCorpus(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "nocfuzz: unknown command %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  nocfuzz run    [-n N] [-seed S] [-out DIR] [-duration D] [-restarts R]
+                 [-probes P] [-refine K] [-workers W] [-keep-going] [-v]
+  nocfuzz replay -in FILE [-v]
+  nocfuzz corpus [-n N] [-seed S] -out DIR
+
+run     generates N scenarios from S, checks every invariant, shrinks
+        violations and writes one artifact per violating scenario to DIR.
+replay  re-runs the check an artifact records; exit 3 if it reproduces.
+corpus  emits go-fuzz seed files (one int64 seed each) for
+        internal/oracle's FuzzOracleScenario target.
+`)
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "nocfuzz: %v\n", err)
+	os.Exit(1)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		n         = fs.Int("n", 100, "number of scenarios to check")
+		seed      = fs.Int64("seed", 1, "root seed; scenario i uses a seed derived from it")
+		out       = fs.String("out", "counterexamples", "directory for counterexample artifacts")
+		duration  = fs.Int64("duration", 12_000, "simulation horizon per phasing probe, cycles")
+		restarts  = fs.Int("restarts", 2, "random restarts per phasing search")
+		probes    = fs.Int("probes", 4, "probes per flow and restart")
+		refine    = fs.Int("refine", 1, "greedy refinement sweeps per restart")
+		workers   = fs.Int("workers", 0, "parallel phasing searches (0 = all CPUs)")
+		keepGoing = fs.Bool("keep-going", false, "check all N scenarios even after violations")
+		verbose   = fs.Bool("v", false, "log every scenario, not just violating ones")
+	)
+	fs.Parse(args)
+
+	violations := 0
+	simRuns := 0
+	for i := 0; i < *n; i++ {
+		scSeed := oracle.DeriveSeed(*seed, int64(i))
+		sc := oracle.Generate(scSeed, oracle.GenConfig{})
+		cfg := oracle.CheckConfig{
+			Seed:          scSeed,
+			Duration:      noc.Cycles(*duration),
+			Restarts:      *restarts,
+			ProbesPerFlow: *probes,
+			RefineSteps:   *refine,
+			Workers:       *workers,
+		}
+		rep, err := oracle.Check(sc, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("scenario %d (seed %d): %w", i, scSeed, err))
+		}
+		simRuns += rep.SimRuns
+		if *verbose {
+			fmt.Printf("[%d/%d] %s: %d violations, %d findings, %d sim runs\n",
+				i+1, *n, sc, len(rep.Violations), len(rep.Findings), rep.SimRuns)
+		}
+		if len(rep.Violations) == 0 {
+			continue
+		}
+		violations += len(rep.Violations)
+		v := rep.Violations[0]
+		fmt.Printf("VIOLATION at scenario %d (%s):\n  %s\n", i, sc, v.String())
+
+		fmt.Printf("  shrinking...")
+		shrunk, err := oracle.Shrink(sc, v, cfg, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf(" %d reductions in %d attempts -> %s\n",
+			shrunk.Reductions, shrunk.Attempts, shrunk.Scenario)
+
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("ce-%06d.json", i))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		art := oracle.NewArtifact(sc, cfg, *oracle.FindViolation(shrunk.Report, v), shrunk)
+		if err := art.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  counterexample written to %s\n", path)
+		if !*keepGoing {
+			break
+		}
+	}
+	fmt.Printf("%d scenarios checked, %d sim runs, %d violations\n", *n, simRuns, violations)
+	if violations > 0 {
+		os.Exit(3)
+	}
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "", "counterexample artifact to replay (required)")
+		verbose = fs.Bool("v", false, "print the full violation list of the replayed check")
+	)
+	fs.Parse(args)
+	if *in == "" {
+		fs.Usage()
+		os.Exit(1)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	art, err := oracle.ReadArtifact(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	rep, reproduced, err := art.Replay()
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		for _, v := range rep.Violations {
+			fmt.Printf("violation: %s\n", v.String())
+		}
+		for _, v := range rep.Findings {
+			fmt.Printf("finding:   %s\n", v.String())
+		}
+	}
+	if reproduced {
+		fmt.Printf("REPRODUCED: %s/%s still violates (%s)\n",
+			art.Violation.Class, art.Violation.Invariant, *in)
+		os.Exit(3)
+	}
+	fmt.Printf("not reproduced: %s/%s no longer violates (%s)\n",
+		art.Violation.Class, art.Violation.Invariant, *in)
+}
+
+func cmdCorpus(args []string) {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	var (
+		n    = fs.Int("n", 16, "number of seed files to emit")
+		seed = fs.Int64("seed", 1, "root seed the corpus seeds derive from")
+		out  = fs.String("out", "", "target corpus directory (required)")
+	)
+	fs.Parse(args)
+	if *out == "" {
+		fs.Usage()
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for i := 0; i < *n; i++ {
+		s := oracle.DeriveSeed(*seed, int64(i))
+		body := fmt.Sprintf("go test fuzz v1\nint64(%d)\n", s)
+		path := filepath.Join(*out, fmt.Sprintf("nocfuzz-%04d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%d seed files written to %s\n", *n, *out)
+}

@@ -170,6 +170,61 @@ func TestCmdNocsim(t *testing.T) {
 	}
 }
 
+func TestCmdNocfuzz(t *testing.T) {
+	bin := buildCmd(t, "nocfuzz")
+	// A healthy tree: a small run finds no violations and exits 0.
+	out, code := run(t, bin, "", "run", "-n", "6", "-seed", "3", "-out", t.TempDir())
+	if code != 0 || !strings.Contains(out, "0 violations") {
+		t.Errorf("run mode: exit %d\n%s", code, out)
+	}
+	// Corpus mode emits go-fuzz seed files.
+	corpusDir := t.TempDir()
+	out, code = run(t, bin, "", "corpus", "-n", "2", "-seed", "5", "-out", corpusDir)
+	if code != 0 {
+		t.Fatalf("corpus mode: exit %d\n%s", code, out)
+	}
+	raw, err := os.ReadFile(filepath.Join(corpusDir, "nocfuzz-0000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "go test fuzz v1\nint64(") {
+		t.Errorf("corpus file is not a go-fuzz seed: %q", raw)
+	}
+	// Replaying an artifact whose recorded violation does not reproduce
+	// (a healthy scenario with a fabricated breach) exits 0.
+	artifact := `{
+	  "version": 1,
+	  "seed": 0,
+	  "scenario": {
+	    "mesh": {"width": 3, "height": 1, "buf": 2, "linkl": 1, "routl": 0},
+	    "flows": [
+	      {"name": "a", "priority": 1, "period": 1000, "deadline": 1000, "length": 8, "src": 0, "dst": 2},
+	      {"name": "b", "priority": 2, "period": 2000, "deadline": 2000, "length": 8, "src": 1, "dst": 2}
+	    ]
+	  },
+	  "check": {"seed": 1, "duration": 8000, "restarts": 1, "refine_steps": 1, "probes_per_flow": 2},
+	  "violation": {"class": "unsound", "invariant": "sim<=IBN", "method": "IBN", "flow": 0, "bound": 1, "observed": 2}
+	}`
+	artPath := filepath.Join(t.TempDir(), "ce.json")
+	if err := os.WriteFile(artPath, []byte(artifact), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = run(t, bin, "", "replay", "-in", artPath)
+	if code != 0 || !strings.Contains(out, "not reproduced") {
+		t.Errorf("replay mode: exit %d\n%s", code, out)
+	}
+	// Malformed artifacts and unknown commands fail with exit 1.
+	if err := os.WriteFile(artPath, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, code = run(t, bin, "", "replay", "-in", artPath); code != 1 {
+		t.Errorf("bad artifact: exit %d", code)
+	}
+	if out, code = run(t, bin, "", "bogus"); code != 1 || !strings.Contains(out, "usage") {
+		t.Errorf("unknown command: exit %d\n%s", code, out)
+	}
+}
+
 func TestCmdTopo(t *testing.T) {
 	bin := buildCmd(t, "topo")
 	out, code := run(t, bin, "", "-mesh", "3x2", "-route", "0:5")

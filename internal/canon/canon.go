@@ -41,8 +41,10 @@ import (
 )
 
 // keyVersion tags the encoding format. Bump on ANY change to what or how
-// fields are hashed.
-const keyVersion = "wormnoc-canon/1\n"
+// fields are hashed. Version 2 added the mesh routing policy (documents
+// may now select YX routing, which changes every route and hence every
+// bound).
+const keyVersion = "wormnoc-canon/2\n"
 
 // Key returns the canonical cache key of one analysis request: the
 // hex-encoded SHA-256 of the versioned encoding of the system document
@@ -90,6 +92,7 @@ func hashDocument(h hash.Hash, doc traffic.Document) {
 	num(h, int64(doc.Mesh.NumVCs))
 	num(h, doc.Mesh.LinkLatency)
 	num(h, doc.Mesh.RouteLatency)
+	str(h, normalizeRouting(doc.Mesh.Routing))
 	str(h, "flows")
 	num(h, int64(len(doc.Flows)))
 	for _, f := range doc.Flows {
@@ -114,6 +117,16 @@ func hashOptions(h hash.Hash, opt core.Options) {
 	boolean(h, opt.Eq7)
 	boolean(h, opt.NoUpstreamFallback)
 	num(h, int64(opt.MaxIterations))
+}
+
+// normalizeRouting collapses the spellings Document.System accepts for
+// one routing policy onto a single representative, so "", "xy" and "XY"
+// key identically (they materialise identical systems).
+func normalizeRouting(r string) string {
+	if r == "yx" || r == "YX" {
+		return "yx"
+	}
+	return "xy"
 }
 
 // str writes a length-prefixed string, so ("ab","c") and ("a","bc")

@@ -30,7 +30,7 @@ func TestKeyDeterministic(t *testing.T) {
 // keyVersion MUST be bumped (then update the constant here).
 func TestKeyPinnedAcrossProcesses(t *testing.T) {
 	got := Key(didacticDoc(), core.Options{Method: core.IBN, BufDepth: 2})
-	const want = "cdec552530653adc34fb4317269e0fbd5094b578e8af6902c209e2042b4b97c9"
+	const want = "a7c8eb7afdadfd2b8ab4b63dd1ae3038e6e177032b42c98c10706afa91cf1407"
 	if got != want {
 		t.Fatalf("canonical key drifted:\n got  %s\n want %s\n(bump keyVersion if the encoding changed on purpose)", got, want)
 	}
@@ -77,6 +77,11 @@ func TestKeySensitivity(t *testing.T) {
 			d.Flows[0], d.Flows[1] = d.Flows[1], d.Flows[0]
 			return d, baseOpt
 		},
+		"routing": func() (traffic.Document, core.Options) {
+			d := didacticDoc()
+			d.Mesh.Routing = "yx"
+			return d, baseOpt
+		},
 	}
 	for name, mutate := range mutations {
 		doc, opt := mutate()
@@ -111,6 +116,16 @@ func TestKeyNormalisation(t *testing.T) {
 	kNeg := Key(doc, core.Options{Method: core.IBN, BufDepth: -1})
 	if kNeg != k0 {
 		t.Error("negative and zero BufDepth keyed differently")
+	}
+	// Absent, "xy" and "XY" routing all materialise XY routes.
+	docXY := didacticDoc()
+	docXY.Mesh.Routing = "xy"
+	if Key(docXY, core.Options{Method: core.IBN}) != k0 {
+		t.Error(`explicit "xy" routing keyed differently from the default`)
+	}
+	docXY.Mesh.Routing = "XY"
+	if Key(docXY, core.Options{Method: core.IBN}) != k0 {
+		t.Error(`upper-case "XY" routing keyed differently from the default`)
 	}
 	// The comment is presentation-only.
 	doc.Commen = "a remark"

@@ -281,7 +281,15 @@ func (a *analyzer) analyzeFlow(i int) error {
 		next += blockPerEpisode * episodes
 		if next == r {
 			a.R[i] = r
-			a.status[i] = Schedulable
+			// Convergence alone is not schedulability: a flow whose
+			// zero-load latency already exceeds its deadline converges
+			// at r = C on the first iteration without ever taking the
+			// growth path below.
+			if r > fi.Deadline {
+				a.status[i] = DeadlineMiss
+			} else {
+				a.status[i] = Schedulable
+			}
 			return nil
 		}
 		r = next

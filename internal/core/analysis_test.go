@@ -43,6 +43,27 @@ func TestDeadlineMissStatus(t *testing.T) {
 	}
 }
 
+// A flow with no higher-priority interference converges at r = C on the
+// first iteration; if C already exceeds the deadline, that convergence
+// must still be a DeadlineMiss. Found by the verification oracle: its
+// shrinker halved a solo flow's period until C > D = T and every
+// analysis still reported the flow schedulable.
+func TestDeadlineMissWithoutInterference(t *testing.T) {
+	topo := noc.MustMesh(2, 1, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	sys := traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "solo", Priority: 1, Period: 3, Deadline: 3, Length: 60, Src: 0, Dst: 1},
+	})
+	for _, m := range core.Methods() {
+		res, err := core.Analyze(sys, core.Options{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Flows[0].Status != core.DeadlineMiss {
+			t.Errorf("%s: solo flow with C=%d > D=3 reported %v", m, res.Flows[0].R, res.Flows[0].Status)
+		}
+	}
+}
+
 func TestDependencyFailedStatus(t *testing.T) {
 	// Make the HIGH priority flow unschedulable (C > D is impossible
 	// with D<=T validation, so use an intermediate flow instead):

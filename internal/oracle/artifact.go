@@ -1,0 +1,152 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// ArtifactVersion tags the counterexample JSON schema.
+const ArtifactVersion = 1
+
+// Artifact is a replayable counterexample: the (shrunk) scenario, the
+// check configuration that exhibits the violation, and the violation
+// itself. Everything needed to reproduce is in the file — no process
+// state, no global randomness.
+type Artifact struct {
+	Version int `json:"version"`
+	// Seed is the generator seed of the originating scenario (before
+	// shrinking), kept for provenance.
+	Seed int64 `json:"seed"`
+	// Scenario is the minimal platform + flow set.
+	Scenario traffic.Document `json:"scenario"`
+	// Check reproduces the adversarial budget the violation was found
+	// under.
+	Check CheckSpec `json:"check"`
+	// Violation is the breach the scenario exhibits.
+	Violation ViolationSpec `json:"violation"`
+	// ShrinkAttempts and ShrinkReductions summarise the minimisation.
+	ShrinkAttempts   int `json:"shrink_attempts,omitempty"`
+	ShrinkReductions int `json:"shrink_reductions,omitempty"`
+}
+
+// CheckSpec is the serialised form of CheckConfig (the test-only bound
+// mutation is deliberately not representable).
+type CheckSpec struct {
+	Seed          int64 `json:"seed"`
+	Duration      int64 `json:"duration"`
+	Restarts      int   `json:"restarts"`
+	RefineSteps   int   `json:"refine_steps"`
+	ProbesPerFlow int   `json:"probes_per_flow"`
+}
+
+// ViolationSpec is the serialised form of Violation.
+type ViolationSpec struct {
+	Class     string  `json:"class"`
+	Invariant string  `json:"invariant"`
+	Method    string  `json:"method"`
+	Flow      int     `json:"flow"`
+	Bound     int64   `json:"bound"`
+	Observed  int64   `json:"observed"`
+	Offsets   []int64 `json:"offsets,omitempty"`
+	BufA      int     `json:"buf_a,omitempty"`
+	BufB      int     `json:"buf_b,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// NewArtifact assembles a counterexample from a shrink result (or, with
+// a nil shrink, straight from a violating scenario).
+func NewArtifact(sc *Scenario, cfg CheckConfig, v Violation, shrink *ShrinkResult) *Artifact {
+	a := &Artifact{
+		Version:  ArtifactVersion,
+		Seed:     sc.Seed,
+		Scenario: sc.Doc,
+		Check: CheckSpec{
+			Seed:          cfg.Seed,
+			Duration:      int64(cfg.Duration),
+			Restarts:      cfg.Restarts,
+			RefineSteps:   cfg.RefineSteps,
+			ProbesPerFlow: cfg.ProbesPerFlow,
+		},
+		Violation: ViolationSpec{
+			Class:     v.Class.String(),
+			Invariant: v.Invariant,
+			Method:    v.Method.String(),
+			Flow:      v.Flow,
+			Bound:     int64(v.Bound),
+			Observed:  int64(v.Observed),
+			BufA:      v.BufA,
+			BufB:      v.BufB,
+			Detail:    v.Detail,
+		},
+	}
+	for _, off := range v.Offsets {
+		a.Violation.Offsets = append(a.Violation.Offsets, int64(off))
+	}
+	if shrink != nil {
+		a.Scenario = shrink.Scenario.Doc
+		a.ShrinkAttempts = shrink.Attempts
+		a.ShrinkReductions = shrink.Reductions
+	}
+	return a
+}
+
+// WriteJSON serialises the artifact, indented for human diffing.
+func (a *Artifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// ReadArtifact parses a counterexample artifact.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("oracle: decoding artifact: %w", err)
+	}
+	if a.Version != ArtifactVersion {
+		return nil, fmt.Errorf("oracle: artifact version %d, this build reads %d", a.Version, ArtifactVersion)
+	}
+	if _, err := parseClass(a.Violation.Class); err != nil {
+		return nil, err
+	}
+	if _, err := a.Scenario.System(); err != nil {
+		return nil, fmt.Errorf("oracle: artifact scenario does not materialise: %w", err)
+	}
+	return &a, nil
+}
+
+// CheckConfig reconstructs the check configuration the artifact was
+// found under.
+func (a *Artifact) CheckConfig() CheckConfig {
+	return CheckConfig{
+		Seed:          a.Check.Seed,
+		Duration:      noc.Cycles(a.Check.Duration),
+		Restarts:      a.Check.Restarts,
+		RefineSteps:   a.Check.RefineSteps,
+		ProbesPerFlow: a.Check.ProbesPerFlow,
+	}
+}
+
+// Replay re-runs the artifact's check on its stored scenario and
+// reports whether a violation of the recorded class and invariant still
+// reproduces. A nil violation with reproduced=false means the defect
+// the artifact captured no longer exists (e.g. it has been fixed).
+func (a *Artifact) Replay() (rep *Report, reproduced bool, err error) {
+	class, err := parseClass(a.Violation.Class)
+	if err != nil {
+		return nil, false, err
+	}
+	sc := &Scenario{Seed: a.Seed, Doc: a.Scenario}
+	rep, err = Check(sc, a.CheckConfig())
+	if err != nil {
+		return nil, false, err
+	}
+	v := FindViolation(rep, Violation{Class: class, Invariant: a.Violation.Invariant})
+	return rep, v != nil, nil
+}

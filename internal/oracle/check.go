@@ -1,0 +1,453 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/parallel"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/traffic"
+)
+
+// CheckConfig parameterises one invariant check of a scenario. The zero
+// value selects a budget suited to fuzzing many scenarios; raise
+// Duration/Restarts/ProbesPerFlow for a harder adversary.
+type CheckConfig struct {
+	// Seed drives every random choice of the check: each flow's phasing
+	// search receives its own *rand.Rand seeded deterministically from
+	// it (see DeriveSeed), so a violation replays from (scenario, Seed)
+	// alone.
+	Seed int64
+	// Duration is the simulation horizon per phasing probe (default
+	// 12_000 cycles).
+	Duration noc.Cycles
+	// Restarts, RefineSteps and ProbesPerFlow tune the per-flow phasing
+	// search (defaults 2, 1, 4; see sim.SearchConfig).
+	Restarts, RefineSteps, ProbesPerFlow int
+	// Workers bounds the fan-out over attacked flows (0 = all CPUs).
+	Workers int
+	// ExtraBufDepths, when non-empty, replaces the default buffer-depth
+	// ladder probed by the monotonicity invariant (the platform's depth
+	// plus +1, ×2 and +8 by default). Depths are probed in ascending
+	// order.
+	ExtraBufDepths []int
+
+	// mutate, when non-nil, rewrites every analytic bound before the
+	// invariants see it. It exists solely for the mutation self-test:
+	// deliberately corrupting a bound must make the oracle report a
+	// violation, proving the invariants have teeth. Never set on real
+	// verification runs (it is unexported and unserialised on purpose).
+	mutate func(m core.Method, flow int, r noc.Cycles) noc.Cycles
+}
+
+func (c *CheckConfig) setDefaults() {
+	if c.Duration <= 0 {
+		c.Duration = 12_000
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 2
+	}
+	if c.RefineSteps <= 0 {
+		c.RefineSteps = 1
+	}
+	if c.ProbesPerFlow <= 0 {
+		c.ProbesPerFlow = 4
+	}
+}
+
+// Class partitions everything the oracle can detect.
+type Class int
+
+const (
+	// Unsound: an observed latency exceeded a bound the analysis
+	// declared safe. The most severe class — for XLWX/IBN it falsifies
+	// the paper's claims (or, far more likely, this reproduction).
+	Unsound Class = iota
+	// Inconsistent: the analyses disagree where they must not —
+	// R_IBN > R_XLWX, or a flow XLWX schedules that IBN rejects.
+	Inconsistent
+	// NonMonotone: an IBN bound tightened when buffers grew,
+	// contradicting Equation 6's monotone buffer term.
+	NonMonotone
+	// NonDeterministic: rebuilding the engine changed a result.
+	NonDeterministic
+	// KnownOptimism: an observed latency exceeded an SB or SLA bound.
+	// This is the multi-point progressive blocking effect those
+	// analyses miss — expected behaviour, reported as a finding rather
+	// than a violation.
+	KnownOptimism
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Unsound:
+		return "unsound"
+	case Inconsistent:
+		return "inconsistent"
+	case NonMonotone:
+		return "non-monotone"
+	case NonDeterministic:
+		return "non-deterministic"
+	case KnownOptimism:
+		return "known-optimism"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// parseClass is the inverse of Class.String, used by artifact replay.
+func parseClass(s string) (Class, error) {
+	for _, c := range []Class{Unsound, Inconsistent, NonMonotone, NonDeterministic, KnownOptimism} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("oracle: unknown violation class %q", s)
+}
+
+// Violation is one invariant breach (or, for KnownOptimism, one
+// classified expected-optimism finding).
+type Violation struct {
+	// Class classifies the breach.
+	Class Class
+	// Invariant names the checked property, e.g. "sim<=IBN".
+	Invariant string
+	// Method is the analysis whose bound is implicated.
+	Method core.Method
+	// Flow indexes the affected flow in the scenario's flow set.
+	Flow int
+	// Bound and Observed are the two sides of the failed comparison (for
+	// sim-based invariants: the analytic bound and the observed
+	// latency; for analytic cross-checks: the two bounds).
+	Bound, Observed noc.Cycles
+	// Offsets, for sim-based breaches, is the release phasing that
+	// exhibits the observed latency.
+	Offsets []noc.Cycles
+	// BufA and BufB, for monotonicity breaches, are the two buffer
+	// depths compared (bound at BufB < bound at BufA despite BufB>BufA).
+	BufA, BufB int
+	// Detail is a human-readable one-liner.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: flow %d (%s): %s", v.Class, v.Invariant, v.Flow, v.Method, v.Detail)
+}
+
+// Report is the outcome of checking one scenario.
+type Report struct {
+	// Scenario is the checked subject.
+	Scenario *Scenario
+	// Methods lists every analysis that was run (all registered ones).
+	Methods []core.Method
+	// Violations holds invariant breaches, deterministically ordered.
+	// Empty means the scenario passed.
+	Violations []Violation
+	// Findings holds the KnownOptimism classifications: observed MPB
+	// latencies beyond the unsafe SB/SLA bounds.
+	Findings []Violation
+	// FlowsAttacked counts flows whose bounds were adversarially
+	// searched; SimRuns counts the simulations spent doing it.
+	FlowsAttacked, SimRuns int
+	// Notes records checks that were skipped and why (e.g. the sim
+	// attack on a platform outside Equation 1's validity region).
+	Notes []string
+}
+
+// unsafeUnderMPB marks the analyses that are documented to produce
+// optimistic bounds in multi-point progressive blocking scenarios;
+// observed latencies beyond their bounds are classified KnownOptimism
+// instead of Unsound.
+var unsafeUnderMPB = map[core.Method]bool{core.SB: true, core.SLA: true}
+
+// Check runs every registered analysis over the scenario, attacks the
+// bounds with the simulator's phasing search and evaluates the
+// invariant suite. It is deterministic in (sc, cfg).
+func Check(sc *Scenario, cfg CheckConfig) (*Report, error) {
+	cfg.setDefaults()
+	sys, err := sc.System()
+	if err != nil {
+		return nil, fmt.Errorf("oracle: materialising scenario: %w", err)
+	}
+	methods := core.Methods()
+	rep := &Report{Scenario: sc, Methods: methods}
+
+	bound := func(m core.Method, flow int, r noc.Cycles) noc.Cycles {
+		if cfg.mutate != nil {
+			return cfg.mutate(m, flow, r)
+		}
+		return r
+	}
+
+	// One engine serves every analysis; a second, independently built
+	// engine backs the determinism invariant.
+	eng := core.NewEngine(sys)
+	results := make(map[core.Method]*core.Result, len(methods))
+	for _, m := range methods {
+		res, err := eng.Analyze(core.Options{Method: m})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: %s analysis: %w", m, err)
+		}
+		results[m] = res
+	}
+
+	// Invariant: analysis determinism across engine rebuilds. The
+	// comparison runs on raw results — a bound mutation must not mask
+	// (or fake) nondeterminism.
+	eng2 := core.NewEngine(sys)
+	for _, m := range methods {
+		again, err := eng2.Analyze(core.Options{Method: m})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: %s re-analysis: %w", m, err)
+		}
+		for i := range again.Flows {
+			if again.Flows[i] != results[m].Flows[i] {
+				rep.Violations = append(rep.Violations, Violation{
+					Class:     NonDeterministic,
+					Invariant: "rebuild-deterministic",
+					Method:    m,
+					Flow:      i,
+					Bound:     results[m].Flows[i].R,
+					Observed:  again.Flows[i].R,
+					Detail: fmt.Sprintf("engine rebuild changed the result: %+v vs %+v",
+						results[m].Flows[i], again.Flows[i]),
+				})
+			}
+		}
+	}
+
+	// Invariant: IBN is never looser than XLWX (Equation 8 takes a min),
+	// and never loses a flow XLWX schedules.
+	xlwx, ibn := results[core.XLWX], results[core.IBN]
+	if xlwx == nil || ibn == nil {
+		return nil, fmt.Errorf("oracle: XLWX and IBN must be registered (got %v)", methods)
+	}
+	for i := range xlwx.Flows {
+		if xlwx.Flows[i].Status != core.Schedulable {
+			continue
+		}
+		bx := bound(core.XLWX, i, xlwx.Flows[i].R)
+		if ibn.Flows[i].Status != core.Schedulable {
+			rep.Violations = append(rep.Violations, Violation{
+				Class:     Inconsistent,
+				Invariant: "IBN<=XLWX",
+				Method:    core.IBN,
+				Flow:      i,
+				Bound:     bx,
+				Detail: fmt.Sprintf("XLWX schedulable (R=%d) but IBN reports %s",
+					bx, ibn.Flows[i].Status),
+			})
+			continue
+		}
+		bi := bound(core.IBN, i, ibn.Flows[i].R)
+		if bi > bx {
+			rep.Violations = append(rep.Violations, Violation{
+				Class:     Inconsistent,
+				Invariant: "IBN<=XLWX",
+				Method:    core.IBN,
+				Flow:      i,
+				Bound:     bx,
+				Observed:  bi,
+				Detail:    fmt.Sprintf("R_IBN %d > R_XLWX %d", bi, bx),
+			})
+		}
+	}
+
+	// Invariant: the IBN bound is monotone in the buffer depth.
+	rep.Violations = append(rep.Violations, checkBufferMonotone(sc, sys, eng, cfg, bound)...)
+
+	// The sim-vs-analysis invariants only hold inside Equation 1's
+	// validity region: 1-flit buffers cannot cover the credit round
+	// trip, so even uncontended packets exceed C there (see
+	// MinBufDepth). The analytic invariants above still apply; only the
+	// adversarial attack is skipped, and loudly.
+	if sc.Doc.Mesh.BufDepth < MinBufDepth {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"sim attack skipped: buf=%d is below Equation 1's validity floor of %d",
+			sc.Doc.Mesh.BufDepth, MinBufDepth))
+		sortViolations(rep.Violations)
+		return rep, nil
+	}
+
+	// Adversarial attack: search the worst phasing of every flow some
+	// analysis bounded, fanning out on the shared worker pool. Each
+	// search owns a rand.Rand derived from cfg.Seed and its flow index.
+	type attack struct {
+		worst   noc.Cycles
+		offsets []noc.Cycles
+		runs    int
+		skipped bool
+	}
+	anyJitter := false
+	for i := 0; i < sys.NumFlows(); i++ {
+		if sys.Flow(i).Jitter > 0 {
+			anyJitter = true
+		}
+	}
+	attacks := make([]attack, sys.NumFlows())
+	var mu sync.Mutex
+	runner := &parallel.Runner{Workers: cfg.Workers}
+	err = runner.Run(sys.NumFlows(), func(target int) error {
+		bounded := false
+		for _, m := range methods {
+			if results[m].Flows[target].Status == core.Schedulable {
+				bounded = true
+				break
+			}
+		}
+		if !bounded {
+			mu.Lock()
+			attacks[target].skipped = true
+			mu.Unlock()
+			return nil
+		}
+		search, err := sim.SearchWorstCase(sys, sim.SearchConfig{
+			Base: sim.Config{
+				Duration:     cfg.Duration,
+				InjectJitter: anyJitter,
+				JitterSeed:   DeriveSeed(cfg.Seed, int64(target)*2+1),
+			},
+			Target:        target,
+			Restarts:      cfg.Restarts,
+			RefineSteps:   cfg.RefineSteps,
+			ProbesPerFlow: cfg.ProbesPerFlow,
+			Rand:          rand.New(rand.NewSource(DeriveSeed(cfg.Seed, int64(target)*2))),
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		attacks[target] = attack{worst: search.Worst, offsets: search.Offsets, runs: search.Runs}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: phasing search: %w", err)
+	}
+
+	for target, at := range attacks {
+		if at.skipped {
+			continue
+		}
+		rep.FlowsAttacked++
+		rep.SimRuns += at.runs
+		if at.worst < 0 {
+			// No packet of the target completed within the horizon —
+			// nothing to compare (the horizon is the caller's budget
+			// knob, not an invariant).
+			continue
+		}
+		for _, m := range methods {
+			fr := results[m].Flows[target]
+			if fr.Status != core.Schedulable {
+				continue
+			}
+			b := bound(m, target, fr.R)
+			if at.worst <= b {
+				continue
+			}
+			v := Violation{
+				Invariant: "sim<=" + m.String(),
+				Method:    m,
+				Flow:      target,
+				Bound:     b,
+				Observed:  at.worst,
+				Offsets:   append([]noc.Cycles(nil), at.offsets...),
+				Detail:    fmt.Sprintf("observed latency %d exceeds bound %d by %d", at.worst, b, at.worst-b),
+			}
+			if unsafeUnderMPB[m] {
+				v.Class = KnownOptimism
+				rep.Findings = append(rep.Findings, v)
+			} else {
+				v.Class = Unsound
+				rep.Violations = append(rep.Violations, v)
+			}
+		}
+	}
+
+	sortViolations(rep.Violations)
+	sortViolations(rep.Findings)
+	return rep, nil
+}
+
+// checkBufferMonotone probes the IBN bound over an ascending
+// buffer-depth ladder: shrinking buf(Ξ) must never loosen — and growing
+// it must never tighten — the bound, because Equation 6's buffered
+// interference is non-decreasing in the depth.
+func checkBufferMonotone(sc *Scenario, sys *traffic.System, eng *core.Engine, cfg CheckConfig,
+	bound func(core.Method, int, noc.Cycles) noc.Cycles) []Violation {
+
+	base := sc.Doc.Mesh.BufDepth
+	depths := cfg.ExtraBufDepths
+	if len(depths) == 0 {
+		depths = []int{base, base + 1, base * 2, base + 8}
+	}
+	depths = append([]int(nil), depths...)
+	sort.Ints(depths)
+	var out []Violation
+	prev := make([]noc.Cycles, sys.NumFlows())
+	prevDepth := make([]int, sys.NumFlows())
+	for i := range prev {
+		prev[i] = -1
+	}
+	seen := -1
+	for _, d := range depths {
+		if d <= 0 || d == seen {
+			continue
+		}
+		seen = d
+		res, err := eng.Analyze(core.Options{Method: core.IBN, BufDepth: d})
+		if err != nil {
+			out = append(out, Violation{
+				Class:     NonDeterministic,
+				Invariant: "IBN-monotone-in-buf",
+				Method:    core.IBN,
+				Detail:    fmt.Sprintf("analysis failed at buf=%d: %v", d, err),
+			})
+			return out
+		}
+		for i := range res.Flows {
+			if res.Flows[i].Status != core.Schedulable {
+				continue
+			}
+			r := bound(core.IBN, i, res.Flows[i].R)
+			if prev[i] >= 0 && r < prev[i] {
+				out = append(out, Violation{
+					Class:     NonMonotone,
+					Invariant: "IBN-monotone-in-buf",
+					Method:    core.IBN,
+					Flow:      i,
+					Bound:     prev[i],
+					Observed:  r,
+					BufA:      prevDepth[i],
+					BufB:      d,
+					Detail: fmt.Sprintf("R_IBN dropped from %d (buf=%d) to %d (buf=%d)",
+						prev[i], prevDepth[i], r, d),
+				})
+			}
+			prev[i] = r
+			prevDepth[i] = d
+		}
+	}
+	return out
+}
+
+func sortViolations(vs []Violation) {
+	sort.Slice(vs, func(a, b int) bool {
+		if vs[a].Class != vs[b].Class {
+			return vs[a].Class < vs[b].Class
+		}
+		if vs[a].Invariant != vs[b].Invariant {
+			return vs[a].Invariant < vs[b].Invariant
+		}
+		if vs[a].Flow != vs[b].Flow {
+			return vs[a].Flow < vs[b].Flow
+		}
+		return vs[a].Method < vs[b].Method
+	})
+}

@@ -1,0 +1,30 @@
+package oracle
+
+import "testing"
+
+// FuzzOracleScenario plugs the whole generate → analyze → attack →
+// invariant cycle into go's native fuzzer: any int64 is a valid
+// scenario seed, so the fuzzer explores the scenario space directly.
+// The check budget is kept small for throughput; cmd/nocfuzz and
+// TestOracleRandomScenarios run the full-budget adversary.
+func FuzzOracleScenario(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 14, 29, 42, 44, 1337, -1, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		sc := Generate(seed, GenConfig{})
+		rep, err := Check(sc, CheckConfig{
+			Seed:          seed,
+			Duration:      6_000,
+			Restarts:      1,
+			RefineSteps:   1,
+			ProbesPerFlow: 2,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d (%s): %s", seed, sc, v.String())
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package oracle
+
+import (
+	"fmt"
+
+	"wormnoc/internal/traffic"
+)
+
+// DefaultShrinkBudget caps the number of candidate re-checks one Shrink
+// may spend. Each candidate costs a full Check (analyses + phasing
+// searches), so the budget bounds shrinking wall time.
+const DefaultShrinkBudget = 160
+
+// ShrinkResult is the outcome of minimising a violating scenario.
+type ShrinkResult struct {
+	// Scenario is the minimal violating scenario found.
+	Scenario *Scenario
+	// Report is the check report of that minimal scenario (it contains
+	// at least one violation matching the shrunk class and invariant).
+	Report *Report
+	// Attempts counts candidate scenarios checked (including rejected
+	// ones); Reductions counts the accepted ones.
+	Attempts, Reductions int
+}
+
+// Shrink greedily minimises a scenario while it keeps violating the
+// same invariant (class + invariant name) as the given violation:
+// flows are dropped one at a time, the mesh is cropped to the bounding
+// box of the surviving endpoints, the buffer depth is walked down and
+// periods are halved. Every candidate reduction is verified with a full
+// Check under cfg; reductions that lose the violation are rolled back.
+// The process is deterministic in (sc, cfg) and stops at a fixpoint or
+// when budget candidate checks (DefaultShrinkBudget if budget <= 0)
+// have been spent.
+func Shrink(sc *Scenario, v Violation, cfg CheckConfig, budget int) (*ShrinkResult, error) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	cur := sc
+	curRep, err := Check(cur, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if FindViolation(curRep, v) == nil {
+		return nil, fmt.Errorf("oracle: scenario does not exhibit %s/%s, nothing to shrink", v.Class, v.Invariant)
+	}
+	res := &ShrinkResult{Scenario: cur, Report: curRep, Attempts: 1}
+
+	// try checks one candidate; on success it becomes the new current
+	// scenario. Returns false once the budget is exhausted.
+	try := func(cand *Scenario) (bool, error) {
+		if res.Attempts >= budget {
+			return false, nil
+		}
+		res.Attempts++
+		rep, err := Check(cand, cfg)
+		if err != nil {
+			// A candidate reduction can produce an unmaterialisable
+			// document (e.g. a crop bug); treat it as "not smaller"
+			// rather than aborting the shrink.
+			return false, nil
+		}
+		if FindViolation(rep, v) == nil {
+			return false, nil
+		}
+		cur, curRep = cand, rep
+		res.Scenario, res.Report = cand, rep
+		res.Reductions++
+		return true, nil
+	}
+
+	for pass := 0; pass < 16; pass++ {
+		reduced := false
+
+		// Drop flows, highest index first so earlier indices stay
+		// stable while iterating.
+		for i := len(cur.Doc.Flows) - 1; i >= 0 && len(cur.Doc.Flows) > 1; i-- {
+			cand := cloneScenario(cur)
+			cand.Doc.Flows = append(cand.Doc.Flows[:i], cand.Doc.Flows[i+1:]...)
+			ok, err := try(cand)
+			if err != nil {
+				return nil, err
+			}
+			reduced = reduced || ok
+		}
+
+		// Crop the mesh to the bounding box of the surviving endpoints
+		// (dimension-order routes never leave the rectangle spanned by
+		// their endpoints, so the cropped links were never used).
+		if cand, changed := cropMesh(cur); changed {
+			ok, err := try(cand)
+			if err != nil {
+				return nil, err
+			}
+			reduced = reduced || ok
+		}
+
+		// Walk the buffer depth down: halve, then decrement. The floor
+		// is MinBufDepth, not 1 — below it the sim attack is skipped,
+		// so a sim-based violation could never survive the reduction
+		// anyway, and analytic ones must stay comparable.
+		for cur.Doc.Mesh.BufDepth > MinBufDepth {
+			next := cur.Doc.Mesh.BufDepth / 2
+			if next < MinBufDepth {
+				next = MinBufDepth
+			}
+			cand := cloneScenario(cur)
+			cand.Doc.Mesh.BufDepth = next
+			ok, err := try(cand)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			reduced = true
+		}
+		if cur.Doc.Mesh.BufDepth > MinBufDepth {
+			cand := cloneScenario(cur)
+			cand.Doc.Mesh.BufDepth--
+			ok, err := try(cand)
+			if err != nil {
+				return nil, err
+			}
+			reduced = reduced || ok
+		}
+
+		// Halve every period (deadlines track periods; jitter is
+		// clamped so the flow stays valid).
+		if cand, changed := halvePeriods(cur); changed {
+			ok, err := try(cand)
+			if err != nil {
+				return nil, err
+			}
+			reduced = reduced || ok
+		}
+
+		if !reduced || res.Attempts >= budget {
+			break
+		}
+	}
+	return res, nil
+}
+
+// FindViolation returns the first violation of rep matching want's
+// class and invariant name, or nil.
+func FindViolation(rep *Report, want Violation) *Violation {
+	for i := range rep.Violations {
+		if rep.Violations[i].Class == want.Class && rep.Violations[i].Invariant == want.Invariant {
+			return &rep.Violations[i]
+		}
+	}
+	return nil
+}
+
+func cloneScenario(sc *Scenario) *Scenario {
+	out := &Scenario{Seed: sc.Seed, Doc: sc.Doc}
+	out.Doc.Flows = append([]traffic.FlowSpec(nil), sc.Doc.Flows...)
+	return out
+}
+
+// cropMesh shrinks the mesh to the bounding box of every flow endpoint,
+// remapping node ids. It reports whether the candidate is smaller.
+func cropMesh(sc *Scenario) (*Scenario, bool) {
+	w := sc.Doc.Mesh.Width
+	minX, minY := w, sc.Doc.Mesh.Height
+	maxX, maxY := 0, 0
+	for _, f := range sc.Doc.Flows {
+		for _, n := range []int{f.Src, f.Dst} {
+			x, y := n%w, n/w
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	nw, nh := maxX-minX+1, maxY-minY+1
+	if nw*nh < 2 || (nw == sc.Doc.Mesh.Width && nh == sc.Doc.Mesh.Height) {
+		return sc, false
+	}
+	out := cloneScenario(sc)
+	out.Doc.Mesh.Width, out.Doc.Mesh.Height = nw, nh
+	for i := range out.Doc.Flows {
+		f := &out.Doc.Flows[i]
+		f.Src = (f.Src%w - minX) + (f.Src/w-minY)*nw
+		f.Dst = (f.Dst%w - minX) + (f.Dst/w-minY)*nw
+	}
+	return out, true
+}
+
+// halvePeriods halves every flow's period and deadline (floored at 2
+// cycles) and clamps jitter below the new period. It reports whether
+// anything changed.
+func halvePeriods(sc *Scenario) (*Scenario, bool) {
+	out := cloneScenario(sc)
+	changed := false
+	for i := range out.Doc.Flows {
+		f := &out.Doc.Flows[i]
+		if f.Period < 4 {
+			continue
+		}
+		f.Period /= 2
+		f.Deadline /= 2
+		if f.Deadline < 1 {
+			f.Deadline = 1
+		}
+		if f.Deadline > f.Period {
+			f.Deadline = f.Period
+		}
+		if f.Jitter > f.Period/4 {
+			f.Jitter = f.Period / 4
+		}
+		changed = true
+	}
+	return out, changed
+}

@@ -37,6 +37,14 @@ type SearchConfig struct {
 	ProbesPerFlow int
 	// Seed makes the search deterministic.
 	Seed int64
+	// Rand, when non-nil, supplies every random choice of the search and
+	// Seed is ignored. It lets a caller running many searches (the
+	// verification oracle) thread one seeded generator through all of
+	// them, so a reported worst case is reproducible from that seed
+	// alone — the search has no other randomness source. The generator
+	// is used from a single goroutine; it must not be shared with
+	// concurrent searches.
+	Rand *rand.Rand
 }
 
 // SearchResult reports the worst phasing found.
@@ -70,7 +78,10 @@ func SearchWorstCase(sys *traffic.System, cfg SearchConfig) (*SearchResult, erro
 	if cfg.ProbesPerFlow <= 0 {
 		cfg.ProbesPerFlow = 8
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 
 	best := &SearchResult{Worst: -1, Offsets: make([]noc.Cycles, n)}
 	evaluate := func(offsets []noc.Cycles) (noc.Cycles, error) {

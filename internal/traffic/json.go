@@ -25,6 +25,12 @@ type MeshSpec struct {
 	NumVCs       int   `json:"vcs,omitempty"`
 	LinkLatency  int64 `json:"linkl"`
 	RouteLatency int64 `json:"routl"`
+	// Routing selects the dimension-order routing policy: "xy" (the
+	// default, also selected by an absent or empty field) or "yx". The
+	// field exists so scenario documents — in particular the verification
+	// oracle's counterexample artifacts — replay with the exact routes
+	// they were found under.
+	Routing string `json:"routing,omitempty"`
 }
 
 // FlowSpec describes one flow of a Document.
@@ -42,6 +48,10 @@ type FlowSpec struct {
 // ToDocument converts a System into its serialisable form.
 func (s *System) ToDocument() Document {
 	cfg := s.topo.Config()
+	routing := ""
+	if s.topo.Routing() == noc.YX {
+		routing = "yx"
+	}
 	doc := Document{
 		Mesh: MeshSpec{
 			Width:        s.topo.Width(),
@@ -50,6 +60,7 @@ func (s *System) ToDocument() Document {
 			NumVCs:       cfg.NumVCs,
 			LinkLatency:  int64(cfg.LinkLatency),
 			RouteLatency: int64(cfg.RouteLatency),
+			Routing:      routing,
 		},
 		Flows: make([]FlowSpec, len(s.flows)),
 	}
@@ -79,6 +90,17 @@ func (d Document) System() (*System, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	switch d.Mesh.Routing {
+	case "", "xy", "XY":
+		// XY is the zero value of the topology's routing policy.
+	case "yx", "YX":
+		topo, err = topo.WithRouting(noc.YX)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("traffic: unknown routing policy %q (want \"xy\" or \"yx\")", d.Mesh.Routing)
 	}
 	flows := make([]Flow, len(d.Flows))
 	for i, fs := range d.Flows {
