@@ -1,0 +1,37 @@
+# Benchmark baseline tracking (DESIGN.md §10).
+#
+# `make bench` regenerates the two tracked benchmark baselines:
+#
+#   results/BENCH_sim.json      — simulator & engine benchmarks, incl.
+#                                 the before/after pairs of the retained
+#                                 reference engine vs the event-driven
+#                                 engine per load scenario
+#   results/BENCH_analysis.json — analysis-side benchmarks (scaling,
+#                                 set construction, Table II columns)
+#
+# BENCHTIME/COUNT tune fidelity vs wall time; CI uses the defaults and
+# uploads both files as artifacts.
+
+BENCHTIME ?= 1s
+COUNT     ?= 1
+
+.PHONY: bench bench-sim bench-analysis
+
+bench: bench-sim bench-analysis
+
+bench-sim:
+	@mkdir -p results
+	{ \
+	  go test -run=NONE -count=$(COUNT) -benchtime=$(BENCHTIME) -benchmem \
+	    -bench 'BenchmarkSimulator$$|BenchmarkSimulatorMeshScaling$$|BenchmarkWorstCaseSearch$$' . ; \
+	  go test -run=NONE -count=$(COUNT) -benchtime=$(BENCHTIME) -benchmem \
+	    -bench 'BenchmarkEngine' ./internal/sim ; \
+	} | go run ./cmd/benchjson -out results/BENCH_sim.json
+	@echo wrote results/BENCH_sim.json
+
+bench-analysis:
+	@mkdir -p results
+	go test -run=NONE -count=$(COUNT) -benchtime=$(BENCHTIME) -benchmem \
+	  -bench 'BenchmarkAnalysisScaling$$|BenchmarkBuildSets$$|BenchmarkTable2Didactic$$|BenchmarkAblationEq7$$' . \
+	  | go run ./cmd/benchjson -out results/BENCH_analysis.json
+	@echo wrote results/BENCH_analysis.json

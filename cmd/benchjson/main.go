@@ -1,0 +1,218 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// stable JSON document, so benchmark numbers can be tracked as build
+// artifacts and diffed across commits (results/BENCH_sim.json,
+// results/BENCH_analysis.json; see Makefile `bench`).
+//
+// Besides the raw per-benchmark records it derives before/after pairs:
+// any BenchmarkEngineReference/<scenario> with a matching
+// BenchmarkEngine/<scenario> becomes a pair with the speedup of the
+// event-driven engine over the retained reference engine on that
+// scenario — the number the event-driven rewrite is held to.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem ./... | benchjson -out bench.json
+//	benchjson -in bench.txt                    # JSON to stdout
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the output format; bump when fields change meaning.
+const Schema = "wormnoc-bench/v1"
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported timing.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem was set.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "cycles/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Pair is a derived before/after comparison between the reference and
+// event-driven engine on one scenario.
+type Pair struct {
+	Scenario   string  `json:"scenario"`
+	BeforeNs   float64 `json:"before_ns_per_op"`
+	AfterNs    float64 `json:"after_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+	BeforeName string  `json:"before"`
+	AfterName  string  `json:"after"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Pairs      []Pair      `json:"pairs,omitempty"`
+}
+
+// benchLine matches `BenchmarkName[-P]  N  1234 ns/op [extra unit]...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	var (
+		in  = flag.String("in", "-", "benchmark text to parse (- = stdin)")
+		out = flag.String("out", "-", "output JSON file (- = stdout)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+// Parse reads `go test -bench` output and builds the document. Lines
+// that are not benchmark results (test chatter, pass/fail footers) are
+// ignored; the same benchmark appearing twice (e.g. -count=2) keeps the
+// faster run, the convention benchstat calls "min of counts".
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	byName := map[string]*Benchmark{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		b, err := parseResult(m[1], m[2], m[3])
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: line %q: %w", sc.Text(), err)
+		}
+		if prev, ok := byName[b.Name]; !ok || b.NsPerOp < prev.NsPerOp {
+			byName[b.Name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, b := range byName {
+		doc.Benchmarks = append(doc.Benchmarks, *b)
+	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool {
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
+	})
+	doc.Pairs = derivePairs(byName)
+	return doc, nil
+}
+
+func parseResult(name, iters, rest string) (*Benchmark, error) {
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(iters, 10, 64)
+	if err != nil {
+		return nil, err
+	}
+	b := &Benchmark{Name: name, Iterations: n}
+	fields := strings.Fields(rest)
+	for i := 0; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q for unit %q", val, unit)
+		}
+		switch unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			iv := int64(v)
+			b.BytesPerOp = &iv
+		case "allocs/op":
+			iv := int64(v)
+			b.AllocsPerOp = &iv
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}
+
+// derivePairs matches BenchmarkEngineReference/<sc> against
+// BenchmarkEngine/<sc> and reports the speedups, sorted by scenario.
+func derivePairs(byName map[string]*Benchmark) []Pair {
+	const before, after = "BenchmarkEngineReference/", "BenchmarkEngine/"
+	var pairs []Pair
+	for name, ref := range byName {
+		scen, ok := strings.CutPrefix(name, before)
+		if !ok {
+			continue
+		}
+		ev, ok := byName[after+scen]
+		if !ok || ev.NsPerOp <= 0 {
+			continue
+		}
+		pairs = append(pairs, Pair{
+			Scenario:   scen,
+			BeforeNs:   ref.NsPerOp,
+			AfterNs:    ev.NsPerOp,
+			Speedup:    ref.NsPerOp / ev.NsPerOp,
+			BeforeName: name,
+			AfterName:  after + scen,
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Scenario < pairs[j].Scenario })
+	return pairs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: wormnoc/internal/sim
+BenchmarkEngine/low-8      	      75	  16852002 ns/op	     138 B/op	       2 allocs/op
+BenchmarkEngine/moderate   	     148	   8169720 ns/op	      53 B/op	       1 allocs/op
+BenchmarkEngineReference/low-8      	      16	  62785976 ns/op	   38296 B/op	     576 allocs/op
+BenchmarkEngineReference/moderate   	      38	  33740869 ns/op	   34448 B/op	     537 allocs/op
+BenchmarkSimulator/saturated        	      96	  11072287 ns/op	   9031581 cycles/s	    1860 B/op	       5 allocs/op
+PASS
+ok  	wormnoc	15.244s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != Schema {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if len(doc.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range doc.Benchmarks {
+		byName[b.Name] = b
+	}
+	low, ok := byName["BenchmarkEngine/low"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped from BenchmarkEngine/low-8")
+	}
+	if low.NsPerOp != 16852002 || low.Iterations != 75 {
+		t.Errorf("BenchmarkEngine/low parsed as %+v", low)
+	}
+	if low.AllocsPerOp == nil || *low.AllocsPerOp != 2 || low.BytesPerOp == nil || *low.BytesPerOp != 138 {
+		t.Errorf("benchmem fields wrong: %+v", low)
+	}
+	sat := byName["BenchmarkSimulator/saturated"]
+	if got := sat.Metrics["cycles/s"]; got != 9031581 {
+		t.Errorf("custom metric cycles/s = %v", got)
+	}
+
+	if len(doc.Pairs) != 2 {
+		t.Fatalf("derived %d pairs, want 2: %+v", len(doc.Pairs), doc.Pairs)
+	}
+	if doc.Pairs[0].Scenario != "low" || doc.Pairs[1].Scenario != "moderate" {
+		t.Errorf("pair order: %+v", doc.Pairs)
+	}
+	if s := doc.Pairs[0].Speedup; s < 3.7 || s > 3.8 {
+		t.Errorf("low speedup = %.2f, want ~3.73", s)
+	}
+}
+
+func TestParseKeepsFastestDuplicate(t *testing.T) {
+	in := "BenchmarkX 10 200 ns/op\nBenchmarkX 20 100 ns/op\n"
+	doc, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].NsPerOp != 100 {
+		t.Fatalf("duplicate handling: %+v", doc.Benchmarks)
+	}
+}

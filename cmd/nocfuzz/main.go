@@ -23,6 +23,7 @@ import (
 
 	"wormnoc/internal/noc"
 	"wormnoc/internal/oracle"
+	"wormnoc/internal/prof"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   nocfuzz run    [-n N] [-seed S] [-out DIR] [-duration D] [-restarts R]
                  [-probes P] [-refine K] [-workers W] [-keep-going] [-v]
+                 [-cpuprofile FILE] [-memprofile FILE]
   nocfuzz replay -in FILE [-v]
   nocfuzz corpus [-n N] [-seed S] -out DIR
 
@@ -68,18 +70,26 @@ func fatal(err error) {
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		n         = fs.Int("n", 100, "number of scenarios to check")
-		seed      = fs.Int64("seed", 1, "root seed; scenario i uses a seed derived from it")
-		out       = fs.String("out", "counterexamples", "directory for counterexample artifacts")
-		duration  = fs.Int64("duration", 12_000, "simulation horizon per phasing probe, cycles")
-		restarts  = fs.Int("restarts", 2, "random restarts per phasing search")
-		probes    = fs.Int("probes", 4, "probes per flow and restart")
-		refine    = fs.Int("refine", 1, "greedy refinement sweeps per restart")
-		workers   = fs.Int("workers", 0, "parallel phasing searches (0 = all CPUs)")
-		keepGoing = fs.Bool("keep-going", false, "check all N scenarios even after violations")
-		verbose   = fs.Bool("v", false, "log every scenario, not just violating ones")
+		n          = fs.Int("n", 100, "number of scenarios to check")
+		seed       = fs.Int64("seed", 1, "root seed; scenario i uses a seed derived from it")
+		out        = fs.String("out", "counterexamples", "directory for counterexample artifacts")
+		duration   = fs.Int64("duration", 12_000, "simulation horizon per phasing probe, cycles")
+		restarts   = fs.Int("restarts", 2, "random restarts per phasing search")
+		probes     = fs.Int("probes", 4, "probes per flow and restart")
+		refine     = fs.Int("refine", 1, "greedy refinement sweeps per restart")
+		workers    = fs.Int("workers", 0, "parallel phasing searches (0 = all CPUs)")
+		keepGoing  = fs.Bool("keep-going", false, "check all N scenarios even after violations")
+		verbose    = fs.Bool("v", false, "log every scenario, not just violating ones")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	fs.Parse(args)
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	violations := 0
 	simRuns := 0
@@ -141,6 +151,7 @@ func cmdRun(args []string) {
 	}
 	fmt.Printf("%d scenarios checked, %d sim runs, %d violations\n", *n, simRuns, violations)
 	if violations > 0 {
+		stopProf()
 		os.Exit(3)
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"wormnoc/internal/core"
 	"wormnoc/internal/noc"
+	"wormnoc/internal/prof"
 	"wormnoc/internal/sim"
 	"wormnoc/internal/stats"
 	"wormnoc/internal/trace"
@@ -30,21 +31,29 @@ import (
 
 func main() {
 	var (
-		in        = flag.String("in", "-", "input JSON file (- = stdin)")
-		duration  = flag.Int64("duration", 100_000, "simulated cycles")
-		packets   = flag.Int("packets", 0, "stop each flow after N packets (0 = unlimited)")
-		offsetStr = flag.String("offsets", "", "comma list of per-flow release offsets")
-		sweepFlow = flag.Int("sweep", -1, "sweep this flow's offset for worst case (-1 = single run)")
-		maxOffset = flag.Int64("maxoffset", 0, "offset sweep bound (default: swept flow's period)")
-		step      = flag.Int64("step", 1, "offset sweep step")
-		tracePath = flag.String("trace", "", "write flit-transfer CSV trace to this file")
-		gantt     = flag.Bool("gantt", false, "render an ASCII link-occupancy Gantt chart of the run")
-		ganttFrom = flag.Int64("gantt-from", 0, "Gantt window start cycle")
-		ganttTo   = flag.Int64("gantt-to", 0, "Gantt window end cycle (0 = end of trace)")
-		bounds    = flag.Bool("bounds", true, "print IBN/XLWX bounds next to observations")
-		showStats = flag.Bool("stats", false, "print per-flow latency distribution statistics")
+		in         = flag.String("in", "-", "input JSON file (- = stdin)")
+		duration   = flag.Int64("duration", 100_000, "simulated cycles")
+		packets    = flag.Int("packets", 0, "stop each flow after N packets (0 = unlimited)")
+		offsetStr  = flag.String("offsets", "", "comma list of per-flow release offsets")
+		sweepFlow  = flag.Int("sweep", -1, "sweep this flow's offset for worst case (-1 = single run)")
+		maxOffset  = flag.Int64("maxoffset", 0, "offset sweep bound (default: swept flow's period)")
+		step       = flag.Int64("step", 1, "offset sweep step")
+		tracePath  = flag.String("trace", "", "write flit-transfer CSV trace to this file")
+		gantt      = flag.Bool("gantt", false, "render an ASCII link-occupancy Gantt chart of the run")
+		ganttFrom  = flag.Int64("gantt-from", 0, "Gantt window start cycle")
+		ganttTo    = flag.Int64("gantt-to", 0, "Gantt window end cycle (0 = end of trace)")
+		bounds     = flag.Bool("bounds", true, "print IBN/XLWX bounds next to observations")
+		showStats  = flag.Bool("stats", false, "print per-flow latency distribution statistics")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	var r io.Reader
 	if *in == "-" {
@@ -190,6 +199,7 @@ func main() {
 	}
 	if violation {
 		fmt.Println("\nWARNING: an observation exceeded its IBN bound — please report this scenario")
+		stopProf()
 		os.Exit(2)
 	}
 }

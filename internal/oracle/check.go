@@ -75,6 +75,13 @@ const (
 	NonMonotone
 	// NonDeterministic: rebuilding the engine changed a result.
 	NonDeterministic
+	// Divergent: the event-driven simulation engine disagreed with the
+	// retained cycle-scanning reference engine (or a reused Engine
+	// disagreed with a fresh one) when replaying a worst-case phasing.
+	// The two engines are bit-identical by construction; any divergence
+	// is a simulator bug that silently poisons every sim-based
+	// invariant, so it is reported as a violation in its own class.
+	Divergent
 	// KnownOptimism: an observed latency exceeded an SB or SLA bound.
 	// This is the multi-point progressive blocking effect those
 	// analyses miss — expected behaviour, reported as a finding rather
@@ -93,6 +100,8 @@ func (c Class) String() string {
 		return "non-monotone"
 	case NonDeterministic:
 		return "non-deterministic"
+	case Divergent:
+		return "divergent-sim"
 	case KnownOptimism:
 		return "known-optimism"
 	default:
@@ -102,7 +111,7 @@ func (c Class) String() string {
 
 // parseClass is the inverse of Class.String, used by artifact replay.
 func parseClass(s string) (Class, error) {
-	for _, c := range []Class{Unsound, Inconsistent, NonMonotone, NonDeterministic, KnownOptimism} {
+	for _, c := range []Class{Unsound, Inconsistent, NonMonotone, NonDeterministic, Divergent, KnownOptimism} {
 		if c.String() == s {
 			return c, nil
 		}
@@ -330,6 +339,26 @@ func Check(sc *Scenario, cfg CheckConfig) (*Report, error) {
 		return nil, fmt.Errorf("oracle: phasing search: %w", err)
 	}
 
+	// Invariant: simulation-engine agreement. Replay every attacked
+	// flow's worst phasing through the event-driven engine (fresh and
+	// reused) and the retained cycle-scanning reference engine; the
+	// three must agree bit for bit, or every sim-based verdict above is
+	// built on sand (DESIGN.md §10).
+	simEng := sim.NewEngine(sys)
+	for target, at := range attacks {
+		if at.skipped {
+			continue
+		}
+		rep.Violations = append(rep.Violations,
+			checkEngineAgreement(sys, simEng, target, sim.Config{
+				Duration:     cfg.Duration,
+				Offsets:      at.offsets,
+				InjectJitter: anyJitter,
+				JitterSeed:   DeriveSeed(cfg.Seed, int64(target)*2+1),
+			})...)
+		rep.SimRuns += 3
+	}
+
 	for target, at := range attacks {
 		if at.skipped {
 			continue
@@ -373,6 +402,67 @@ func Check(sc *Scenario, cfg CheckConfig) (*Report, error) {
 	sortViolations(rep.Violations)
 	sortViolations(rep.Findings)
 	return rep, nil
+}
+
+// checkEngineAgreement replays one phasing through the retained
+// reference engine, a fresh event-driven run and the reused engine, and
+// reports a Divergent violation per flow whose observed worst latency
+// differs (plus one if the aggregate counters disagree).
+func checkEngineAgreement(sys *traffic.System, reused *sim.Engine, target int, runCfg sim.Config) []Violation {
+	ref, err := sim.RunReference(sys, runCfg)
+	if err != nil {
+		return []Violation{divergence(target, -1, -1,
+			fmt.Sprintf("reference engine failed on replay: %v", err))}
+	}
+	fresh, err := sim.Run(sys, runCfg)
+	if err != nil {
+		return []Violation{divergence(target, -1, -1,
+			fmt.Sprintf("event-driven engine failed on replay: %v", err))}
+	}
+	warm, err := reused.Run(runCfg)
+	if err != nil {
+		return []Violation{divergence(target, -1, -1,
+			fmt.Sprintf("reused event-driven engine failed on replay: %v", err))}
+	}
+	var out []Violation
+	for i := range ref.WorstLatency {
+		if fresh.WorstLatency[i] != ref.WorstLatency[i] {
+			out = append(out, divergence(i, ref.WorstLatency[i], fresh.WorstLatency[i],
+				fmt.Sprintf("event-driven engine observed %d, reference %d (replaying flow %d's worst phasing)",
+					fresh.WorstLatency[i], ref.WorstLatency[i], target)))
+		} else if warm.WorstLatency[i] != ref.WorstLatency[i] {
+			out = append(out, divergence(i, ref.WorstLatency[i], warm.WorstLatency[i],
+				fmt.Sprintf("reused engine observed %d, reference %d (replaying flow %d's worst phasing)",
+					warm.WorstLatency[i], ref.WorstLatency[i], target)))
+		}
+		if fresh.Completed[i] != ref.Completed[i] || fresh.Released[i] != ref.Released[i] ||
+			warm.Completed[i] != ref.Completed[i] || warm.Released[i] != ref.Released[i] {
+			out = append(out, divergence(i, noc.Cycles(ref.Completed[i]), noc.Cycles(fresh.Completed[i]),
+				fmt.Sprintf("completion/release counters diverge: reference %d/%d, fresh %d/%d, reused %d/%d",
+					ref.Completed[i], ref.Released[i], fresh.Completed[i], fresh.Released[i],
+					warm.Completed[i], warm.Released[i])))
+		}
+	}
+	if fresh.InFlight != ref.InFlight || warm.InFlight != ref.InFlight {
+		out = append(out, divergence(target, noc.Cycles(ref.InFlight), noc.Cycles(fresh.InFlight),
+			fmt.Sprintf("in-flight totals diverge: reference %d, fresh %d, reused %d",
+				ref.InFlight, fresh.InFlight, warm.InFlight)))
+	}
+	for i := range out {
+		out[i].Offsets = append([]noc.Cycles(nil), runCfg.Offsets...)
+	}
+	return out
+}
+
+func divergence(flow int, bound, observed noc.Cycles, detail string) Violation {
+	return Violation{
+		Class:     Divergent,
+		Invariant: "sim-engines-agree",
+		Flow:      flow,
+		Bound:     bound,
+		Observed:  observed,
+		Detail:    detail,
+	}
 }
 
 // checkBufferMonotone probes the IBN bound over an ascending

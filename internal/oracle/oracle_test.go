@@ -194,3 +194,21 @@ func TestReadArtifactRejects(t *testing.T) {
 		t.Error("unknown field accepted")
 	}
 }
+
+// The divergence class must survive the artifact string round-trip like
+// every other class, so a replayed divergence artifact classifies
+// correctly.
+func TestDivergentClassRoundTrip(t *testing.T) {
+	for _, c := range []Class{Unsound, Inconsistent, NonMonotone, NonDeterministic, Divergent, KnownOptimism} {
+		got, err := parseClass(c.String())
+		if err != nil {
+			t.Fatalf("parseClass(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Errorf("class %v round-tripped to %v", c, got)
+		}
+	}
+	if Divergent >= KnownOptimism {
+		t.Error("Divergent must sort before KnownOptimism so it is treated as a violation, not a finding")
+	}
+}

@@ -1,0 +1,53 @@
+// Package prof wires runtime/pprof into the command-line tools: a CPU
+// profile recorded for the whole run and a heap profile snapshotted at
+// exit. cmd/nocserve exposes the same data over HTTP (net/http/pprof on
+// its -pprof mux); this package is the batch-tool equivalent.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two file paths (either may be
+// empty to disable that profile). The returned stop function ends the
+// CPU profile and writes the heap profile; it is idempotent, so callers
+// can both defer it and invoke it explicitly before os.Exit.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			runtime.GC() // materialise final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: writing heap profile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

@@ -1,0 +1,198 @@
+package sim_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/oracle"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/workload"
+)
+
+// diffConfigs derives a handful of simulation configurations per
+// scenario, covering the knobs that shape engine behaviour: phasings,
+// jitter injection, packet caps and latency recording.
+func diffConfigs(seed int64, numFlows int, periods []noc.Cycles) []sim.Config {
+	rng := rand.New(rand.NewSource(seed))
+	base := sim.Config{Duration: 2_000 + noc.Cycles(rng.Int63n(4_000))}
+
+	random := base
+	random.Offsets = make([]noc.Cycles, numFlows)
+	for i := range random.Offsets {
+		random.Offsets[i] = noc.Cycles(rng.Int63n(int64(periods[i])))
+	}
+
+	jittered := base
+	jittered.InjectJitter = true
+	jittered.JitterSeed = seed
+
+	capped := random
+	capped.MaxPacketsPerFlow = 1 + rng.Intn(3)
+	capped.RecordLatencies = true
+
+	return []sim.Config{base, random, jittered, capped}
+}
+
+func mustEqualResults(t *testing.T, label string, ref, got *sim.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("%s: event-driven engine diverged from reference\nreference: %+v\nevent-driven: %+v", label, ref, got)
+	}
+}
+
+// TestDifferentialEngines replays the oracle's scenario distribution —
+// 1×N lines and W×H meshes, XY and YX routing, jittered flows, shallow
+// and deep buffers — through the retained reference engine and the
+// event-driven Engine, asserting bit-identical Results: per-packet
+// latencies, occupancies, completion/release/deadline counters and
+// in-flight totals. This is the safety net that lets the event-driven
+// engine be the default.
+func TestDifferentialEngines(t *testing.T) {
+	const scenarios = 220
+	for i := 0; i < scenarios; i++ {
+		seed := oracle.DeriveSeed(0xD1FF, int64(i))
+		sc := oracle.Generate(seed, oracle.GenConfig{})
+		sys, err := sc.System()
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		periods := make([]noc.Cycles, sys.NumFlows())
+		for f := range periods {
+			periods[f] = sys.Flow(f).Period
+		}
+		for ci, cfg := range diffConfigs(seed, sys.NumFlows(), periods) {
+			ref, err := sim.RunReference(sys, cfg)
+			if err != nil {
+				t.Fatalf("scenario %d cfg %d: reference: %v", i, ci, err)
+			}
+			got, err := sim.Run(sys, cfg)
+			if err != nil {
+				t.Fatalf("scenario %d cfg %d: event-driven: %v", i, ci, err)
+			}
+			mustEqualResults(t, fmt.Sprintf("scenario %d (%s) cfg %d", i, sc, ci), ref, got)
+		}
+	}
+}
+
+// TestDifferentialTraceStreams compares the raw flit-level trace output
+// of the two engines byte for byte: same transfers, same cycle, same
+// link, emitted in the same order — the strongest statement that cycle
+// skipping and dirty-link arbitration change nothing observable.
+func TestDifferentialTraceStreams(t *testing.T) {
+	const scenarios = 24
+	for i := 0; i < scenarios; i++ {
+		seed := oracle.DeriveSeed(0x7ACE, int64(i))
+		sc := oracle.Generate(seed, oracle.GenConfig{})
+		sys, err := sc.System()
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		cfg := sim.Config{Duration: 1_500, InjectJitter: i%2 == 0, JitterSeed: seed}
+
+		var refTrace, newTrace bytes.Buffer
+		refCfg := cfg
+		refCfg.TraceWriter = &refTrace
+		if _, err := sim.RunReference(sys, refCfg); err != nil {
+			t.Fatalf("scenario %d: reference: %v", i, err)
+		}
+		newCfg := cfg
+		newCfg.TraceWriter = &newTrace
+		if _, err := sim.Run(sys, newCfg); err != nil {
+			t.Fatalf("scenario %d: event-driven: %v", i, err)
+		}
+		if refTrace.Len() == 0 {
+			t.Fatalf("scenario %d (%s): reference trace empty — scenario exercises nothing", i, sc)
+		}
+		if !bytes.Equal(refTrace.Bytes(), newTrace.Bytes()) {
+			t.Fatalf("scenario %d (%s): trace streams diverge\nreference %d bytes, event-driven %d bytes",
+				i, sc, refTrace.Len(), newTrace.Len())
+		}
+	}
+}
+
+// TestDifferentialDidactic pins the engines against each other on the
+// paper's Section V example — the scenario behind Table II and
+// testdata/table2_golden.json — across both tabulated buffer depths and
+// a grid of τ2 phasings including the MPB-triggering ones.
+func TestDifferentialDidactic(t *testing.T) {
+	for _, buf := range []int{2, 10} {
+		sys := workload.Didactic(buf)
+		for off := noc.Cycles(0); off <= 200; off += 20 {
+			cfg := sim.Config{
+				Duration:        20_000,
+				Offsets:         []noc.Cycles{0, off, 0},
+				RecordLatencies: true,
+			}
+			ref, err := sim.RunReference(sys, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sim.Run(sys, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualResults(t, fmt.Sprintf("didactic buf=%d off=%d", buf, off), ref, got)
+		}
+	}
+}
+
+// TestEngineReuseMatchesFreshRuns drives one Engine through a sequence
+// of differently-shaped runs (changing offsets, jitter, caps, recording)
+// and checks every result against a fresh single-shot Run: reset must
+// leave no residue.
+func TestEngineReuseMatchesFreshRuns(t *testing.T) {
+	for i := 0; i < 12; i++ {
+		seed := oracle.DeriveSeed(0x5EED, int64(i))
+		sc := oracle.Generate(seed, oracle.GenConfig{})
+		sys, err := sc.System()
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		periods := make([]noc.Cycles, sys.NumFlows())
+		for f := range periods {
+			periods[f] = sys.Flow(f).Period
+		}
+		eng := sim.NewEngine(sys)
+		cfgs := diffConfigs(seed, sys.NumFlows(), periods)
+		// Run the whole sequence twice so every cfg also reruns on a
+		// dirty engine warmed by a different cfg.
+		for pass := 0; pass < 2; pass++ {
+			for ci, cfg := range cfgs {
+				fresh, err := sim.Run(sys, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reused, err := eng.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("scenario %d cfg %d pass %d", i, ci, pass)
+				if !reflect.DeepEqual(fresh.WorstLatency, reused.WorstLatency) ||
+					!reflect.DeepEqual(fresh.TotalLatency, reused.TotalLatency) ||
+					!reflect.DeepEqual(fresh.Completed, reused.Completed) ||
+					!reflect.DeepEqual(fresh.Released, reused.Released) ||
+					!reflect.DeepEqual(fresh.DeadlineMisses, reused.DeadlineMisses) ||
+					!reflect.DeepEqual(fresh.MaxOccupancy, reused.MaxOccupancy) ||
+					fresh.InFlight != reused.InFlight {
+					t.Fatalf("%s: reused engine diverged from fresh run\nfresh: %+v\nreused: %+v", label, fresh, reused)
+				}
+				if cfg.RecordLatencies {
+					for f := range fresh.Latencies {
+						if len(fresh.Latencies[f]) != len(reused.Latencies[f]) {
+							t.Fatalf("%s: flow %d latency count %d vs %d", label, f, len(fresh.Latencies[f]), len(reused.Latencies[f]))
+						}
+						for k := range fresh.Latencies[f] {
+							if fresh.Latencies[f][k] != reused.Latencies[f][k] {
+								t.Fatalf("%s: flow %d latency %d: %d vs %d", label, f, k, fresh.Latencies[f][k], reused.Latencies[f][k])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,767 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"strconv"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// maxCycles is the "never" sentinel for event times.
+const maxCycles = noc.Cycles(math.MaxInt64)
+
+// traceFlushSize is the trace buffer high-water mark: one Write per
+// ~32KiB of CSV instead of one Fprintf per flit.
+const traceFlushSize = 32 << 10
+
+// vcFIFO is the FIFO buffer of one virtual channel at one router input
+// port. Because flow priorities are unique and each priority has its own
+// VC, each FIFO carries flits of exactly one flow. It is head-indexed:
+// pop advances a cursor instead of re-slicing, and push reclaims the
+// dead prefix, so the backing array reaches a steady size and is reused
+// across Engine runs.
+type vcFIFO struct {
+	flits    []flit
+	head     int
+	inflight int // flits transferred but not yet arrived (credit debt)
+}
+
+func (f *vcFIFO) len() int { return len(f.flits) - f.head }
+
+func (f *vcFIFO) occupancy() int { return f.len() + f.inflight }
+
+func (f *vcFIFO) push(fl flit) {
+	if f.head > 0 && f.head == len(f.flits) {
+		f.flits = f.flits[:0]
+		f.head = 0
+	} else if f.head > 64 && f.head*2 >= len(f.flits) {
+		n := copy(f.flits, f.flits[f.head:])
+		f.flits = f.flits[:n]
+		f.head = 0
+	}
+	f.flits = append(f.flits, fl)
+}
+
+func (f *vcFIFO) peek() *flit { return &f.flits[f.head] }
+
+func (f *vcFIFO) pop() flit {
+	fl := f.flits[f.head]
+	f.head++
+	return fl
+}
+
+func (f *vcFIFO) reset() {
+	f.flits = f.flits[:0]
+	f.head = 0
+	f.inflight = 0
+}
+
+// pktQueue is a head-indexed queue of released-but-not-fully-injected
+// packets of one flow (the source queue). Like vcFIFO it reclaims its
+// dead prefix instead of re-slicing, so the backing array is reused.
+type pktQueue struct {
+	buf  []*packet
+	head int
+}
+
+func (q *pktQueue) len() int { return len(q.buf) - q.head }
+
+func (q *pktQueue) push(p *packet) {
+	if q.head > 0 && q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, p)
+}
+
+func (q *pktQueue) peek() *packet { return q.buf[q.head] }
+
+func (q *pktQueue) pop() {
+	q.buf[q.head] = nil
+	q.head++
+}
+
+func (q *pktQueue) reset() {
+	clear(q.buf)
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
+// cycQueue is a head-indexed queue of cycle instants: the
+// scheduled-but-not-yet-due jittered releases of one flow. It replaces
+// the old `pending[i] = pending[i][1:]` re-slicing, which leaked the
+// consumed prefix capacity forever.
+type cycQueue struct {
+	buf  []noc.Cycles
+	head int
+}
+
+func (q *cycQueue) len() int { return len(q.buf) - q.head }
+
+func (q *cycQueue) push(c noc.Cycles) {
+	if q.head > 0 && q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, c)
+}
+
+func (q *cycQueue) front() noc.Cycles { return q.buf[q.head] }
+
+func (q *cycQueue) back() noc.Cycles { return q.buf[len(q.buf)-1] }
+
+func (q *cycQueue) pop() noc.Cycles {
+	c := q.buf[q.head]
+	q.head++
+	return c
+}
+
+func (q *cycQueue) reset() {
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
+// relEvent is one entry of the release heap: flow flow's earliest
+// pending source event (periodic tick or due jittered release) at cycle
+// at. Each flow has at most one live entry.
+type relEvent struct {
+	at   noc.Cycles
+	flow int32
+}
+
+// linkEvent is one entry of the wakeup heap: link link must be
+// re-arbitrated at cycle at (its busy period expires, or a header flit
+// at a feeding FIFO finishes routing).
+type linkEvent struct {
+	at   noc.Cycles
+	link int32
+}
+
+// Engine is a reusable event-driven simulation engine bound to one
+// system. Build it once with NewEngine and call Run repeatedly: every
+// internal buffer (VC FIFOs, source queues, arrival ring, event heaps,
+// packet pool, result slices) is recycled across runs, so steady-state
+// operation allocates nothing. That is what makes the adversarial
+// phasing search and the verification oracle — thousands of runs per
+// scenario — cheap.
+//
+// The Result returned by Run is owned by the engine and overwritten by
+// the next Run; callers that retain it across runs must copy it first.
+// An Engine is not safe for concurrent use; give each goroutine its own.
+//
+// Engine produces bit-identical Results and trace streams to
+// RunReference; see DESIGN.md §10 for why cycle skipping and dirty-link
+// arbitration cannot change observable state.
+type Engine struct {
+	sys *traffic.System
+	cfg Config
+
+	linkl noc.Cycles
+	routl noc.Cycles
+	buf   int
+	n     int // flows
+
+	flows  []traffic.Flow
+	routes []noc.Route
+	// fifos[flow][hop] is the VC buffer fed by route[hop], for
+	// hop in [0, len(route)-2]. The ejection link feeds the sink.
+	fifos [][]vcFIFO
+	// onLink[l] lists the (flow, hop) pairs whose route crosses link l,
+	// priority-sorted, i.e. the arbitration candidates of link l.
+	onLink [][]cand
+
+	busyUntil []noc.Cycles // per link
+
+	// source state per flow
+	queue       []pktQueue
+	nextRelease []noc.Cycles
+	released    []int
+	pktSeq      []int
+	pending     []cycQueue // jittered releases not yet due, time-ordered
+	jitter      *rand.Rand
+
+	// arrivals is a FIFO of in-transit flits; since every transfer takes
+	// exactly linkl cycles, arrivals complete in submission order.
+	arrivals    []arrival
+	arrivalHead int
+
+	// Event state. dirty marks links whose arbitration inputs changed
+	// since they were last examined; dirtyList holds their ids. relHeap
+	// orders each flow's next source event by (time, flow) — the flow
+	// tie-break preserves the reference engine's flow-index release
+	// order, which the shared jitter stream observes. wakeHeap holds
+	// timed link re-arbitrations; linkWakeAt[l] is the earliest pending
+	// wakeup of link l (dedup so a hot link does not flood the heap).
+	dirty      []bool
+	dirtyList  []int
+	curDirty   []int // dirtyList snapshot being arbitrated this cycle
+	relHeap    []relEvent
+	wakeHeap   []linkEvent
+	linkWakeAt []noc.Cycles
+
+	transfers []cand
+
+	// packet pool: pool holds every packet this engine ever allocated,
+	// free the currently reusable ones. reset refills free from pool
+	// wholesale, so packets stranded in-flight at a horizon are
+	// recovered too.
+	pool []*packet
+	free []*packet
+
+	traceBuf []byte
+
+	res       *Result
+	inFlight  int
+	flitsLive int // flits inside FIFOs or in transit
+}
+
+// NewEngine builds a reusable event-driven engine for sys. The engine
+// captures the system's topology, routes and per-link candidate lists
+// once; each Run then only resets mutable state.
+func NewEngine(sys *traffic.System) *Engine {
+	n := sys.NumFlows()
+	topo := sys.Topology()
+	rc := topo.Config()
+	e := &Engine{
+		sys:         sys,
+		linkl:       rc.LinkLatency,
+		routl:       rc.RouteLatency,
+		buf:         rc.BufDepth,
+		n:           n,
+		flows:       make([]traffic.Flow, n),
+		routes:      make([]noc.Route, n),
+		fifos:       make([][]vcFIFO, n),
+		onLink:      make([][]cand, topo.NumLinks()),
+		busyUntil:   make([]noc.Cycles, topo.NumLinks()),
+		queue:       make([]pktQueue, n),
+		nextRelease: make([]noc.Cycles, n),
+		released:    make([]int, n),
+		pktSeq:      make([]int, n),
+		pending:     make([]cycQueue, n),
+		jitter:      rand.New(rand.NewSource(0)),
+		dirty:       make([]bool, topo.NumLinks()),
+		linkWakeAt:  make([]noc.Cycles, topo.NumLinks()),
+		res: &Result{
+			WorstLatency:   make([]noc.Cycles, n),
+			TotalLatency:   make([]noc.Cycles, n),
+			Completed:      make([]int, n),
+			Released:       make([]int, n),
+			DeadlineMisses: make([]int, n),
+			MaxOccupancy:   make([][]int, n),
+		},
+	}
+	hops := 0
+	for i := 0; i < n; i++ {
+		e.flows[i] = sys.Flow(i)
+		e.routes[i] = sys.Route(i)
+		hops += e.routes[i].Len() - 1
+	}
+	fifoStore := make([]vcFIFO, hops)
+	occStore := make([]int, hops)
+	for i := 0; i < n; i++ {
+		h := e.routes[i].Len() - 1
+		e.fifos[i], fifoStore = fifoStore[:h:h], fifoStore[h:]
+		e.res.MaxOccupancy[i], occStore = occStore[:h:h], occStore[h:]
+		for hop, l := range e.routes[i] {
+			e.onLink[l] = append(e.onLink[l], cand{flow: i, hop: hop})
+		}
+	}
+	// Keep candidate lists priority-sorted so arbitration scans stop at
+	// the first eligible candidate.
+	for l := range e.onLink {
+		cands := e.onLink[l]
+		for a := 1; a < len(cands); a++ {
+			for b := a; b > 0 && e.flows[cands[b].flow].Priority < e.flows[cands[b-1].flow].Priority; b-- {
+				cands[b], cands[b-1] = cands[b-1], cands[b]
+			}
+		}
+	}
+	return e
+}
+
+// Run simulates the system for cfg.Duration cycles and reports the
+// observed latencies. The returned Result is owned by the engine and
+// valid only until the next Run.
+func (e *Engine) Run(cfg Config) (*Result, error) {
+	if err := validateConfig(e.sys, cfg); err != nil {
+		return nil, err
+	}
+	e.reset(cfg)
+	e.run()
+	return e.res, nil
+}
+
+// reset rewinds every piece of mutable state to cycle 0 while keeping
+// backing arrays, so a warm engine allocates nothing.
+func (e *Engine) reset(cfg Config) {
+	e.cfg = cfg
+	for i := range e.busyUntil {
+		e.busyUntil[i] = 0
+		e.dirty[i] = false
+		e.linkWakeAt[i] = maxCycles
+	}
+	for i := 0; i < e.n; i++ {
+		e.queue[i].reset()
+		e.pending[i].reset()
+		if cfg.Offsets != nil {
+			e.nextRelease[i] = cfg.Offsets[i]
+		} else {
+			e.nextRelease[i] = 0
+		}
+		e.released[i] = 0
+		e.pktSeq[i] = 0
+		for h := range e.fifos[i] {
+			e.fifos[i][h].reset()
+			e.res.MaxOccupancy[i][h] = 0
+		}
+		e.res.WorstLatency[i] = -1
+		e.res.TotalLatency[i] = 0
+		e.res.Completed[i] = 0
+		e.res.Released[i] = 0
+		e.res.DeadlineMisses[i] = 0
+	}
+	if cfg.RecordLatencies {
+		if e.res.Latencies == nil {
+			e.res.Latencies = make([][]noc.Cycles, e.n)
+		}
+		for i := range e.res.Latencies {
+			e.res.Latencies[i] = e.res.Latencies[i][:0]
+		}
+	} else {
+		e.res.Latencies = nil
+	}
+	e.res.InFlight = 0
+	e.jitter.Seed(cfg.JitterSeed)
+	e.arrivals = e.arrivals[:0]
+	e.arrivalHead = 0
+	e.dirtyList = e.dirtyList[:0]
+	e.curDirty = e.curDirty[:0]
+	e.relHeap = e.relHeap[:0]
+	e.wakeHeap = e.wakeHeap[:0]
+	e.transfers = e.transfers[:0]
+	e.free = append(e.free[:0], e.pool...)
+	e.traceBuf = e.traceBuf[:0]
+	e.inFlight = 0
+	e.flitsLive = 0
+}
+
+// run is the event-driven main loop. Each executed cycle does the same
+// phases, in the same order, as the reference engine: deliver arrivals,
+// release due packets, arbitrate, apply transfers. The difference is
+// what it does NOT do: flows are only visited when their release heap
+// entry is due, links are only arbitrated when marked dirty, and when a
+// cycle ends with nothing dirty, t jumps straight to the next event
+// (earliest arrival, release, or link wakeup) — by construction no
+// state can change in between, so the skip is unobservable.
+func (e *Engine) run() {
+	for i := 0; i < e.n; i++ {
+		e.relPush(e.nextRelease[i], int32(i))
+	}
+	for t := noc.Cycles(0); t < e.cfg.Duration; t++ {
+		// 1. Deliver flits whose link traversal completes at t. Each
+		// delivery marks the link the landing FIFO feeds as dirty.
+		for e.arrivalHead < len(e.arrivals) && e.arrivals[e.arrivalHead].at <= t {
+			a := e.arrivals[e.arrivalHead]
+			e.arrivalHead++
+			e.deliver(a)
+		}
+		if e.arrivalHead == len(e.arrivals) && e.arrivalHead > 0 {
+			e.arrivals = e.arrivals[:0]
+			e.arrivalHead = 0
+		} else if e.arrivalHead > 64 && e.arrivalHead*2 >= len(e.arrivals) {
+			n := copy(e.arrivals, e.arrivals[e.arrivalHead:])
+			e.arrivals = e.arrivals[:n]
+			e.arrivalHead = 0
+		}
+		// 2. Timed link wakeups: busy periods expiring at t, headers
+		// whose routing delay elapses at t.
+		for len(e.wakeHeap) > 0 && e.wakeHeap[0].at <= t {
+			l := e.wakeHeap[0].link
+			e.wakePop()
+			e.markDirty(int(l))
+		}
+		// 3. Release periodic packets of the flows whose next source
+		// event is due. The heap pops same-cycle flows in flow-index
+		// order, so the shared jitter stream is consumed exactly as the
+		// reference engine's per-cycle flow scan consumes it.
+		for len(e.relHeap) > 0 && e.relHeap[0].at <= t {
+			i := int(e.relHeap[0].flow)
+			e.relPop()
+			e.processReleases(i, t)
+		}
+		// 4. Cycle skip: if no link's inputs changed, arbitration at t
+		// (and at every cycle before the next event) is a no-op.
+		if len(e.dirtyList) == 0 {
+			next := e.cfg.Duration
+			if e.arrivalHead < len(e.arrivals) && e.arrivals[e.arrivalHead].at < next {
+				next = e.arrivals[e.arrivalHead].at
+			}
+			if len(e.wakeHeap) > 0 && e.wakeHeap[0].at < next {
+				next = e.wakeHeap[0].at
+			}
+			if len(e.relHeap) > 0 && e.relHeap[0].at < next {
+				next = e.relHeap[0].at
+			}
+			if next > t+1 {
+				t = next - 1 // loop increment lands on the event
+			}
+			continue
+		}
+		// 5. Arbitrate the dirty links in ascending link order (the
+		// reference engine scans links in id order; transfer application
+		// and trace emission must match it). Highest-priority eligible
+		// candidate (head flit, routed, with downstream credit) wins.
+		// The dirty list is swapped out first: marks made while
+		// arbitrating and transferring accumulate for cycle t+1.
+		e.curDirty, e.dirtyList = e.dirtyList, e.curDirty[:0]
+		slices.Sort(e.curDirty)
+		e.transfers = e.transfers[:0]
+		for _, l := range e.curDirty {
+			e.dirty[l] = false
+			if e.busyUntil[l] > t {
+				// Still busy: revisit when the busy period expires. (An
+				// earlier pending wakeup may have absorbed the expiry
+				// wake scheduled at transfer time, so re-arm here.)
+				e.scheduleWake(e.busyUntil[l], l, t)
+				continue
+			}
+			won := false
+			minReady := maxCycles
+			for _, c := range e.onLink[l] {
+				ok, ready := e.eligible(c, t)
+				if ok {
+					e.transfers = append(e.transfers, c)
+					won = true
+					break
+				}
+				if ready < minReady {
+					minReady = ready
+				}
+			}
+			if !won && minReady < maxCycles {
+				// Blocked only by routing delay: revisit when the
+				// earliest header becomes ready.
+				e.scheduleWake(minReady, l, t)
+			}
+		}
+		// 6. Apply the transfers decided this cycle simultaneously.
+		// Freed credits and busy links mark/schedule the affected links
+		// for the following cycles.
+		for _, c := range e.transfers {
+			e.transfer(c, t)
+		}
+	}
+	e.res.InFlight = e.inFlight
+	e.flushTrace()
+}
+
+func (e *Engine) markDirty(l int) {
+	if !e.dirty[l] {
+		e.dirty[l] = true
+		e.dirtyList = append(e.dirtyList, l)
+	}
+}
+
+// processReleases runs flow i's source: periodic ticks due at t (with
+// jitter sampling), then jittered releases that became due, then
+// re-schedules the flow's next event on the release heap. The body is
+// the reference engine's per-flow phase 2, verbatim.
+func (e *Engine) processReleases(i int, t noc.Cycles) {
+	f := &e.flows[i]
+	for e.nextRelease[i] <= t {
+		if e.cfg.MaxPacketsPerFlow > 0 && e.released[i] >= e.cfg.MaxPacketsPerFlow {
+			break
+		}
+		e.released[i]++
+		relAt := e.nextRelease[i]
+		if e.cfg.InjectJitter && f.Jitter > 0 {
+			relAt += noc.Cycles(e.jitter.Int63n(int64(f.Jitter) + 1))
+			if e.pending[i].len() > 0 && relAt < e.pending[i].back() {
+				relAt = e.pending[i].back()
+			}
+		}
+		if relAt <= t {
+			e.releasePacket(i, relAt)
+		} else {
+			e.pending[i].push(relAt)
+		}
+		e.nextRelease[i] += f.Period
+	}
+	for e.pending[i].len() > 0 && e.pending[i].front() <= t {
+		e.releasePacket(i, e.pending[i].pop())
+	}
+	next := maxCycles
+	if !(e.cfg.MaxPacketsPerFlow > 0 && e.released[i] >= e.cfg.MaxPacketsPerFlow) {
+		next = e.nextRelease[i]
+	}
+	if e.pending[i].len() > 0 && e.pending[i].front() < next {
+		next = e.pending[i].front()
+	}
+	if next < maxCycles {
+		e.relPush(next, int32(i))
+	}
+}
+
+// releasePacket makes a packet of flow i available for injection at
+// cycle relAt (its latency is measured from relAt) and marks the flow's
+// injection link dirty.
+func (e *Engine) releasePacket(i int, relAt noc.Cycles) {
+	var p *packet
+	if n := len(e.free); n > 0 {
+		p = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		p = &packet{}
+		e.pool = append(e.pool, p)
+	}
+	*p = packet{
+		flow:    i,
+		id:      e.pktSeq[i],
+		release: relAt,
+		length:  e.flows[i].Length,
+	}
+	e.pktSeq[i]++
+	e.res.Released[i]++
+	e.inFlight++
+	e.queue[i].push(p)
+	e.markDirty(int(e.routes[i][0]))
+}
+
+// eligible reports whether candidate c can transfer a flit this cycle.
+// When the only obstacle is a header still being routed, it also
+// returns the cycle the header becomes ready (else maxCycles), so the
+// arbiter can schedule a precise wakeup.
+func (e *Engine) eligible(c cand, t noc.Cycles) (bool, noc.Cycles) {
+	if c.hop == 0 {
+		// Injection: the source node offers the next flit of its oldest
+		// pending packet.
+		if e.queue[c.flow].len() == 0 {
+			return false, maxCycles
+		}
+		return e.fifos[c.flow][0].occupancy() < e.buf, maxCycles
+	}
+	f := &e.fifos[c.flow][c.hop-1]
+	if f.len() == 0 {
+		return false, maxCycles
+	}
+	if ra := f.peek().readyAt; ra > t {
+		return false, ra // header still being routed
+	}
+	if c.hop == e.routes[c.flow].Len()-1 {
+		return true, maxCycles // ejection into the node: always consumes
+	}
+	return e.fifos[c.flow][c.hop].occupancy() < e.buf, maxCycles
+}
+
+// transfer moves one flit of candidate c onto its link at cycle t. It
+// schedules the link's busy-expiry wakeup and, when it pops a FIFO,
+// marks the upstream link (which just regained a credit) dirty.
+func (e *Engine) transfer(c cand, t noc.Cycles) {
+	route := e.routes[c.flow]
+	l := route[c.hop]
+	var fl flit
+	if c.hop == 0 {
+		q := &e.queue[c.flow]
+		p := q.peek()
+		fl = flit{pkt: p, seq: p.injected}
+		p.injected++
+		if p.injected == p.length {
+			q.pop()
+		}
+		e.flitsLive++
+	} else {
+		fl = e.fifos[c.flow][c.hop-1].pop()
+		// The pop freed a slot in fifos[c.flow][c.hop-1], the buffer
+		// gating the previous hop's link.
+		e.markDirty(int(route[c.hop-1]))
+	}
+	if c.hop < route.Len()-1 {
+		e.fifos[c.flow][c.hop].inflight++
+	}
+	e.busyUntil[l] = t + e.linkl
+	e.scheduleWake(t+e.linkl, int(l), t)
+	e.arrivals = append(e.arrivals, arrival{at: t + e.linkl, flow: c.flow, hop: c.hop, fl: fl})
+	if e.cfg.TraceWriter != nil {
+		e.traceLine(t, int64(l), c.flow, fl.pkt.id, fl.seq)
+	}
+}
+
+// deliver completes a link traversal: the flit lands in the next VC
+// buffer (marking the link that buffer feeds dirty), or in the
+// destination node when the link was the ejection one (recycling the
+// packet once its last flit arrives).
+func (e *Engine) deliver(a arrival) {
+	route := e.routes[a.flow]
+	if a.hop == route.Len()-1 {
+		// Ejected: consumed by the destination node.
+		p := a.fl.pkt
+		p.arrived++
+		e.flitsLive--
+		if p.arrived == p.length {
+			e.inFlight--
+			lat := a.at - p.release
+			e.res.Completed[a.flow]++
+			e.res.TotalLatency[a.flow] += lat
+			if lat > e.res.WorstLatency[a.flow] {
+				e.res.WorstLatency[a.flow] = lat
+			}
+			if lat > e.flows[a.flow].Deadline {
+				e.res.DeadlineMisses[a.flow]++
+			}
+			if e.cfg.RecordLatencies {
+				e.res.Latencies[a.flow] = append(e.res.Latencies[a.flow], lat)
+			}
+			e.free = append(e.free, p)
+		}
+		return
+	}
+	f := &e.fifos[a.flow][a.hop]
+	f.inflight--
+	fl := a.fl
+	if fl.seq == 0 {
+		fl.readyAt = a.at + e.routl // header pays the routing latency
+	} else {
+		fl.readyAt = a.at
+	}
+	f.push(fl)
+	if occ := f.len(); occ > e.res.MaxOccupancy[a.flow][a.hop] {
+		e.res.MaxOccupancy[a.flow][a.hop] = occ
+	}
+	e.markDirty(int(route[a.hop+1]))
+}
+
+// traceLine appends one CSV trace record to the reusable trace buffer,
+// flushing to the configured writer at the high-water mark. strconv
+// appends into the retained buffer, so tracing allocates nothing per
+// flit.
+func (e *Engine) traceLine(t noc.Cycles, l int64, flow, pkt, seq int) {
+	b := e.traceBuf
+	b = strconv.AppendInt(b, int64(t), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, l, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(flow), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(pkt), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(seq), 10)
+	b = append(b, '\n')
+	e.traceBuf = b
+	if len(b) >= traceFlushSize {
+		e.flushTrace()
+	}
+}
+
+func (e *Engine) flushTrace() {
+	if len(e.traceBuf) > 0 && e.cfg.TraceWriter != nil {
+		e.cfg.TraceWriter.Write(e.traceBuf)
+		e.traceBuf = e.traceBuf[:0]
+	}
+}
+
+// relPush inserts flow flow's next source event; the heap orders by
+// (at, flow) so same-cycle releases pop in flow-index order.
+func (e *Engine) relPush(at noc.Cycles, flow int32) {
+	h := append(e.relHeap, relEvent{at: at, flow: flow})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].at < h[i].at || (h[p].at == h[i].at && h[p].flow <= h[i].flow) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	e.relHeap = h
+}
+
+func (e *Engine) relPop() {
+	h := e.relHeap
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && (h[r].at < h[c].at || (h[r].at == h[c].at && h[r].flow < h[c].flow)) {
+			c = r
+		}
+		if h[i].at < h[c].at || (h[i].at == h[c].at && h[i].flow < h[c].flow) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	e.relHeap = h
+}
+
+// scheduleWake arranges for link l to be re-arbitrated at cycle at,
+// given the current cycle t. A wake due at the very next cycle — the
+// overwhelmingly common case when linkl is 1, as every transfer re-arms
+// its link — goes straight onto the dirty list for t+1 (the list is
+// non-empty, so the skip cannot jump past it) instead of bouncing
+// through the heap. Later wakes are heaped; linkWakeAt suppresses
+// pushes at or after an already-pending wakeup, so a hot link
+// contributes O(1) live heap entries.
+func (e *Engine) scheduleWake(at noc.Cycles, l int, t noc.Cycles) {
+	if at <= t+1 {
+		e.markDirty(l)
+		return
+	}
+	if e.linkWakeAt[l] <= at {
+		return
+	}
+	e.linkWakeAt[l] = at
+	h := append(e.wakeHeap, linkEvent{at: at, link: int32(l)})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].at <= h[i].at {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	e.wakeHeap = h
+}
+
+func (e *Engine) wakePop() {
+	h := e.wakeHeap
+	if e.linkWakeAt[h[0].link] == h[0].at {
+		e.linkWakeAt[h[0].link] = maxCycles
+	}
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h[r].at < h[c].at {
+			c = r
+		}
+		if h[i].at <= h[c].at {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	e.wakeHeap = h
+}

@@ -58,6 +58,12 @@ type SearchResult struct {
 }
 
 // SearchWorstCase runs the randomised phasing search.
+//
+// The search is the simulator's hottest client — thousands of runs per
+// invocation — so it recycles aggressively: one reusable Engine per
+// worker goroutine (the workers persist for the whole search), fixed
+// candidate-offset buffers, and engine-owned results. A probe costs
+// zero allocations in steady state.
 func SearchWorstCase(sys *traffic.System, cfg SearchConfig) (*SearchResult, error) {
 	n := sys.NumFlows()
 	if cfg.Target < 0 || cfg.Target >= n {
@@ -84,10 +90,11 @@ func SearchWorstCase(sys *traffic.System, cfg SearchConfig) (*SearchResult, erro
 	}
 
 	best := &SearchResult{Worst: -1, Offsets: make([]noc.Cycles, n)}
+	seqEngine := NewEngine(sys)
 	evaluate := func(offsets []noc.Cycles) (noc.Cycles, error) {
 		run := cfg.Base
 		run.Offsets = offsets
-		res, err := Run(sys, run)
+		res, err := seqEngine.Run(run)
 		if err != nil {
 			return -1, err
 		}
@@ -95,65 +102,75 @@ func SearchWorstCase(sys *traffic.System, cfg SearchConfig) (*SearchResult, erro
 		return res.WorstLatency[cfg.Target], nil
 	}
 
-	// Candidate offsets for one restart, evaluated in parallel.
-	parallelEval := func(cands [][]noc.Cycles) ([]noc.Cycles, []error) {
-		out := make([]noc.Cycles, len(cands))
-		errs := make([]error, len(cands))
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(cands) {
-			workers = len(cands)
-		}
-		if workers <= 1 {
-			for i, c := range cands {
-				out[i], errs[i] = evaluate(c)
-			}
-			return out, errs
-		}
-		var wg sync.WaitGroup
-		work := make(chan int)
-		var mu sync.Mutex
+	// Candidate-offset buffers, reused for every refinement batch, and
+	// the persistent evaluation workers. Each worker owns one Engine
+	// for the whole search, so steady-state probes allocate nothing.
+	cands := make([][]noc.Cycles, cfg.ProbesPerFlow)
+	candStore := make([]noc.Cycles, cfg.ProbesPerFlow*n)
+	for i := range cands {
+		cands[i], candStore = candStore[:n:n], candStore[n:]
+	}
+	out := make([]noc.Cycles, cfg.ProbesPerFlow)
+	errs := make([]error, cfg.ProbesPerFlow)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.ProbesPerFlow {
+		workers = cfg.ProbesPerFlow
+	}
+	var (
+		jobs chan int
+		wg   sync.WaitGroup
+	)
+	if workers > 1 {
+		jobs = make(chan int)
+		defer close(jobs)
 		for w := 0; w < workers; w++ {
-			wg.Add(1)
 			go func() {
-				defer wg.Done()
-				for i := range work {
+				eng := NewEngine(sys)
+				for i := range jobs {
 					run := cfg.Base
 					run.Offsets = cands[i]
-					res, err := Run(sys, run)
-					mu.Lock()
-					best.Runs++
-					mu.Unlock()
-					if err != nil {
-						errs[i] = err
-						continue
+					res, err := eng.Run(run)
+					errs[i] = err
+					if err == nil {
+						out[i] = res.WorstLatency[cfg.Target]
 					}
-					out[i] = res.WorstLatency[cfg.Target]
+					wg.Done()
 				}
 			}()
 		}
-		for i := range cands {
-			work <- i
-		}
-		close(work)
-		wg.Wait()
-		return out, errs
 	}
 
-	randomOffsets := func() []noc.Cycles {
-		off := make([]noc.Cycles, n)
-		for i := 0; i < n; i++ {
-			off[i] = noc.Cycles(rng.Int63n(int64(sys.Flow(i).Period)))
+	// evalBatch evaluates cands[0:k] into out/errs, in parallel when the
+	// workers exist.
+	evalBatch := func(k int) {
+		if workers <= 1 {
+			for i := 0; i < k; i++ {
+				out[i], errs[i] = evaluate(cands[i])
+			}
+			return
 		}
-		off[cfg.Target] = 0 // measure the target from a fixed phase
-		return off
+		wg.Add(k)
+		for i := 0; i < k; i++ {
+			jobs <- i
+		}
+		wg.Wait()
+		best.Runs += k
+	}
+
+	cur := make([]noc.Cycles, n)
+	randomOffsets := func() {
+		for i := 0; i < n; i++ {
+			cur[i] = noc.Cycles(rng.Int63n(int64(sys.Flow(i).Period)))
+		}
+		cur[cfg.Target] = 0 // measure the target from a fixed phase
 	}
 
 	for restart := 0; restart < cfg.Restarts; restart++ {
-		var cur []noc.Cycles
 		if restart == 0 && cfg.Base.Offsets != nil {
-			cur = append([]noc.Cycles(nil), cfg.Base.Offsets...)
+			copy(cur, cfg.Base.Offsets)
 		} else {
-			cur = randomOffsets()
+			randomOffsets()
 		}
 		curWorst, err := evaluate(cur)
 		if err != nil {
@@ -166,20 +183,18 @@ func SearchWorstCase(sys *traffic.System, cfg SearchConfig) (*SearchResult, erro
 					continue
 				}
 				period := int64(sys.Flow(f).Period)
-				cands := make([][]noc.Cycles, 0, cfg.ProbesPerFlow)
 				for p := 0; p < cfg.ProbesPerFlow; p++ {
-					c := append([]noc.Cycles(nil), cur...)
-					c[f] = noc.Cycles(rng.Int63n(period))
-					cands = append(cands, c)
+					copy(cands[p], cur)
+					cands[p][f] = noc.Cycles(rng.Int63n(period))
 				}
-				worsts, errs := parallelEval(cands)
-				for i := range cands {
+				evalBatch(cfg.ProbesPerFlow)
+				for i := 0; i < cfg.ProbesPerFlow; i++ {
 					if errs[i] != nil {
 						return nil, errs[i]
 					}
-					if worsts[i] > curWorst {
-						curWorst = worsts[i]
-						cur = cands[i]
+					if out[i] > curWorst {
+						curWorst = out[i]
+						copy(cur, cands[i])
 						improved = true
 					}
 				}

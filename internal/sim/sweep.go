@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"wormnoc/internal/noc"
 	"wormnoc/internal/parallel"
@@ -28,7 +29,9 @@ type SweepResult struct {
 // This reproduces the paper's simulation methodology for Table II: the
 // MPB effect only manifests when the interfering flow's releases are "not
 // in phase" with the others, so the phasing must be searched.
-// Simulations run in parallel; the search is deterministic.
+// Simulations run in parallel — each worker draws a reusable Engine from
+// a shared pool, so the sweep's cost is simulation, not allocation —
+// and the search is deterministic.
 func SweepOffsets(sys *traffic.System, base Config, flowIdx int, maxOffset, step noc.Cycles) (*SweepResult, error) {
 	if flowIdx < 0 || flowIdx >= sys.NumFlows() {
 		return nil, fmt.Errorf("sim: sweep flow index %d out of range (%d flows)", flowIdx, sys.NumFlows())
@@ -52,31 +55,40 @@ func SweepOffsets(sys *traffic.System, base Config, flowIdx int, maxOffset, step
 	for off := noc.Cycles(0); off < maxOffset; off += step {
 		offsets = append(offsets, off)
 	}
-	results := make([]*Result, len(offsets))
+	// Per-offset worst latencies, copied out of the pooled engines'
+	// reusable results (flat backing block, one row per offset).
+	worsts := make([][]noc.Cycles, len(offsets))
+	flat := make([]noc.Cycles, len(offsets)*n)
+
+	enginePool := sync.Pool{New: func() any { return NewEngine(sys) }}
 
 	// The shared worker-pool runner stops dispatching remaining offsets
 	// as soon as one simulation fails.
 	err := (&parallel.Runner{}).Run(len(offsets), func(idx int) error {
+		eng := enginePool.Get().(*Engine)
+		defer enginePool.Put(eng)
 		cfg := base
 		cfg.Offsets = make([]noc.Cycles, n)
 		copy(cfg.Offsets, base.Offsets)
 		cfg.Offsets[flowIdx] = offsets[idx]
-		res, err := Run(sys, cfg)
+		res, err := eng.Run(cfg)
 		if err != nil {
 			return err
 		}
-		results[idx] = res
+		row := flat[idx*n : (idx+1)*n : (idx+1)*n]
+		copy(row, res.WorstLatency)
+		worsts[idx] = row
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	for idx, res := range results {
+	for idx, w := range worsts {
 		out.Runs++
 		for i := 0; i < n; i++ {
-			if res.WorstLatency[i] > out.Worst[i] {
-				out.Worst[i] = res.WorstLatency[i]
+			if w[i] > out.Worst[i] {
+				out.Worst[i] = w[i]
 				out.WorstOffset[i] = offsets[idx]
 			}
 		}
