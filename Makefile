@@ -32,6 +32,6 @@ bench-sim:
 bench-analysis:
 	@mkdir -p results
 	go test -run=NONE -count=$(COUNT) -benchtime=$(BENCHTIME) -benchmem \
-	  -bench 'BenchmarkAnalysisScaling$$|BenchmarkBuildSets$$|BenchmarkTable2Didactic$$|BenchmarkAblationEq7$$' . \
+	  -bench 'BenchmarkAnalysisScaling$$|BenchmarkBuildSets$$|BenchmarkTable2Didactic$$|BenchmarkAblationEq7$$|BenchmarkWhatIfScratch$$|BenchmarkWhatIfIncremental$$' . \
 	  | go run ./cmd/benchjson -out results/BENCH_analysis.json
 	@echo wrote results/BENCH_analysis.json

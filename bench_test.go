@@ -6,8 +6,10 @@
 package wormnoc_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"wormnoc/internal/core"
@@ -184,6 +186,130 @@ func BenchmarkAnalysisScaling(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkWhatIfScratch and BenchmarkWhatIfIncremental measure the
+// edit/re-analyse loop of a what-if exploration on the platform of
+// BenchmarkAnalysisScaling: every iteration applies one single-flow
+// delta and recomputes the IBN bounds. Scratch pays a fresh engine
+// (interference sets + cold fixed points) per edit; the incremental
+// engine invalidates only the affected-flow frontier and warm-starts
+// the rest. The two edits alternate so no iteration is a cacheable
+// no-op. cmd/benchjson pairs the two by scenario and reports the
+// speedup (the /v1/whatif endpoint is held to >=5x on the single-flow
+// edits at n=400); "period-mid" edits a median-priority flow, whose
+// dependent frontier is real, as the honest middle ground.
+func BenchmarkWhatIfScratch(b *testing.B)     { benchWhatIf(b, false) }
+func BenchmarkWhatIfIncremental(b *testing.B) { benchWhatIf(b, true) }
+
+func benchWhatIf(b *testing.B, incremental bool) {
+	for _, n := range []int{50, 200, 400} {
+		topo := noc.MustMesh(8, 8, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+		sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: n, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lowest, median := flowsByPriorityRank(sys)
+		for _, sc := range []struct {
+			name   string
+			deltas [2]core.Delta
+		}{
+			{fmt.Sprintf("period/n=%d", n), periodToggle(sys, lowest)},
+			{fmt.Sprintf("remap/n=%d", n), remapToggle(sys, lowest)},
+			{fmt.Sprintf("period-mid/n=%d", n), periodToggle(sys, median)},
+		} {
+			b.Run(sc.name, func(b *testing.B) {
+				if incremental {
+					benchWhatIfIncremental(b, sys, sc.deltas)
+				} else {
+					benchWhatIfScratch(b, sys, sc.deltas)
+				}
+			})
+		}
+	}
+}
+
+func benchWhatIfScratch(b *testing.B, sys *traffic.System, deltas [2]core.Delta) {
+	cur := sys
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, err := core.ApplyDelta(cur, deltas[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		cur = next
+		if _, err := core.Analyze(cur, core.Options{Method: core.IBN}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWhatIfIncremental(b *testing.B, sys *traffic.System, deltas [2]core.Delta) {
+	inc := core.NewIncremental(sys)
+	ctx := context.Background()
+	// Warm the engine through one full toggle: the first analysis is a
+	// full run by design, and the loop below resumes on deltas[0].
+	for _, d := range deltas {
+		if err := inc.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := inc.Analyze(ctx, core.Options{Method: core.IBN}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inc.Apply(deltas[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := inc.Analyze(ctx, core.Options{Method: core.IBN}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// flowsByPriorityRank returns the indices of the lowest-priority flow
+// (the classic what-if subject: nothing depends on it) and the
+// median-priority flow (roughly half the set can depend on it).
+func flowsByPriorityRank(sys *traffic.System) (lowest, median int) {
+	order := make([]int, sys.NumFlows())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return sys.Flow(order[a]).Priority < sys.Flow(order[b]).Priority
+	})
+	return order[len(order)-1], order[len(order)/2]
+}
+
+// periodToggle alternates flow k's period between its base value and
+// base+64 (growing the period keeps the deadline valid either way).
+func periodToggle(sys *traffic.System, k int) [2]core.Delta {
+	base := sys.Flow(k).Period
+	return [2]core.Delta{
+		{Kind: core.DeltaPeriod, Flow: k, Cycles: base + 64},
+		{Kind: core.DeltaPeriod, Flow: k, Cycles: base},
+	}
+}
+
+// remapToggle alternates flow k's destination between its base node and
+// the next node that is neither its source nor the base destination.
+func remapToggle(sys *traffic.System, k int) [2]core.Delta {
+	f := sys.Flow(k)
+	nodes := sys.Topology().NumNodes()
+	alt := f.Dst
+	for {
+		alt = (alt + 1) % noc.NodeID(nodes)
+		if alt != f.Src && alt != f.Dst {
+			break
+		}
+	}
+	return [2]core.Delta{
+		{Kind: core.DeltaMapping, Flow: k, Src: f.Src, Dst: alt},
+		{Kind: core.DeltaMapping, Flow: k, Src: f.Src, Dst: f.Dst},
 	}
 }
 

@@ -3,11 +3,14 @@
 // artifacts and diffed across commits (results/BENCH_sim.json,
 // results/BENCH_analysis.json; see Makefile `bench`).
 //
-// Besides the raw per-benchmark records it derives before/after pairs:
-// any BenchmarkEngineReference/<scenario> with a matching
-// BenchmarkEngine/<scenario> becomes a pair with the speedup of the
-// event-driven engine over the retained reference engine on that
-// scenario — the number the event-driven rewrite is held to.
+// Besides the raw per-benchmark records it derives before/after pairs
+// (see pairPrefixes): any BenchmarkEngineReference/<scenario> with a
+// matching BenchmarkEngine/<scenario> becomes a pair with the speedup
+// of the event-driven engine over the retained reference engine, and
+// any BenchmarkWhatIfScratch/<scenario> pairs with
+// BenchmarkWhatIfIncremental/<scenario> for the speedup of the
+// delta-aware incremental analysis engine over from-scratch re-analysis
+// — the numbers those rewrites are held to.
 //
 // Usage:
 //
@@ -47,8 +50,9 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Pair is a derived before/after comparison between the reference and
-// event-driven engine on one scenario.
+// Pair is a derived before/after comparison on one scenario: the
+// reference vs event-driven simulation engine, or the from-scratch vs
+// incremental analysis engine (see pairPrefixes).
 type Pair struct {
 	Scenario   string  `json:"scenario"`
 	BeforeNs   float64 `json:"before_ns_per_op"`
@@ -185,30 +189,44 @@ func parseResult(name, iters, rest string) (*Benchmark, error) {
 	return b, nil
 }
 
-// derivePairs matches BenchmarkEngineReference/<sc> against
-// BenchmarkEngine/<sc> and reports the speedups, sorted by scenario.
+// pairPrefixes lists the tracked before/after benchmark families: a
+// result named <before><scenario> pairs with <after><scenario>.
+var pairPrefixes = []struct{ before, after string }{
+	{"BenchmarkEngineReference/", "BenchmarkEngine/"},
+	{"BenchmarkWhatIfScratch/", "BenchmarkWhatIfIncremental/"},
+}
+
+// derivePairs matches each pairPrefixes family's before/after runs by
+// scenario and reports the speedups, sorted by before name then
+// scenario.
 func derivePairs(byName map[string]*Benchmark) []Pair {
-	const before, after = "BenchmarkEngineReference/", "BenchmarkEngine/"
 	var pairs []Pair
-	for name, ref := range byName {
-		scen, ok := strings.CutPrefix(name, before)
-		if !ok {
-			continue
+	for _, pp := range pairPrefixes {
+		for name, ref := range byName {
+			scen, ok := strings.CutPrefix(name, pp.before)
+			if !ok {
+				continue
+			}
+			ev, ok := byName[pp.after+scen]
+			if !ok || ev.NsPerOp <= 0 {
+				continue
+			}
+			pairs = append(pairs, Pair{
+				Scenario:   scen,
+				BeforeNs:   ref.NsPerOp,
+				AfterNs:    ev.NsPerOp,
+				Speedup:    ref.NsPerOp / ev.NsPerOp,
+				BeforeName: name,
+				AfterName:  pp.after + scen,
+			})
 		}
-		ev, ok := byName[after+scen]
-		if !ok || ev.NsPerOp <= 0 {
-			continue
-		}
-		pairs = append(pairs, Pair{
-			Scenario:   scen,
-			BeforeNs:   ref.NsPerOp,
-			AfterNs:    ev.NsPerOp,
-			Speedup:    ref.NsPerOp / ev.NsPerOp,
-			BeforeName: name,
-			AfterName:  after + scen,
-		})
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Scenario < pairs[j].Scenario })
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].BeforeName != pairs[j].BeforeName {
+			return pairs[i].BeforeName < pairs[j].BeforeName
+		}
+		return pairs[i].Scenario < pairs[j].Scenario
+	})
 	return pairs
 }
 

@@ -13,6 +13,8 @@ BenchmarkEngine/moderate   	     148	   8169720 ns/op	      53 B/op	       1 all
 BenchmarkEngineReference/low-8      	      16	  62785976 ns/op	   38296 B/op	     576 allocs/op
 BenchmarkEngineReference/moderate   	      38	  33740869 ns/op	   34448 B/op	     537 allocs/op
 BenchmarkSimulator/saturated        	      96	  11072287 ns/op	   9031581 cycles/s	    1860 B/op	       5 allocs/op
+BenchmarkWhatIfScratch/period/n=400-8         	      28	  40913363 ns/op	 6434461 B/op	   68902 allocs/op
+BenchmarkWhatIfIncremental/period/n=400-8     	     988	   1194335 ns/op	  830416 B/op	    3695 allocs/op
 PASS
 ok  	wormnoc	15.244s
 `
@@ -25,8 +27,8 @@ func TestParse(t *testing.T) {
 	if doc.Schema != Schema {
 		t.Errorf("schema = %q", doc.Schema)
 	}
-	if len(doc.Benchmarks) != 5 {
-		t.Fatalf("parsed %d benchmarks, want 5: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	if len(doc.Benchmarks) != 7 {
+		t.Fatalf("parsed %d benchmarks, want 7: %+v", len(doc.Benchmarks), doc.Benchmarks)
 	}
 	byName := map[string]Benchmark{}
 	for _, b := range doc.Benchmarks {
@@ -47,14 +49,21 @@ func TestParse(t *testing.T) {
 		t.Errorf("custom metric cycles/s = %v", got)
 	}
 
-	if len(doc.Pairs) != 2 {
-		t.Fatalf("derived %d pairs, want 2: %+v", len(doc.Pairs), doc.Pairs)
+	if len(doc.Pairs) != 3 {
+		t.Fatalf("derived %d pairs, want 3: %+v", len(doc.Pairs), doc.Pairs)
 	}
 	if doc.Pairs[0].Scenario != "low" || doc.Pairs[1].Scenario != "moderate" {
 		t.Errorf("pair order: %+v", doc.Pairs)
 	}
 	if s := doc.Pairs[0].Speedup; s < 3.7 || s > 3.8 {
 		t.Errorf("low speedup = %.2f, want ~3.73", s)
+	}
+	whatif := doc.Pairs[2]
+	if whatif.Scenario != "period/n=400" || whatif.AfterName != "BenchmarkWhatIfIncremental/period/n=400" {
+		t.Errorf("what-if pair not derived: %+v", whatif)
+	}
+	if s := whatif.Speedup; s < 34.2 || s > 34.3 {
+		t.Errorf("what-if speedup = %.2f, want ~34.26", s)
 	}
 }
 

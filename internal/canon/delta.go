@@ -1,0 +1,63 @@
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"wormnoc/internal/core"
+)
+
+// deltaVersion tags the edit-chain key encoding. Like keyVersion, bump
+// on ANY change to what or how delta fields are hashed.
+const deltaVersion = "wormnoc-canon-delta/1\n"
+
+// DeltaKey chains one edit onto a previous step's key: the key of
+// "(whatever prev identifies) with d applied". prev is either Key(base
+// document, options) — the first step of a what-if chain — or the
+// DeltaKey of the preceding step. Chaining means step i's key is
+// computed in O(1) from step i−1's, without materialising or re-hashing
+// the full edited system, yet two chains collide only if they start
+// from analysis-equivalent bases and apply identical edits in identical
+// order.
+//
+// Semantically different chains that produce the same edited system
+// (e.g. two orderings of independent edits) get different keys; the
+// cache then stores the same result twice, which costs a duplicate
+// entry but never a wrong answer.
+func DeltaKey(prev string, d core.Delta) string {
+	h := sha256.New()
+	h.Write([]byte(deltaVersion))
+	str(h, prev)
+	// The kind is hashed by NAME so reordering the core.DeltaKind enum
+	// cannot silently repartition a persistent cache.
+	str(h, d.Kind.String())
+	num(h, int64(d.Flow))
+	num(h, int64(d.Other))
+	num(h, int64(d.Cycles))
+	num(h, int64(d.Length))
+	num(h, int64(d.BufDepth))
+	num(h, int64(d.Src))
+	num(h, int64(d.Dst))
+	str(h, d.NewFlow.Name)
+	num(h, int64(d.NewFlow.Priority))
+	num(h, int64(d.NewFlow.Period))
+	num(h, int64(d.NewFlow.Deadline))
+	num(h, int64(d.NewFlow.Jitter))
+	num(h, int64(d.NewFlow.Length))
+	num(h, int64(d.NewFlow.Src))
+	num(h, int64(d.NewFlow.Dst))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ChainKeys returns the per-step keys of a whole edit chain starting
+// from base (normally Key(doc, opt)): keys[i] identifies the system
+// after deltas[0..i] under the base's options.
+func ChainKeys(base string, deltas []core.Delta) []string {
+	keys := make([]string, len(deltas))
+	prev := base
+	for i, d := range deltas {
+		prev = DeltaKey(prev, d)
+		keys[i] = prev
+	}
+	return keys
+}

@@ -1,0 +1,58 @@
+package canon_test
+
+import (
+	"testing"
+
+	"wormnoc/internal/canon"
+	"wormnoc/internal/core"
+	"wormnoc/internal/traffic"
+)
+
+func TestDeltaKeyDeterministicAndDistinct(t *testing.T) {
+	base := "aaaa"
+	d := core.Delta{Kind: core.DeltaPeriod, Flow: 3, Cycles: 1200}
+	if canon.DeltaKey(base, d) != canon.DeltaKey(base, d) {
+		t.Error("identical (prev, delta) pairs produced different keys")
+	}
+	variants := []core.Delta{
+		{Kind: core.DeltaPeriod, Flow: 3, Cycles: 1201},
+		{Kind: core.DeltaPeriod, Flow: 4, Cycles: 1200},
+		{Kind: core.DeltaDeadline, Flow: 3, Cycles: 1200},
+		{Kind: core.DeltaJitter, Flow: 3, Cycles: 1200},
+		{Kind: core.DeltaPrioritySwap, Flow: 3, Other: 4},
+		{Kind: core.DeltaMapping, Flow: 3, Src: 0, Dst: 5},
+		{Kind: core.DeltaBufDepth, BufDepth: 8},
+		{Kind: core.DeltaAddFlow, NewFlow: traffic.Flow{Priority: 9, Period: 100, Deadline: 100, Length: 1, Dst: 1}},
+		{Kind: core.DeltaRemoveFlow, Flow: 3},
+	}
+	seen := map[string]core.Delta{canon.DeltaKey(base, d): d}
+	for _, v := range variants {
+		k := canon.DeltaKey(base, v)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("deltas %v and %v collide on key %s", prev, v, k)
+		}
+		seen[k] = v
+	}
+	if canon.DeltaKey("bbbb", d) == canon.DeltaKey(base, d) {
+		t.Error("key ignores the previous step's key")
+	}
+}
+
+func TestChainKeysOrderSensitive(t *testing.T) {
+	a := core.Delta{Kind: core.DeltaPeriod, Flow: 0, Cycles: 500}
+	b := core.Delta{Kind: core.DeltaJitter, Flow: 1, Cycles: 7}
+	ab := canon.ChainKeys("base", []core.Delta{a, b})
+	ba := canon.ChainKeys("base", []core.Delta{b, a})
+	if len(ab) != 2 || len(ba) != 2 {
+		t.Fatalf("chain lengths %d, %d", len(ab), len(ba))
+	}
+	if ab[1] == ba[1] {
+		t.Error("edit order does not influence the chained key")
+	}
+	if ab[0] != canon.DeltaKey("base", a) {
+		t.Error("ChainKeys[0] disagrees with DeltaKey")
+	}
+	if ab[1] != canon.DeltaKey(ab[0], b) {
+		t.Error("ChainKeys[1] is not chained from ChainKeys[0]")
+	}
+}

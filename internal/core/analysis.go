@@ -224,9 +224,27 @@ const ctxCheckInterval = 64
 // analytical outcome (including divergence) is reported via the flow's
 // status instead.
 func (a *analyzer) analyzeFlow(i int) error {
+	return a.analyzeFlowFrom(i, 0)
+}
+
+// analyzeFlowFrom is analyzeFlow with a warm-start seed: when seed
+// exceeds the zero-load latency, the fixed-point iteration starts there
+// instead of at C_i. The iteration function F is monotone in r, so any
+// seed r0 with C_i <= r0 <= lfp (the least fixed point at or above C_i)
+// yields iterates squeezed between the cold Kleene chain and lfp, and
+// therefore converges to exactly lfp — the monotone-restart argument the
+// incremental engine relies on when it seeds from a previous converged
+// bound after an interference-enlarging edit. A seed above lfp would
+// converge to some higher fixed point; callers must only pass seeds
+// known to be at or below the new least fixed point.
+func (a *analyzer) analyzeFlowFrom(i int, seed noc.Cycles) error {
 	defer func() { a.analyzed[i] = true }()
 	fi := a.sys.Flow(i)
 	ci := a.sys.C(i)
+	// An arena reused across incremental passes holds stale values;
+	// every outcome below must write R[i], including the dependency
+	// failures that leave it at the cold-run zero.
+	a.R[i] = 0
 
 	terms := a.ar.terms[:0]
 	defer func() { a.ar.terms = terms[:0] }()
@@ -259,6 +277,9 @@ func (a *analyzer) analyzeFlow(i int) error {
 	}
 
 	r := ci
+	if seed > ci {
+		r = seed
+	}
 	for iter := 0; ; iter++ {
 		if iter%ctxCheckInterval == 0 {
 			if err := a.ctx.Err(); err != nil {

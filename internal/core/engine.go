@@ -121,20 +121,25 @@ type arena struct {
 	terms []term
 }
 
+// newArena allocates the working state for a system of n flows and p
+// direct-interference pairs.
+func newArena(n, p int) *arena {
+	return &arena{
+		R:         make([]noc.Cycles, n),
+		status:    make([]FlowStatus, n),
+		analyzed:  make([]bool, n),
+		flowNanos: make([]int64, n),
+		xlwxVal:   make([]noc.Cycles, p),
+		ibnVal:    make([]noc.Cycles, p),
+		xlwxSet:   make([]bool, p),
+		ibnSet:    make([]bool, p),
+	}
+}
+
 func (e *Engine) acquire(opt Options, m method) *analyzer {
 	ar, _ := e.pool.Get().(*arena)
 	if ar == nil {
-		n, p := e.sys.NumFlows(), e.sets.numPairs()
-		ar = &arena{
-			R:         make([]noc.Cycles, n),
-			status:    make([]FlowStatus, n),
-			analyzed:  make([]bool, n),
-			flowNanos: make([]int64, n),
-			xlwxVal:   make([]noc.Cycles, p),
-			ibnVal:    make([]noc.Cycles, p),
-			xlwxSet:   make([]bool, p),
-			ibnSet:    make([]bool, p),
-		}
+		ar = newArena(e.sys.NumFlows(), e.sets.numPairs())
 	} else {
 		for i := range ar.R {
 			ar.R[i] = 0

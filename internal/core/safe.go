@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 
@@ -68,6 +69,39 @@ func (e *Engine) AnalyzeSafe(ctx context.Context, opt Options) (res *Result, err
 	err = Guard("analyze", func() error {
 		var aerr error
 		res, aerr = e.AnalyzeContext(ctx, opt)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ApplySafe is Incremental.Apply behind a Guard. A recovered panic may
+// have interrupted the per-configuration invalidation mid-way, so every
+// cached state is additionally marked for a from-scratch pass — the
+// engine stays usable, it just forfeits its incremental advantage once.
+func (inc *Incremental) ApplySafe(deltas ...Delta) error {
+	err := Guard("incremental apply", func() error { return inc.Apply(deltas...) })
+	if err != nil {
+		var ie *InternalError
+		if errors.As(err, &ie) {
+			for _, st := range inc.states {
+				st.full = true
+			}
+		}
+	}
+	return err
+}
+
+// AnalyzeSafe is Incremental.Analyze behind a Guard. Analyze itself
+// already marks the configuration for a from-scratch pass on any abort
+// (error or panic), so a fault never leaves a half-updated arena being
+// served.
+func (inc *Incremental) AnalyzeSafe(ctx context.Context, opt Options) (res *Result, err error) {
+	err = Guard("incremental analyze", func() error {
+		var aerr error
+		res, aerr = inc.Analyze(ctx, opt)
 		return aerr
 	})
 	if err != nil {

@@ -62,12 +62,7 @@ type Sets struct {
 // interference sets for every flow of the system.
 func BuildSets(sys *traffic.System) *Sets {
 	n := sys.NumFlows()
-	s := &Sets{
-		sys:      sys,
-		cd:       make([][]noc.Route, n),
-		direct:   make([][]int, n),
-		indirect: make([][]int, n),
-	}
+	cd := make([][]noc.Route, n)
 	// Link membership maps for fast intersection.
 	member := make([]map[noc.LinkID]struct{}, n)
 	for i := 0; i < n; i++ {
@@ -79,29 +74,50 @@ func BuildSets(sys *traffic.System) *Sets {
 		member[i] = m
 	}
 	for i := 0; i < n; i++ {
-		s.cd[i] = make([]noc.Route, n)
+		cd[i] = make([]noc.Route, n)
 	}
 	for i := 0; i < n; i++ {
 		ri := sys.Route(i)
 		for j := i + 1; j < n; j++ {
-			var cd noc.Route
+			var cdi noc.Route
 			for _, l := range ri {
 				if _, ok := member[j][l]; ok {
-					cd = append(cd, l)
+					cdi = append(cdi, l)
 				}
 			}
-			if cd != nil {
-				s.cd[i][j] = cd
+			if cdi != nil {
+				cd[i][j] = cdi
 				// The same set ordered along route_j.
-				cdj := make(noc.Route, 0, len(cd))
+				cdj := make(noc.Route, 0, len(cdi))
 				for _, l := range sys.Route(j) {
 					if _, ok := member[i][l]; ok {
 						cdj = append(cdj, l)
 					}
 				}
-				s.cd[j][i] = cdj
+				cd[j][i] = cdj
 			}
 		}
+	}
+	return deriveSets(sys, cd)
+}
+
+// deriveSets computes the priority-dependent structures (direct and
+// indirect sets, pair ranks) from a contention-domain matrix. The matrix
+// itself depends only on routes, so a priority reassignment can reuse it
+// wholesale and a single re-routed flow only needs its own row and
+// column refreshed — the basis of the incremental engine's cheap
+// structural edits (BuildSets at n=400 costs about as much as a full IBN
+// analysis, so rebuilding it per edit would forfeit the speedup).
+//
+// The rows of cd are adopted, not copied: callers hand over a matrix
+// they will not mutate afterwards.
+func deriveSets(sys *traffic.System, cd [][]noc.Route) *Sets {
+	n := sys.NumFlows()
+	s := &Sets{
+		sys:      sys,
+		cd:       cd,
+		direct:   make([][]int, n),
+		indirect: make([][]int, n),
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -110,22 +126,32 @@ func BuildSets(sys *traffic.System) *Sets {
 			}
 		}
 	}
+	// Epoch-stamped scratch arrays instead of per-flow maps: deriveSets
+	// reruns on every structural edit of the incremental engine (priority
+	// swaps, re-mappings), where the map-based pass dominated the Apply
+	// cost at n=400.
+	inDirect := make([]int, n)
+	seen := make([]int, n)
 	for i := 0; i < n; i++ {
-		inDirect := make(map[int]bool, len(s.direct[i]))
+		ep := i + 1
 		for _, j := range s.direct[i] {
-			inDirect[j] = true
+			inDirect[j] = ep
 		}
-		seen := make(map[int]bool)
+		count := 0
 		for _, j := range s.direct[i] {
 			for _, k := range s.direct[j] {
-				if k != i && !inDirect[k] && !seen[k] {
-					seen[k] = true
+				if k != i && inDirect[k] != ep && seen[k] != ep {
+					seen[k] = ep
+					count++
 				}
 			}
 		}
-		for k := 0; k < n; k++ {
-			if seen[k] {
-				s.indirect[i] = append(s.indirect[i], k)
+		if count > 0 {
+			s.indirect[i] = make([]int, 0, count)
+			for k := 0; k < n; k++ {
+				if seen[k] == ep {
+					s.indirect[i] = append(s.indirect[i], k)
+				}
 			}
 		}
 	}
@@ -134,6 +160,119 @@ func BuildSets(sys *traffic.System) *Sets {
 		s.pairOffset[i+1] = s.pairOffset[i] + len(s.direct[i])
 	}
 	return s
+}
+
+// cdPair intersects two routes: the shared links ordered along ri and,
+// when non-empty, the same set ordered along rj (BuildSets' convention).
+func cdPair(ri, rj noc.Route) (cdi, cdj noc.Route) {
+	member := make(map[noc.LinkID]struct{}, rj.Len())
+	for _, l := range rj {
+		member[l] = struct{}{}
+	}
+	for _, l := range ri {
+		if _, ok := member[l]; ok {
+			cdi = append(cdi, l)
+		}
+	}
+	if cdi == nil {
+		return nil, nil
+	}
+	mi := make(map[noc.LinkID]struct{}, ri.Len())
+	for _, l := range ri {
+		mi[l] = struct{}{}
+	}
+	cdj = make(noc.Route, 0, len(cdi))
+	for _, l := range rj {
+		if _, ok := mi[l]; ok {
+			cdj = append(cdj, l)
+		}
+	}
+	return cdi, cdj
+}
+
+// rebind returns a view of the sets over sys. Only valid when sys has
+// the same routes and priorities as the original system (parameter-only
+// edits: period, deadline, jitter, payload, buffer depth), in which case
+// every derived structure is route- and priority-identical.
+func (s *Sets) rebind(sys *traffic.System) *Sets {
+	c := *s
+	c.sys = sys
+	return &c
+}
+
+// withPriorities re-derives the priority-dependent structures over sys,
+// reusing the contention-domain matrix (routes unchanged).
+func (s *Sets) withPriorities(sys *traffic.System) *Sets {
+	return deriveSets(sys, s.cd)
+}
+
+// withRoute refreshes row and column k of the contention-domain matrix
+// (flow k was re-mapped in sys) and re-derives the sets. Rows whose
+// entry against k stays empty are shared outright with the original
+// matrix (rows are never mutated after derivation); only rows the
+// re-map actually touches are copied.
+func (s *Sets) withRoute(sys *traffic.System, k int) *Sets {
+	n := sys.NumFlows()
+	cd := make([][]noc.Route, n)
+	rk := sys.Route(k)
+	row := make([]noc.Route, n)
+	for i := 0; i < n; i++ {
+		if i == k {
+			cd[i] = row
+			continue
+		}
+		cdi, cdk := cdPair(sys.Route(i), rk)
+		row[i] = cdk
+		if cdi == nil && s.cd[i][k] == nil {
+			cd[i] = s.cd[i]
+			continue
+		}
+		cp := make([]noc.Route, n)
+		copy(cp, s.cd[i])
+		cp[k] = cdi
+		cd[i] = cp
+	}
+	return deriveSets(sys, cd)
+}
+
+// withFlowAppended extends the matrix with the new last flow of sys and
+// re-derives the sets. Rows of the surviving flows are extended copies;
+// their existing entries are shared.
+func (s *Sets) withFlowAppended(sys *traffic.System) *Sets {
+	n := sys.NumFlows()
+	k := n - 1
+	cd := make([][]noc.Route, n)
+	rk := sys.Route(k)
+	row := make([]noc.Route, n)
+	for i := 0; i < k; i++ {
+		cp := make([]noc.Route, n)
+		copy(cp, s.cd[i])
+		cdi, cdk := cdPair(sys.Route(i), rk)
+		cp[k] = cdi
+		row[i] = cdk
+		cd[i] = cp
+	}
+	cd[k] = row
+	return deriveSets(sys, cd)
+}
+
+// withFlowRemoved drops row and column k from the matrix (flow k was
+// removed from sys; flows above k shift down by one) and re-derives the
+// sets.
+func (s *Sets) withFlowRemoved(sys *traffic.System, k int) *Sets {
+	n := sys.NumFlows()
+	cd := make([][]noc.Route, n)
+	for i := 0; i < n; i++ {
+		oi := i
+		if oi >= k {
+			oi++
+		}
+		cp := make([]noc.Route, n)
+		copy(cp, s.cd[oi][:k])
+		copy(cp[k:], s.cd[oi][k+1:])
+		cd[i] = cp
+	}
+	return deriveSets(sys, cd)
 }
 
 // numPairs returns the total number of (direct interferer, flow) pairs —

@@ -15,6 +15,7 @@
 package mapopt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -82,6 +83,17 @@ func (g Graph) Validate() error {
 // assigned rate-monotonically. A nil system (with nil error) means every
 // communication is local — trivially schedulable.
 func (g Graph) Build(topo *noc.Topology, mapping []noc.NodeID) (*traffic.System, error) {
+	flows, err := g.flowsFor(topo, mapping)
+	if err != nil || len(flows) == 0 {
+		return nil, err
+	}
+	return traffic.NewSystem(topo, flows)
+}
+
+// flowsFor is Build before system construction: the mapping's flow list
+// (empty when every communication is local), rate-monotonic priorities
+// assigned.
+func (g Graph) flowsFor(topo *noc.Topology, mapping []noc.NodeID) ([]traffic.Flow, error) {
 	if len(mapping) != g.NumTasks {
 		return nil, fmt.Errorf("mapopt: mapping covers %d tasks, want %d", len(mapping), g.NumTasks)
 	}
@@ -99,11 +111,10 @@ func (g Graph) Build(topo *noc.Topology, mapping []noc.NodeID) (*traffic.System,
 			Jitter: f.Jitter, Length: f.Length, Src: src, Dst: dst,
 		})
 	}
-	if len(flows) == 0 {
-		return nil, nil
+	if len(flows) > 0 {
+		priority.RateMonotonic(flows)
 	}
-	priority.RateMonotonic(flows)
-	return traffic.NewSystem(topo, flows)
+	return flows, nil
 }
 
 // Config parameterises Optimize.
@@ -159,6 +170,12 @@ func Cost(g Graph, topo *noc.Topology, mapping []noc.NodeID, opt core.Options) (
 	if err != nil {
 		return 0, false, err
 	}
+	cost, schedulable = score(sys, res)
+	return cost, schedulable, nil
+}
+
+// score converts an analysis result into the annealing cost (see Cost).
+func score(sys *traffic.System, res *core.Result) (float64, bool) {
 	if res.Schedulable {
 		slack := 1.0
 		for i := 0; i < sys.NumFlows(); i++ {
@@ -167,7 +184,7 @@ func Cost(g Graph, topo *noc.Topology, mapping []noc.NodeID, opt core.Options) (
 				slack = s
 			}
 		}
-		return -1 - slack, true, nil
+		return -1 - slack, true
 	}
 	bad := 0
 	worst := 0.0
@@ -186,11 +203,126 @@ func Cost(g Graph, topo *noc.Topology, mapping []noc.NodeID, opt core.Options) (
 			worst = math.Max(worst, 1)
 		}
 	}
-	return float64(bad)/float64(sys.NumFlows()) + worst, false, nil
+	return float64(bad)/float64(sys.NumFlows()) + worst, false
+}
+
+// evaluator scores candidate mappings against one shared delta-aware
+// engine. Its system tracks the last evaluated mapping; a candidate that
+// keeps the same flow membership becomes a handful of re-mapping deltas
+// (frontier-only re-analysis over incrementally refreshed contention
+// domains), and only a membership change (a flow becoming local or
+// non-local) rebuilds the engine from scratch. Annealing rejections are
+// undone with Snapshot/Rollback so the engine always scores the next
+// candidate as a small edit of the current mapping.
+type evaluator struct {
+	g    Graph
+	topo *noc.Topology
+	opt  core.Options
+	inc  *core.Incremental
+	// flows is the flow set of inc's system; nil when the last evaluated
+	// mapping was fully local (inc, if any, is stale then).
+	flows []traffic.Flow
+	// evals counts analysis-backed evaluations (Result.Evaluations).
+	evals int
+}
+
+// evalCheckpoint restores the evaluator across a rejected move.
+type evalCheckpoint struct {
+	snap  *core.IncSnapshot
+	flows []traffic.Flow
+}
+
+func (e *evaluator) checkpoint() evalCheckpoint {
+	cp := evalCheckpoint{flows: e.flows}
+	if e.inc != nil {
+		cp.snap = e.inc.Snapshot()
+	}
+	return cp
+}
+
+func (e *evaluator) restore(cp evalCheckpoint) {
+	e.flows = cp.flows
+	if cp.snap != nil {
+		e.inc.Rollback(cp.snap)
+	}
+}
+
+// cost scores a mapping, leaving the engine on that mapping's system.
+func (e *evaluator) cost(ctx context.Context, mapping []noc.NodeID) (float64, bool, error) {
+	flows, err := e.g.flowsFor(e.topo, mapping)
+	if err != nil {
+		return 0, false, err
+	}
+	e.evals++
+	if len(flows) == 0 {
+		e.flows = nil
+		return -2, true, nil // everything local: perfect
+	}
+	if deltas, ok := remapDeltas(e.flows, flows); ok && e.inc != nil {
+		if len(deltas) > 0 {
+			if err := e.inc.Apply(deltas...); err != nil {
+				return 0, false, err
+			}
+		}
+	} else {
+		sys, err := traffic.NewSystem(e.topo, flows)
+		if err != nil {
+			return 0, false, err
+		}
+		if e.inc == nil {
+			e.inc = core.NewIncremental(sys)
+		} else {
+			e.inc.Reset(sys)
+		}
+	}
+	e.flows = flows
+	res, err := e.inc.Analyze(ctx, e.opt)
+	if err != nil {
+		return 0, false, err
+	}
+	cost, sched := score(e.inc.System(), res)
+	return cost, sched, nil
+}
+
+// remapDeltas diffs two instantiated flow lists: when they hold the same
+// flows (same membership, order, parameters and priorities) and differ
+// only in endpoints, it returns one re-mapping delta per moved flow and
+// ok=true. Identical membership implies identical rate-monotonic
+// priorities (the assignment reads only periods and list order), so a
+// false here means the flow sets genuinely differ and the caller must
+// rebuild.
+func remapDeltas(old, new []traffic.Flow) ([]core.Delta, bool) {
+	if len(old) == 0 || len(old) != len(new) {
+		return nil, false
+	}
+	var deltas []core.Delta
+	for i := range old {
+		o, n := old[i], new[i]
+		if o.Name != n.Name || o.Priority != n.Priority || o.Period != n.Period ||
+			o.Deadline != n.Deadline || o.Jitter != n.Jitter || o.Length != n.Length {
+			return nil, false
+		}
+		if o.Src != n.Src || o.Dst != n.Dst {
+			deltas = append(deltas, core.Delta{Kind: core.DeltaMapping, Flow: i, Src: n.Src, Dst: n.Dst})
+		}
+	}
+	return deltas, true
 }
 
 // Optimize runs the simulated-annealing search.
 func Optimize(g Graph, topo *noc.Topology, cfg Config) (*Result, error) {
+	return OptimizeContext(context.Background(), g, topo, cfg)
+}
+
+// OptimizeContext is Optimize under a context: cancelling ctx aborts the
+// search with the context's error. All candidate evaluations share one
+// delta-aware engine (see evaluator); the search itself — mutation,
+// acceptance, cooling — is unchanged and bit-identical to scoring every
+// candidate from scratch.
+func OptimizeContext(ctx context.Context, g Graph, topo *noc.Topology, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -218,17 +350,20 @@ func Optimize(g Graph, topo *noc.Topology, cfg Config) (*Result, error) {
 		}
 	}
 	res := &Result{Best: make([]noc.NodeID, g.NumTasks)}
-	curCost, curSched, err := Cost(g, topo, cur, cfg.Analysis)
+	ev := &evaluator{g: g, topo: topo, opt: cfg.Analysis}
+	curCost, curSched, err := ev.cost(ctx, cur)
 	if err != nil {
 		return nil, err
 	}
-	res.Evaluations++
 	copy(res.Best, cur)
 	res.Cost, res.Schedulable = curCost, curSched
 
 	temp := cfg.InitialTemperature
 	cand := make([]noc.NodeID, g.NumTasks)
 	for it := 0; it < cfg.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if cfg.StopWhenScheduled && res.Schedulable {
 			break
 		}
@@ -249,11 +384,11 @@ func Optimize(g Graph, topo *noc.Topology, cfg Config) (*Result, error) {
 			}
 			cand[t] = noc.NodeID(nn)
 		}
-		cost, sched, err := Cost(g, topo, cand, cfg.Analysis)
+		cp := ev.checkpoint()
+		cost, sched, err := ev.cost(ctx, cand)
 		if err != nil {
 			return nil, err
 		}
-		res.Evaluations++
 		accept := cost <= curCost
 		if !accept && temp > 1e-9 {
 			accept = rng.Float64() < math.Exp((curCost-cost)/temp)
@@ -266,10 +401,15 @@ func Optimize(g Graph, topo *noc.Topology, cfg Config) (*Result, error) {
 				copy(res.Best, cur)
 				res.Cost, res.Schedulable = cost, sched
 			}
+		} else {
+			// Rejected: put the engine back on the current mapping so the
+			// next candidate diffs against it.
+			ev.restore(cp)
 		}
 		temp *= cfg.Cooling
 	}
 	_ = curSched
+	res.Evaluations = ev.evals
 	if res.Schedulable {
 		res.WorstSlack = -res.Cost - 1
 	}

@@ -1,6 +1,8 @@
 package mapopt_test
 
 import (
+	"context"
+
 	"testing"
 
 	"wormnoc/internal/core"
@@ -205,5 +207,19 @@ func TestAVGraphShape(t *testing.T) {
 	}
 	if err := g.Validate(); err != nil {
 		t.Errorf("AV graph invalid: %v", err)
+	}
+}
+
+func TestOptimizeContextCancelled(t *testing.T) {
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := mapopt.OptimizeContext(ctx, smallGraph(), topo, mapopt.Config{
+		Analysis:   core.Options{Method: core.IBN},
+		Iterations: 50,
+		Seed:       7,
+	})
+	if err == nil {
+		t.Error("cancelled context must abort the search")
 	}
 }

@@ -41,6 +41,12 @@ type CheckSpec struct {
 	Restarts      int   `json:"restarts"`
 	RefineSteps   int   `json:"refine_steps"`
 	ProbesPerFlow int   `json:"probes_per_flow"`
+	// EditChainLen records the replayed edit-chain length of the
+	// incremental-divergence invariant (possibly shrunk below the
+	// default); zero means the default and is omitted for
+	// compatibility with artifacts written before the invariant
+	// existed.
+	EditChainLen int `json:"edit_chain_len,omitempty"`
 }
 
 // ViolationSpec is the serialised form of Violation.
@@ -60,6 +66,11 @@ type ViolationSpec struct {
 // NewArtifact assembles a counterexample from a shrink result (or, with
 // a nil shrink, straight from a violating scenario).
 func NewArtifact(sc *Scenario, cfg CheckConfig, v Violation, shrink *ShrinkResult) *Artifact {
+	if shrink != nil {
+		// Record the configuration the shrunk scenario was last verified
+		// under — Shrink may have walked EditChainLen down.
+		cfg = shrink.Config
+	}
 	a := &Artifact{
 		Version:  ArtifactVersion,
 		Seed:     sc.Seed,
@@ -70,6 +81,7 @@ func NewArtifact(sc *Scenario, cfg CheckConfig, v Violation, shrink *ShrinkResul
 			Restarts:      cfg.Restarts,
 			RefineSteps:   cfg.RefineSteps,
 			ProbesPerFlow: cfg.ProbesPerFlow,
+			EditChainLen:  cfg.EditChainLen,
 		},
 		Violation: ViolationSpec{
 			Class:     v.Class.String(),
@@ -130,6 +142,7 @@ func (a *Artifact) CheckConfig() CheckConfig {
 		Restarts:      a.Check.Restarts,
 		RefineSteps:   a.Check.RefineSteps,
 		ProbesPerFlow: a.Check.ProbesPerFlow,
+		EditChainLen:  a.Check.EditChainLen,
 	}
 }
 

@@ -35,6 +35,10 @@ type CheckConfig struct {
 	// plus +1, ×2 and +8 by default). Depths are probed in ascending
 	// order.
 	ExtraBufDepths []int
+	// EditChainLen is the length of the random edit chain the
+	// incremental-divergence invariant replays against the scenario
+	// (default DefaultEditChainLen). Negative disables the replay.
+	EditChainLen int
 
 	// mutate, when non-nil, rewrites every analytic bound before the
 	// invariants see it. It exists solely for the mutation self-test:
@@ -56,6 +60,9 @@ func (c *CheckConfig) setDefaults() {
 	}
 	if c.ProbesPerFlow <= 0 {
 		c.ProbesPerFlow = 4
+	}
+	if c.EditChainLen == 0 {
+		c.EditChainLen = DefaultEditChainLen
 	}
 }
 
@@ -82,6 +89,13 @@ const (
 	// is a simulator bug that silently poisons every sim-based
 	// invariant, so it is reported as a violation in its own class.
 	Divergent
+	// IncrementalDivergent: the delta-aware incremental analysis engine
+	// produced a result that is not bit-identical to a from-scratch
+	// analysis of the same edited system, somewhere along a random edit
+	// chain. Warm-started fixed points are only admissible because they
+	// converge to the same point as cold ones; any divergence is an
+	// invalidation or warm-start bug in internal/core's Incremental.
+	IncrementalDivergent
 	// KnownOptimism: an observed latency exceeded an SB or SLA bound.
 	// This is the multi-point progressive blocking effect those
 	// analyses miss — expected behaviour, reported as a finding rather
@@ -102,6 +116,8 @@ func (c Class) String() string {
 		return "non-deterministic"
 	case Divergent:
 		return "divergent-sim"
+	case IncrementalDivergent:
+		return "incremental-divergent"
 	case KnownOptimism:
 		return "known-optimism"
 	default:
@@ -111,7 +127,7 @@ func (c Class) String() string {
 
 // parseClass is the inverse of Class.String, used by artifact replay.
 func parseClass(s string) (Class, error) {
-	for _, c := range []Class{Unsound, Inconsistent, NonMonotone, NonDeterministic, Divergent, KnownOptimism} {
+	for _, c := range []Class{Unsound, Inconsistent, NonMonotone, NonDeterministic, Divergent, IncrementalDivergent, KnownOptimism} {
 		if c.String() == s {
 			return c, nil
 		}
@@ -269,6 +285,20 @@ func Check(sc *Scenario, cfg CheckConfig) (*Report, error) {
 
 	// Invariant: the IBN bound is monotone in the buffer depth.
 	rep.Violations = append(rep.Violations, checkBufferMonotone(sc, sys, eng, cfg, bound)...)
+
+	// Invariant: the delta-aware incremental engine is bit-identical to
+	// from-scratch analysis at every step of a random edit chain. Runs
+	// after the monotonicity ladder so the bound hook's call order over
+	// the base system stays stable for the mutation self-tests.
+	if cfg.EditChainLen > 0 {
+		vs, err := checkIncrementalDivergent(sys, methods, cfg, bound)
+		if err != nil {
+			return nil, err
+		}
+		rep.Violations = append(rep.Violations, vs...)
+	} else {
+		rep.Notes = append(rep.Notes, "incremental replay skipped: EditChainLen < 0")
+	}
 
 	// The sim-vs-analysis invariants only hold inside Equation 1's
 	// validity region: 1-flit buffers cannot cover the credit round

@@ -1,0 +1,205 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// DefaultEditChainLen is the number of edits the incremental-divergent
+// invariant replays against each scenario when CheckConfig.EditChainLen
+// is zero.
+const DefaultEditChainLen = 12
+
+// editChainStream is the DeriveSeed stream of the edit-chain generator.
+// The phasing searches use streams 2·target and 2·target+1, which are
+// never negative, so the chain's randomness cannot collide with them.
+const editChainStream = -1
+
+// checkIncrementalDivergent replays a deterministic random edit chain
+// through one core.Incremental and, in lockstep, through from-scratch
+// engines over the equivalently edited system. Every method's result
+// must match bit for bit at every step — the warm-started fixed points
+// are only admissible because they converge to the cold ones. The bound
+// hook rewrites the scratch (reference) side of schedulable flows, so
+// the mutation self-test can prove the comparison has teeth.
+func checkIncrementalDivergent(sys *traffic.System, methods []core.Method, cfg CheckConfig,
+	bound func(core.Method, int, noc.Cycles) noc.Cycles) ([]Violation, error) {
+
+	deltas, _, err := RandomDeltas(DeriveSeed(cfg.Seed, editChainStream), sys, cfg.EditChainLen)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: incremental replay: %w", err)
+	}
+	inc := core.NewIncremental(sys)
+	scratch := sys
+	ctx := context.Background()
+	var out []Violation
+	for step, d := range deltas {
+		if err := inc.Apply(d); err != nil {
+			return nil, fmt.Errorf("oracle: incremental replay: applying step %d (%s): %w", step, d, err)
+		}
+		scratch, err = core.ApplyDelta(scratch, d)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: incremental replay: folding step %d (%s): %w", step, d, err)
+		}
+		eng := core.NewEngine(scratch)
+		for _, m := range methods {
+			got, err := inc.Analyze(ctx, core.Options{Method: m})
+			if err != nil {
+				return nil, fmt.Errorf("oracle: incremental replay: %s at step %d: %w", m, step, err)
+			}
+			want, err := eng.Analyze(core.Options{Method: m})
+			if err != nil {
+				return nil, fmt.Errorf("oracle: incremental replay: scratch %s at step %d: %w", m, step, err)
+			}
+			if len(got.Flows) != len(want.Flows) {
+				out = append(out, Violation{
+					Class:     IncrementalDivergent,
+					Invariant: "incremental==scratch",
+					Method:    m,
+					Detail: fmt.Sprintf("step %d (%s): incremental tracks %d flows, scratch %d",
+						step, d, len(got.Flows), len(want.Flows)),
+				})
+				continue
+			}
+			for i := range want.Flows {
+				w := want.Flows[i]
+				if w.Status == core.Schedulable {
+					w.R = bound(m, i, w.R)
+				}
+				if w == got.Flows[i] {
+					continue
+				}
+				out = append(out, Violation{
+					Class:     IncrementalDivergent,
+					Invariant: "incremental==scratch",
+					Method:    m,
+					Flow:      i,
+					Bound:     w.R,
+					Observed:  got.Flows[i].R,
+					Detail: fmt.Sprintf("step %d (%s): warm result %+v diverges from scratch %+v",
+						step, d, got.Flows[i], w),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// RandomDeltas derives a deterministic random edit chain against sys:
+// every delta is valid for the system produced by its predecessors, so
+// the whole chain folds through core.ApplyDeltas without error. The
+// distribution leans on parameter edits (the dominant production
+// workload) but includes priority swaps, re-mappings, buffer-depth
+// changes and flow add/remove so the structural invalidation paths are
+// exercised too. The final edited system is returned alongside the
+// chain.
+func RandomDeltas(seed int64, sys *traffic.System, count int) ([]core.Delta, *traffic.System, error) {
+	rng := rand.New(rand.NewSource(seed))
+	deltas := make([]core.Delta, 0, count)
+	for attempts := 0; len(deltas) < count; attempts++ {
+		if attempts > 50*count+200 {
+			return nil, nil, fmt.Errorf("oracle: edit-chain generator stalled after %d attempts (seed %d)", attempts, seed)
+		}
+		d, ok := randomDelta(rng, sys)
+		if !ok {
+			continue
+		}
+		next, err := core.ApplyDelta(sys, d)
+		if err != nil {
+			// The generator aims for valid edits, but a roll can still hit
+			// a cross-flow constraint; skip and re-roll.
+			continue
+		}
+		deltas = append(deltas, d)
+		sys = next
+	}
+	return deltas, sys, nil
+}
+
+func randomDelta(rng *rand.Rand, sys *traffic.System) (core.Delta, bool) {
+	n := sys.NumFlows()
+	k := rng.Intn(n)
+	f := sys.Flow(k)
+	switch rng.Intn(14) {
+	case 0, 1, 2: // period: anywhere from the deadline (validity floor) to 2× the current
+		lo := int64(f.Deadline)
+		hi := 2 * int64(f.Period)
+		if hi < lo {
+			hi = lo
+		}
+		return core.Delta{Kind: core.DeltaPeriod, Flow: k, Cycles: noc.Cycles(lo + rng.Int63n(hi-lo+1))}, true
+	case 3, 4: // jitter: up to half the period, shrinking to zero included
+		return core.Delta{Kind: core.DeltaJitter, Flow: k, Cycles: noc.Cycles(rng.Int63n(int64(f.Period)/2 + 1))}, true
+	case 5, 6: // payload: halve to double the current length
+		lo := f.Length / 2
+		if lo < 1 {
+			lo = 1
+		}
+		return core.Delta{Kind: core.DeltaLength, Flow: k, Length: lo + rng.Intn(f.Length*2-lo+1)}, true
+	case 7: // deadline: mostly comfortable, occasionally brutally tight so
+		// deadline misses and dependency failures propagate through a chain
+		lo := int64(f.Period) / 2
+		if lo < 1 || rng.Intn(4) == 0 {
+			lo = 1
+		}
+		return core.Delta{Kind: core.DeltaDeadline, Flow: k, Cycles: noc.Cycles(lo + rng.Int63n(int64(f.Period)-lo+1))}, true
+	case 8: // platform buffer depth
+		return core.Delta{Kind: core.DeltaBufDepth, BufDepth: MinBufDepth + rng.Intn(10)}, true
+	case 9, 10: // priority swap
+		if n < 2 {
+			return core.Delta{}, false
+		}
+		o := rng.Intn(n - 1)
+		if o >= k {
+			o++
+		}
+		return core.Delta{Kind: core.DeltaPrioritySwap, Flow: k, Other: o}, true
+	case 11: // re-map to fresh endpoints
+		nodes := sys.Topology().NumNodes()
+		if nodes < 2 {
+			return core.Delta{}, false
+		}
+		src := rng.Intn(nodes)
+		dst := rng.Intn(nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		return core.Delta{Kind: core.DeltaMapping, Flow: k, Src: noc.NodeID(src), Dst: noc.NodeID(dst)}, true
+	case 12: // add a flow at the next free (lowest) priority
+		nodes := sys.Topology().NumNodes()
+		if nodes < 2 {
+			return core.Delta{}, false
+		}
+		maxPrio := 0
+		for _, fl := range sys.Flows() {
+			if fl.Priority > maxPrio {
+				maxPrio = fl.Priority
+			}
+		}
+		src := rng.Intn(nodes)
+		dst := rng.Intn(nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		period := noc.Cycles(2_000 + rng.Int63n(40_000))
+		return core.Delta{Kind: core.DeltaAddFlow, NewFlow: traffic.Flow{
+			Name:     fmt.Sprintf("e%d", maxPrio+1),
+			Priority: maxPrio + 1,
+			Period:   period,
+			Deadline: period,
+			Length:   8 + rng.Intn(96),
+			Src:      noc.NodeID(src),
+			Dst:      noc.NodeID(dst),
+		}}, true
+	default: // remove a flow, keeping at least two
+		if n < 3 {
+			return core.Delta{}, false
+		}
+		return core.Delta{Kind: core.DeltaRemoveFlow, Flow: k}, true
+	}
+}

@@ -114,6 +114,81 @@ func TestMutationTightenedXLWXTripsConsistency(t *testing.T) {
 	t.Fatalf("tightened XLWX went undetected; violations: %v", rep.Violations)
 }
 
+// A uniform +1 loosening of every schedulable bound is invisible to the
+// soundness, consistency and monotonicity invariants (looser bounds
+// stay safe, and both sides of every analytic comparison shift
+// together) — but the incremental-divergence comparison applies the
+// hook to the scratch reference side only, so the warm-started engine's
+// raw results must register as divergent. An oracle that stays green
+// here would also miss a real one-cycle warm-start bug.
+func TestMutationIncrementalDivergenceIsCaughtAndShrunk(t *testing.T) {
+	sc := didacticScenario()
+	cfg := CheckConfig{
+		Seed:   1,
+		mutate: func(m core.Method, flow int, r noc.Cycles) noc.Cycles { return r + 1 },
+	}
+	rep, err := Check(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var caught *Violation
+	for i := range rep.Violations {
+		if rep.Violations[i].Class == IncrementalDivergent && rep.Violations[i].Invariant == "incremental==scratch" {
+			caught = &rep.Violations[i]
+			break
+		}
+	}
+	if caught == nil {
+		t.Fatalf("shifted reference bounds went undetected; violations: %v", rep.Violations)
+	}
+	if caught.Bound != caught.Observed+1 {
+		t.Fatalf("violation does not witness the one-cycle shift: bound %d, observed %d", caught.Bound, caught.Observed)
+	}
+	for _, v := range rep.Violations {
+		if v.Class != IncrementalDivergent {
+			t.Errorf("the uniform shift leaked into another invariant: %s", v.String())
+		}
+	}
+
+	// The shrinker walks the replayed chain down: a single edit already
+	// exhibits the (mutation-faked) divergence.
+	shrunk, err := Shrink(sc, *caught, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shrunk.Config.EditChainLen >= DefaultEditChainLen {
+		t.Errorf("shrinker left the edit chain at %d edits", shrunk.Config.EditChainLen)
+	}
+	if FindViolation(shrunk.Report, *caught) == nil {
+		t.Error("shrunk scenario no longer exhibits the divergence")
+	}
+
+	// The artifact records the shrunk chain length, round-trips, and its
+	// replay runs the healthy engine — the divergence must NOT reproduce.
+	art := NewArtifact(shrunk.Scenario, cfg, *FindViolation(shrunk.Report, *caught), shrunk)
+	if art.Check.EditChainLen != shrunk.Config.EditChainLen {
+		t.Errorf("artifact records chain length %d, shrinker found %d", art.Check.EditChainLen, shrunk.Config.EditChainLen)
+	}
+	var buf bytes.Buffer
+	if err := art.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CheckConfig().EditChainLen != art.Check.EditChainLen {
+		t.Errorf("chain length lost in round trip: %d vs %d", back.CheckConfig().EditChainLen, art.Check.EditChainLen)
+	}
+	replayRep, reproduced, err := back.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reproduced {
+		t.Errorf("replay against the healthy engine reproduced the mutation's divergence: %v", replayRep.Violations)
+	}
+}
+
 // Loosening high-buffer IBN rungs is invisible, but *tightening* them
 // — here: collapsing the bound at depths above the platform's — breaks
 // buffer monotonicity and must be classified NonMonotone.

@@ -147,7 +147,7 @@ func TestArtifactRoundTrip(t *testing.T) {
 		Offsets:   []noc.Cycles{0, 7, 3},
 		Detail:    "synthetic for round-trip",
 	}
-	art := NewArtifact(sc, cfg, v, &ShrinkResult{Scenario: sc, Attempts: 4, Reductions: 2})
+	art := NewArtifact(sc, cfg, v, &ShrinkResult{Scenario: sc, Config: cfg, Attempts: 4, Reductions: 2})
 
 	var buf bytes.Buffer
 	if err := art.WriteJSON(&buf); err != nil {
@@ -199,7 +199,7 @@ func TestReadArtifactRejects(t *testing.T) {
 // every other class, so a replayed divergence artifact classifies
 // correctly.
 func TestDivergentClassRoundTrip(t *testing.T) {
-	for _, c := range []Class{Unsound, Inconsistent, NonMonotone, NonDeterministic, Divergent, KnownOptimism} {
+	for _, c := range []Class{Unsound, Inconsistent, NonMonotone, NonDeterministic, Divergent, IncrementalDivergent, KnownOptimism} {
 		got, err := parseClass(c.String())
 		if err != nil {
 			t.Fatalf("parseClass(%q): %v", c.String(), err)
@@ -208,7 +208,7 @@ func TestDivergentClassRoundTrip(t *testing.T) {
 			t.Errorf("class %v round-tripped to %v", c, got)
 		}
 	}
-	if Divergent >= KnownOptimism {
-		t.Error("Divergent must sort before KnownOptimism so it is treated as a violation, not a finding")
+	if Divergent >= KnownOptimism || IncrementalDivergent >= KnownOptimism {
+		t.Error("engine-divergence classes must sort before KnownOptimism so they are treated as violations, not findings")
 	}
 }

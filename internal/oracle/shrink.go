@@ -18,6 +18,12 @@ type ShrinkResult struct {
 	// Report is the check report of that minimal scenario (it contains
 	// at least one violation matching the shrunk class and invariant).
 	Report *Report
+	// Config is the check configuration the minimal scenario violates
+	// under, with defaults materialised. It starts as the caller's cfg;
+	// for incremental-divergence violations Shrink additionally walks
+	// EditChainLen down, so artifacts record the shortest edit chain
+	// that still diverges.
+	Config CheckConfig
 	// Attempts counts candidate scenarios checked (including rejected
 	// ones); Reductions counts the accepted ones.
 	Attempts, Reductions int
@@ -26,34 +32,40 @@ type ShrinkResult struct {
 // Shrink greedily minimises a scenario while it keeps violating the
 // same invariant (class + invariant name) as the given violation:
 // flows are dropped one at a time, the mesh is cropped to the bounding
-// box of the surviving endpoints, the buffer depth is walked down and
-// periods are halved. Every candidate reduction is verified with a full
-// Check under cfg; reductions that lose the violation are rolled back.
-// The process is deterministic in (sc, cfg) and stops at a fixpoint or
-// when budget candidate checks (DefaultShrinkBudget if budget <= 0)
-// have been spent.
+// box of the surviving endpoints, the buffer depth is walked down,
+// periods are halved and — for incremental-divergence violations — the
+// replayed edit chain is shortened. Every candidate reduction is
+// verified with a full Check under the current configuration;
+// reductions that lose the violation are rolled back. The process is
+// deterministic in (sc, cfg) and stops at a fixpoint or when budget
+// candidate checks (DefaultShrinkBudget if budget <= 0) have been
+// spent.
 func Shrink(sc *Scenario, v Violation, cfg CheckConfig, budget int) (*ShrinkResult, error) {
 	if budget <= 0 {
 		budget = DefaultShrinkBudget
 	}
-	cur := sc
-	curRep, err := Check(cur, cfg)
+	// Materialise defaults so the chain-length walk (and the recorded
+	// Config) works on effective values, not zero placeholders.
+	cfg.setDefaults()
+	cur, curCfg := sc, cfg
+	curRep, err := Check(cur, curCfg)
 	if err != nil {
 		return nil, err
 	}
 	if FindViolation(curRep, v) == nil {
 		return nil, fmt.Errorf("oracle: scenario does not exhibit %s/%s, nothing to shrink", v.Class, v.Invariant)
 	}
-	res := &ShrinkResult{Scenario: cur, Report: curRep, Attempts: 1}
+	res := &ShrinkResult{Scenario: cur, Report: curRep, Config: curCfg, Attempts: 1}
 
-	// try checks one candidate; on success it becomes the new current
-	// scenario. Returns false once the budget is exhausted.
-	try := func(cand *Scenario) (bool, error) {
+	// try checks one candidate scenario/config pair; on success it
+	// becomes the new current state. Returns false once the budget is
+	// exhausted.
+	try := func(cand *Scenario, candCfg CheckConfig) (bool, error) {
 		if res.Attempts >= budget {
 			return false, nil
 		}
 		res.Attempts++
-		rep, err := Check(cand, cfg)
+		rep, err := Check(cand, candCfg)
 		if err != nil {
 			// A candidate reduction can produce an unmaterialisable
 			// document (e.g. a crop bug); treat it as "not smaller"
@@ -63,8 +75,8 @@ func Shrink(sc *Scenario, v Violation, cfg CheckConfig, budget int) (*ShrinkResu
 		if FindViolation(rep, v) == nil {
 			return false, nil
 		}
-		cur, curRep = cand, rep
-		res.Scenario, res.Report = cand, rep
+		cur, curRep, curCfg = cand, rep, candCfg
+		res.Scenario, res.Report, res.Config = cand, rep, candCfg
 		res.Reductions++
 		return true, nil
 	}
@@ -77,7 +89,7 @@ func Shrink(sc *Scenario, v Violation, cfg CheckConfig, budget int) (*ShrinkResu
 		for i := len(cur.Doc.Flows) - 1; i >= 0 && len(cur.Doc.Flows) > 1; i-- {
 			cand := cloneScenario(cur)
 			cand.Doc.Flows = append(cand.Doc.Flows[:i], cand.Doc.Flows[i+1:]...)
-			ok, err := try(cand)
+			ok, err := try(cand, curCfg)
 			if err != nil {
 				return nil, err
 			}
@@ -88,7 +100,7 @@ func Shrink(sc *Scenario, v Violation, cfg CheckConfig, budget int) (*ShrinkResu
 		// (dimension-order routes never leave the rectangle spanned by
 		// their endpoints, so the cropped links were never used).
 		if cand, changed := cropMesh(cur); changed {
-			ok, err := try(cand)
+			ok, err := try(cand, curCfg)
 			if err != nil {
 				return nil, err
 			}
@@ -106,7 +118,7 @@ func Shrink(sc *Scenario, v Violation, cfg CheckConfig, budget int) (*ShrinkResu
 			}
 			cand := cloneScenario(cur)
 			cand.Doc.Mesh.BufDepth = next
-			ok, err := try(cand)
+			ok, err := try(cand, curCfg)
 			if err != nil {
 				return nil, err
 			}
@@ -118,7 +130,7 @@ func Shrink(sc *Scenario, v Violation, cfg CheckConfig, budget int) (*ShrinkResu
 		if cur.Doc.Mesh.BufDepth > MinBufDepth {
 			cand := cloneScenario(cur)
 			cand.Doc.Mesh.BufDepth--
-			ok, err := try(cand)
+			ok, err := try(cand, curCfg)
 			if err != nil {
 				return nil, err
 			}
@@ -128,11 +140,39 @@ func Shrink(sc *Scenario, v Violation, cfg CheckConfig, budget int) (*ShrinkResu
 		// Halve every period (deadlines track periods; jitter is
 		// clamped so the flow stays valid).
 		if cand, changed := halvePeriods(cur); changed {
-			ok, err := try(cand)
+			ok, err := try(cand, curCfg)
 			if err != nil {
 				return nil, err
 			}
 			reduced = reduced || ok
+		}
+
+		// Shorten the replayed edit chain (halve, then decrement). Only
+		// attempted for incremental-divergence violations — the other
+		// invariants never read EditChainLen, so shortening it could not
+		// lose them and would burn budget on no-op reductions.
+		if v.Class == IncrementalDivergent {
+			for curCfg.EditChainLen > 1 {
+				candCfg := curCfg
+				candCfg.EditChainLen = curCfg.EditChainLen / 2
+				ok, err := try(cur, candCfg)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				reduced = true
+			}
+			if curCfg.EditChainLen > 1 {
+				candCfg := curCfg
+				candCfg.EditChainLen--
+				ok, err := try(cur, candCfg)
+				if err != nil {
+					return nil, err
+				}
+				reduced = reduced || ok
+			}
 		}
 
 		if !reduced || res.Attempts >= budget {

@@ -13,6 +13,7 @@
 package priority
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -59,6 +60,23 @@ func assignBy(flows []traffic.Flow, less func(a, b traffic.Flow) bool) {
 // in deadline-monotonic order (largest deadline first at each level),
 // which usually succeeds on the first try.
 func Audsley(topo *noc.Topology, flows []traffic.Flow, opt core.Options) ([]traffic.Flow, bool, error) {
+	return AudsleyContext(context.Background(), topo, flows, opt)
+}
+
+// AudsleyContext is Audsley under a context: cancelling ctx aborts the
+// search with the context's error.
+//
+// All candidate analyses of one search share a single delta-aware
+// engine (core.Incremental). The mapping never changes during the
+// search, so the engine's contention domains are computed once;
+// consecutive trial assignments differ in a handful of priority levels,
+// so each candidate becomes a short chain of priority-swap deltas
+// followed by a frontier-only re-analysis — bit-identical to the
+// from-scratch analysis the search used to run per candidate.
+func AudsleyContext(ctx context.Context, topo *noc.Topology, flows []traffic.Flow, opt core.Options) ([]traffic.Flow, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(flows)
 	if n == 0 {
 		return nil, false, fmt.Errorf("priority: empty flow set")
@@ -77,6 +95,7 @@ func Audsley(topo *noc.Topology, flows []traffic.Flow, opt core.Options) ([]traf
 
 	assigned := make([]int, 0, n) // flow index fixed per level, lowest first
 	inAssigned := make([]bool, n)
+	s := &audsleySearch{ctx: ctx, topo: topo, flows: out, opt: opt}
 
 	for level := n; level >= 1; level-- {
 		found := -1
@@ -84,7 +103,7 @@ func Audsley(topo *noc.Topology, flows []traffic.Flow, opt core.Options) ([]traf
 			if inAssigned[cand] {
 				continue
 			}
-			ok, err := schedulableAtLevel(topo, out, assigned, cand, level, opt)
+			ok, err := s.schedulable(trialPriorities(out, assigned, cand, level), cand)
 			if err != nil {
 				return nil, false, err
 			}
@@ -121,9 +140,10 @@ func Audsley(topo *noc.Topology, flows []traffic.Flow, opt core.Options) ([]traf
 	return out, true, nil
 }
 
-// schedulableAtLevel checks whether flow cand is schedulable at the given
-// priority level, with the already-assigned flows below it (in their
-// fixed order) and every other flow above it.
+// trialPriorities computes the hypothetical assignment of one candidate
+// check: cand at the probed level, the already-assigned flows on the
+// levels below it (n, n−1, … in their fixed order) and every other flow
+// above it.
 //
 // In Audsley's original setting the relative order of the
 // higher-priority flows is irrelevant; for the wormhole analyses it is
@@ -131,37 +151,96 @@ func Audsley(topo *noc.Topology, flows []traffic.Flow, opt core.Options) ([]traf
 // leaves cand's bound uncomputable). The heuristic therefore orders the
 // hypothetical higher-priority flows deadline-monotonically, the
 // canonical order most likely to keep them all schedulable.
-func schedulableAtLevel(topo *noc.Topology, flows []traffic.Flow, assigned []int, cand, level int, opt core.Options) (bool, error) {
+func trialPriorities(flows []traffic.Flow, assigned []int, cand, level int) []int {
 	n := len(flows)
-	trial := make([]traffic.Flow, n)
-	copy(trial, flows)
-	trial[cand].Priority = level
+	prio := make([]int, n)
+	prio[cand] = level
 	// Assigned flows occupy levels n, n-1, ... below cand.
 	isAssigned := make([]bool, n)
 	for rank, i := range assigned {
-		trial[i].Priority = n - rank
+		prio[i] = n - rank
 		isAssigned[i] = true
 	}
 	// Remaining flows take the levels above cand, deadline-monotonically.
 	var rest []int
-	for i := range trial {
+	for i := range flows {
 		if i != cand && !isAssigned[i] {
 			rest = append(rest, i)
 		}
 	}
 	sort.SliceStable(rest, func(a, b int) bool {
-		return trial[rest[a]].Deadline < trial[rest[b]].Deadline
+		return flows[rest[a]].Deadline < flows[rest[b]].Deadline
 	})
 	for rank, i := range rest {
-		trial[i].Priority = rank + 1
+		prio[i] = rank + 1
 	}
-	sys, err := traffic.NewSystem(topo, trial)
-	if err != nil {
+	return prio
+}
+
+// audsleySearch holds the shared analysis engine of one Audsley run. The
+// engine's system always carries the most recent trial assignment (prio,
+// by flow index); the next trial is reached by swapping priorities, never
+// by rebuilding the system.
+type audsleySearch struct {
+	ctx   context.Context
+	topo  *noc.Topology
+	flows []traffic.Flow
+	opt   core.Options
+	eng   *core.Incremental
+	prio  []int
+}
+
+// schedulable reports whether flow cand meets its deadline under the
+// trial assignment.
+func (s *audsleySearch) schedulable(trial []int, cand int) (bool, error) {
+	if err := s.ctx.Err(); err != nil {
 		return false, err
 	}
-	res, err := core.Analyze(sys, opt)
+	if s.eng == nil {
+		fl := make([]traffic.Flow, len(s.flows))
+		copy(fl, s.flows)
+		for i := range fl {
+			fl[i].Priority = trial[i]
+		}
+		sys, err := traffic.NewSystem(s.topo, fl)
+		if err != nil {
+			return false, err
+		}
+		s.eng = core.NewIncremental(sys)
+		s.prio = append([]int(nil), trial...)
+	} else if deltas := swapChain(s.prio, trial); len(deltas) > 0 {
+		if err := s.eng.Apply(deltas...); err != nil {
+			return false, err
+		}
+	}
+	res, err := s.eng.Analyze(s.ctx, s.opt)
 	if err != nil {
 		return false, err
 	}
 	return res.Flows[cand].Status == core.Schedulable, nil
+}
+
+// swapChain decomposes the permutation taking cur to tgt into
+// priority-swap deltas (cycle decomposition: at most n−1 swaps, none
+// when the assignments already agree) and updates cur in place to tgt.
+// Both slices must hold permutations of 1..n indexed by flow.
+func swapChain(cur, tgt []int) []core.Delta {
+	n := len(cur)
+	pos := make([]int, n+1) // pos[p] = flow currently at priority p
+	for i, p := range cur {
+		pos[p] = i
+	}
+	var deltas []core.Delta
+	for i := 0; i < n; i++ {
+		if cur[i] == tgt[i] {
+			continue
+		}
+		j := pos[tgt[i]]
+		deltas = append(deltas, core.Delta{Kind: core.DeltaPrioritySwap, Flow: i, Other: j})
+		cur[j] = cur[i]
+		pos[cur[i]] = j
+		cur[i] = tgt[i]
+		pos[tgt[i]] = i
+	}
+	return deltas
 }

@@ -1,6 +1,8 @@
 package priority_test
 
 import (
+	"context"
+
 	"testing"
 
 	"wormnoc/internal/core"
@@ -169,5 +171,45 @@ func TestAudsleyEmpty(t *testing.T) {
 	topo := noc.MustMesh(2, 2, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
 	if _, _, err := priority.Audsley(topo, nil, core.Options{Method: core.IBN}); err == nil {
 		t.Error("empty flow set must fail")
+	}
+}
+
+func TestAudsleyContextCancelled(t *testing.T) {
+	topo, flows := rmFailsDmWorks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := priority.AudsleyContext(ctx, topo, flows, core.Options{Method: core.IBN}); err == nil {
+		t.Error("cancelled context must abort the search")
+	}
+}
+
+// TestAudsleyContextMatchesAudsley pins that the shared-engine search is
+// deterministic and that the context-free wrapper takes the same path:
+// same success verdicts and same assignments across random workloads,
+// with every successful assignment re-certified from scratch by the
+// other Audsley tests.
+func TestAudsleyContextMatchesAudsley(t *testing.T) {
+	topo := noc.MustMesh(3, 3, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 0})
+	for seed := int64(0); seed < 6; seed++ {
+		sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: 14, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, okA, err := priority.Audsley(topo, sys.Flows(), core.Options{Method: core.IBN})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, okB, err := priority.AudsleyContext(context.Background(), topo, sys.Flows(), core.Options{Method: core.IBN})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okA != okB {
+			t.Fatalf("seed %d: verdicts differ (%v vs %v)", seed, okA, okB)
+		}
+		for i := range a {
+			if a[i].Priority != b[i].Priority {
+				t.Errorf("seed %d flow %d: priorities differ (%d vs %d)", seed, i, a[i].Priority, b[i].Priority)
+			}
+		}
 	}
 }

@@ -82,6 +82,11 @@ type AnalyzeResponse struct {
 	Flows       []FlowResult `json:"flows"`
 	// Key is the canonical request hash the result is cached under.
 	Key string `json:"key"`
+	// SystemKey is the canonical hash of the system alone (no method or
+	// options) — the handle POST /v1/whatif accepts as a base reference.
+	// Empty inside what-if steps (edited systems are identified by their
+	// chained Key, not pooled as warm engines).
+	SystemKey string `json:"system_key,omitempty"`
 	// Cached reports whether this response was served from the result
 	// cache without re-analysis.
 	Cached bool `json:"cached"`
@@ -265,6 +270,7 @@ func (s *Server) analyzeOne(ctx context.Context, doc traffic.Document, opt core.
 		Schedulable: res.Schedulable,
 		Flows:       make([]FlowResult, sys.NumFlows()),
 		Key:         key,
+		SystemKey:   canon.SystemKey(doc),
 		ElapsedUs:   time.Since(t0).Microseconds(),
 	}
 	for i := range out.Flows {

@@ -7,6 +7,8 @@
 //
 //	POST /v1/analyze  — one system, one method: response-time bounds
 //	POST /v1/batch    — many systems fanned out over a worker pool
+//	POST /v1/whatif   — an edit chain against a base system, evaluated
+//	                    incrementally on a delta-aware engine
 //	GET  /v1/methods  — the registered analyses and their safety
 //	GET  /metrics     — counters, cache hit ratio, latency percentiles
 //	GET  /healthz     — liveness (also reports draining state)
@@ -77,6 +79,9 @@ type Config struct {
 	// MaxBatchSystems caps the systems accepted per batch request
 	// (larger batches get 422). Default 1024.
 	MaxBatchSystems int
+	// MaxWhatIfDeltas caps the edit chain accepted per what-if request
+	// (longer chains get 422). Default 256.
+	MaxWhatIfDeltas int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// ItemRetries bounds how often one analysis unit (a request, or one
@@ -122,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchSystems <= 0 {
 		c.MaxBatchSystems = 1024
+	}
+	if c.MaxWhatIfDeltas <= 0 {
+		c.MaxWhatIfDeltas = 256
 	}
 	if c.ItemRetries == 0 {
 		c.ItemRetries = 2
@@ -183,6 +191,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/analyze", s.wrap("analyze", true, s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/batch", s.wrap("batch", true, s.handleBatch))
+	s.mux.HandleFunc("POST /v1/whatif", s.wrap("whatif", true, s.handleWhatIf))
 	s.mux.HandleFunc("GET /v1/methods", s.wrap("methods", false, s.handleMethods))
 	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", false, s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", false, s.handleHealthz))

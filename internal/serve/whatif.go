@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"wormnoc/internal/canon"
+	"wormnoc/internal/core"
+	"wormnoc/internal/faultinject"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// DeltaSpec mirrors core.Delta on the wire (see docs/API.md). Kind names
+// the edit ("period", "deadline", "jitter", "length", "buf",
+// "swap-priority", "remap", "add-flow", "remove-flow"); only the fields
+// that kind reads are meaningful.
+type DeltaSpec struct {
+	Kind string `json:"kind"`
+	// Flow is the edited flow's index (first flow of a swap-priority).
+	Flow int `json:"flow,omitempty"`
+	// Other is the second flow of a swap-priority.
+	Other int `json:"other,omitempty"`
+	// Cycles is the new period, deadline, or jitter value.
+	Cycles int64 `json:"cycles,omitempty"`
+	// Length is the new payload length of a length delta.
+	Length int `json:"length,omitempty"`
+	// BufDepth is the new platform buffer depth of a buf delta.
+	BufDepth int `json:"buf,omitempty"`
+	// Src and Dst are the new endpoints of a remap.
+	Src int `json:"src,omitempty"`
+	Dst int `json:"dst,omitempty"`
+	// NewFlow is the flow appended by an add-flow.
+	NewFlow *traffic.FlowSpec `json:"new_flow,omitempty"`
+}
+
+// toCore parses the wire form into the engine's typed edit.
+func (d DeltaSpec) toCore() (core.Delta, error) {
+	kind, err := core.ParseDeltaKind(d.Kind)
+	if err != nil {
+		return core.Delta{}, err
+	}
+	cd := core.Delta{
+		Kind:     kind,
+		Flow:     d.Flow,
+		Other:    d.Other,
+		Cycles:   noc.Cycles(d.Cycles),
+		Length:   d.Length,
+		BufDepth: d.BufDepth,
+		Src:      noc.NodeID(d.Src),
+		Dst:      noc.NodeID(d.Dst),
+	}
+	if kind == core.DeltaAddFlow {
+		if d.NewFlow == nil {
+			return core.Delta{}, errors.New("add-flow delta names no new_flow")
+		}
+		f := *d.NewFlow
+		cd.NewFlow = traffic.Flow{
+			Name:     f.Name,
+			Priority: f.Priority,
+			Period:   noc.Cycles(f.Period),
+			Deadline: noc.Cycles(f.Deadline),
+			Jitter:   noc.Cycles(f.Jitter),
+			Length:   f.Length,
+			Src:      noc.NodeID(f.Src),
+			Dst:      noc.NodeID(f.Dst),
+		}
+	}
+	return cd, nil
+}
+
+// WhatIfRequest is the body of POST /v1/whatif: a base system plus an
+// edit chain, evaluated sequentially on one delta-aware engine.
+type WhatIfRequest struct {
+	// System is the inline base system. Exactly one of System and
+	// SystemKey must be set.
+	System *traffic.Document `json:"system,omitempty"`
+	// SystemKey references a previously analysed base by the system_key
+	// of its /v1/analyze response; it is served from the warm-engine
+	// cache and 404s once evicted (resend the system inline then).
+	SystemKey string `json:"system_key,omitempty"`
+	// Method names the analysis: "SB", "SLA", "XLWX" or "IBN".
+	Method string `json:"method"`
+	// Options tunes the analysis (optional).
+	Options *RequestOptions `json:"options,omitempty"`
+	// Deltas is the edit chain, applied in order. Evaluation stops at
+	// the first delta that fails to apply or analyse.
+	Deltas []DeltaSpec `json:"deltas"`
+	// TimeoutMs bounds the whole chain (0 = server default, which also
+	// caps it).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// WhatIfStep is one edit's outcome inside a WhatIfResponse: the bounds
+// of the system with the chain's deltas up to and including this one
+// applied, or the error that stopped the chain — never both.
+type WhatIfStep struct {
+	// Delta echoes the edit this step applied.
+	Delta DeltaSpec `json:"delta"`
+	*AnalyzeResponse
+	// Error is the failure that stopped the chain here (empty on
+	// success). Code classifies it like a batch item's.
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// WhatIfResponse is the body of POST /v1/whatif. Steps holds one entry
+// per evaluated delta, in request order; a failed step is the last one.
+type WhatIfResponse struct {
+	// BaseKey is the canonical (system, method, options) hash of the
+	// unedited base — the root the steps' chained keys derive from.
+	BaseKey string `json:"base_key"`
+	// Steps are the per-delta results. Len < len(request deltas) only
+	// when a step failed (the failing step is included).
+	Steps []WhatIfStep `json:"steps"`
+	// CacheHits counts steps served from the result cache.
+	CacheHits int `json:"cache_hits"`
+	// Failed is 1 when the chain stopped at a failing step, else 0.
+	Failed int `json:"failed"`
+	// Incremental-engine observability for the whole chain.
+	FullRuns        int64 `json:"full_runs"`
+	PartialRuns     int64 `json:"partial_runs"`
+	FlowsReanalyzed int64 `json:"flows_reanalyzed"`
+	FlowsSkipped    int64 `json:"flows_skipped"`
+	WarmAccepted    int64 `json:"warm_accepted,omitempty"`
+}
+
+// whatifErrorMessage renders a step failure for the wire, redacting
+// panic-coded faults exactly like batch items do.
+func whatifErrorMessage(i int, code string, err error) string {
+	if code != errCodePanic {
+		return err.Error()
+	}
+	id := incidentID()
+	log.Printf("serve: whatif step %d fault (incident %s): %v", i, id, err)
+	return fmt.Sprintf("internal error (incident %s)", id)
+}
+
+// handleWhatIf evaluates an edit chain against a base system on one
+// request-local core.Incremental. The engine is derived from the warm
+// per-system Engine (shared immutable interference sets, so a whatif
+// against an analysed base never rebuilds them), each step's result is
+// cached under a chained canonical key (canon.DeltaKey), and a step
+// whose key hits the result cache applies its delta without
+// re-analysing — the pending invalidation simply accumulates into the
+// next analysed step. Admission, the per-method circuit breaker,
+// fault injection and the request deadline apply as for /v1/analyze.
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req WhatIfRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if (req.System == nil) == (req.SystemKey == "") {
+		writeError(w, http.StatusUnprocessableEntity, "exactly one of system and system_key must be set")
+		return
+	}
+	if len(req.Deltas) == 0 {
+		writeError(w, http.StatusUnprocessableEntity, "what-if names no deltas")
+		return
+	}
+	if len(req.Deltas) > s.cfg.MaxWhatIfDeltas {
+		writeError(w, http.StatusUnprocessableEntity, "chain of %d deltas exceeds the cap of %d", len(req.Deltas), s.cfg.MaxWhatIfDeltas)
+		return
+	}
+	m, err := core.ParseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	opt := req.Options.toCore(m)
+
+	// The breaker gates the whole chain: one method, one verdict, as for
+	// a batch. Steps record their run outcomes individually below.
+	if !s.brk.allow(m.String()) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BreakerCooldown/time.Second)+1))
+		writeError(w, http.StatusServiceUnavailable, "analysis method %s is degraded (circuit open), retry later", m)
+		return
+	}
+	recorded := false
+	defer func() {
+		if !recorded {
+			s.brk.release(m.String())
+		}
+	}()
+
+	// One admission slot covers the whole chain.
+	release := s.admit()
+	if release == nil {
+		s.met.recordShed()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "analysis capacity saturated (%d in flight), retry later", s.cfg.MaxInFlight)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMs))
+	defer cancel()
+
+	// Resolve the base: a warm engine (by reference or built on first
+	// sight) whose immutable interference sets seed the chain's engine.
+	var eng *core.Engine
+	var doc traffic.Document
+	if req.SystemKey != "" {
+		e, ok := s.engines.Get(req.SystemKey)
+		if !ok || e == nil {
+			writeError(w, http.StatusNotFound, "system_key %q is not in the warm-engine cache; resend the system inline", req.SystemKey)
+			return
+		}
+		eng = e
+		doc = e.System().ToDocument()
+	} else {
+		doc = *req.System
+		e, err := s.engine(ctx, doc)
+		if err != nil {
+			if isInternalFault(err) {
+				s.brk.record(m.String(), true)
+				recorded = true
+			}
+			code, status := classifyError(err)
+			writeError(w, status, "%s", whatifErrorMessage(-1, code, err))
+			return
+		}
+		eng = e
+	}
+	inc := eng.Incremental()
+
+	resp := &WhatIfResponse{BaseKey: canon.Key(doc, opt), Steps: make([]WhatIfStep, 0, len(req.Deltas))}
+	prevKey := resp.BaseKey
+	for i, spec := range req.Deltas {
+		step := WhatIfStep{Delta: spec}
+		d, err := spec.toCore()
+		if err == nil {
+			err = inc.ApplySafe(d)
+		}
+		if err != nil {
+			// The delta itself is bad (or applying it faulted): the chain
+			// stops here with the failure recorded in this step.
+			if isInternalFault(err) {
+				s.brk.record(m.String(), true)
+				recorded = true
+			}
+			code, _ := classifyError(err)
+			step.Error, step.Code = whatifErrorMessage(i, code, err), code
+			resp.Steps = append(resp.Steps, step)
+			resp.Failed = 1
+			break
+		}
+		prevKey = canon.DeltaKey(prevKey, d)
+
+		cacheOK := true
+		if faultinject.Enabled() {
+			if ferr := faultinject.Fire(ctx, faultinject.SiteServeCacheGet, prevKey); ferr != nil {
+				cacheOK = false
+			}
+		}
+		if cacheOK {
+			if cached, ok := s.results.Get(prevKey); ok {
+				s.met.recordCache(true)
+				hit := *cached
+				hit.Cached = true
+				step.AnalyzeResponse = &hit
+				resp.Steps = append(resp.Steps, step)
+				resp.CacheHits++
+				continue
+			}
+		}
+		s.met.recordCache(false)
+
+		t0 := time.Now()
+		var res *core.Result
+		for attempt := 0; ; attempt++ {
+			res, err = inc.AnalyzeSafe(ctx, opt)
+			if err == nil || attempt >= s.cfg.ItemRetries || !isTransient(err) || ctx.Err() != nil {
+				break
+			}
+			t := time.NewTimer(retryDelay(s.cfg.RetryBackoff, attempt))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+			case <-t.C:
+				s.met.recordRetry()
+			}
+		}
+		s.brk.record(m.String(), isInternalFault(err))
+		recorded = true
+		if err != nil {
+			code, _ := classifyError(err)
+			if code == errCodePanic {
+				s.met.recordItemPanic()
+			}
+			step.Error, step.Code = whatifErrorMessage(i, code, err), code
+			resp.Steps = append(resp.Steps, step)
+			resp.Failed = 1
+			break
+		}
+		sys := inc.System()
+		out := &AnalyzeResponse{
+			Method:      opt.Method.String(),
+			Schedulable: res.Schedulable,
+			Flows:       make([]FlowResult, sys.NumFlows()),
+			Key:         prevKey,
+			ElapsedUs:   time.Since(t0).Microseconds(),
+		}
+		for j := range out.Flows {
+			f := sys.Flow(j)
+			out.Flows[j] = FlowResult{
+				Name:     f.Name,
+				Priority: f.Priority,
+				C:        int64(sys.C(j)),
+				Deadline: int64(f.Deadline),
+				R:        int64(res.Flows[j].R),
+				Status:   res.Flows[j].Status.String(),
+			}
+		}
+		if cacheOK {
+			putOK := true
+			if faultinject.Enabled() {
+				if ferr := faultinject.Fire(ctx, faultinject.SiteServeCachePut, prevKey); ferr != nil {
+					putOK = false
+				}
+			}
+			if putOK {
+				s.results.Put(prevKey, out)
+			}
+		}
+		step.AnalyzeResponse = out
+		resp.Steps = append(resp.Steps, step)
+	}
+
+	stats := inc.Stats()
+	resp.FullRuns = stats.FullRuns
+	resp.PartialRuns = stats.PartialRuns
+	resp.FlowsReanalyzed = stats.FlowsReanalyzed
+	resp.FlowsSkipped = stats.FlowsSkipped
+	resp.WarmAccepted = stats.WarmAccepted
+
+	// Chain-level 504 only when the deadline expired before any step
+	// produced a result; partial success is a 200 with the failing step
+	// in place, like a batch.
+	if len(resp.Steps) == resp.Failed && ctx.Err() != nil {
+		writeError(w, http.StatusGatewayTimeout, "what-if aborted, no step completed: %v", ctx.Err())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

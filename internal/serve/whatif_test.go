@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/traffic"
+)
+
+// whatifChain is a representative edit chain over the didactic system:
+// parameter edits, a structural swap, a re-mapping, an add and a remove.
+func whatifChain() []DeltaSpec {
+	return []DeltaSpec{
+		{Kind: "period", Flow: 2, Cycles: 6_500},
+		{Kind: "swap-priority", Flow: 0, Other: 1},
+		{Kind: "remap", Flow: 1, Src: 0, Dst: 3},
+		{Kind: "add-flow", NewFlow: &traffic.FlowSpec{Name: "extra", Priority: 4, Period: 2_000, Deadline: 2_000, Length: 16, Src: 2, Dst: 0}},
+		{Kind: "remove-flow", Flow: 3},
+		{Kind: "buf", BufDepth: 6},
+	}
+}
+
+// TestWhatIfMatchesScratch pins the endpoint's core promise: every
+// step's bounds are bit-identical to a from-scratch /v1/analyze of the
+// correspondingly edited system.
+func TestWhatIfMatchesScratch(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	chain := whatifChain()
+	resp, body := postJSON(t, ts.URL+"/v1/whatif", WhatIfRequest{
+		System: ptr(didacticDoc()), Method: "IBN", Deltas: chain,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out WhatIfResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 0 || len(out.Steps) != len(chain) {
+		t.Fatalf("chain did not complete: %+v", out)
+	}
+	if out.BaseKey == "" {
+		t.Fatal("response names no base key")
+	}
+
+	// Replay the chain from scratch and analyse each prefix over HTTP.
+	sys, err := didacticDoc().System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range chain {
+		d, err := spec.toCore()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		sys, err = core.ApplyDelta(sys, d)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		_, scratchBody := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+			System: sys.ToDocument(), Method: "IBN",
+		})
+		var scratch AnalyzeResponse
+		if err := json.Unmarshal(scratchBody, &scratch); err != nil {
+			t.Fatal(err)
+		}
+		step := out.Steps[i]
+		if step.AnalyzeResponse == nil {
+			t.Fatalf("step %d carries no result: %+v", i, step)
+		}
+		if step.Schedulable != scratch.Schedulable || len(step.Flows) != len(scratch.Flows) {
+			t.Fatalf("step %d diverges from scratch: %+v vs %+v", i, step.AnalyzeResponse, scratch)
+		}
+		for j := range step.Flows {
+			if step.Flows[j].R != scratch.Flows[j].R || step.Flows[j].Status != scratch.Flows[j].Status {
+				t.Errorf("step %d flow %d: incremental R=%d (%s), scratch R=%d (%s)",
+					i, j, step.Flows[j].R, step.Flows[j].Status, scratch.Flows[j].R, scratch.Flows[j].Status)
+			}
+		}
+		if step.Key == "" || (i > 0 && step.Key == out.Steps[i-1].Key) {
+			t.Errorf("step %d has no distinct chained key", i)
+		}
+	}
+	if out.FullRuns < 1 || out.PartialRuns == 0 {
+		t.Errorf("chain should mix one full and several partial runs: %+v", out)
+	}
+}
+
+func TestWhatIfCacheHits(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := WhatIfRequest{System: ptr(didacticDoc()), Method: "IBN", Deltas: whatifChain()}
+	_, first := postJSON(t, ts.URL+"/v1/whatif", req)
+	var out1 WhatIfResponse
+	if err := json.Unmarshal(first, &out1); err != nil {
+		t.Fatal(err)
+	}
+	if out1.CacheHits != 0 {
+		t.Fatalf("fresh chain reports %d cache hits", out1.CacheHits)
+	}
+	_, second := postJSON(t, ts.URL+"/v1/whatif", req)
+	var out2 WhatIfResponse
+	if err := json.Unmarshal(second, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.CacheHits != len(req.Deltas) {
+		t.Fatalf("replayed chain hit the cache %d/%d times", out2.CacheHits, len(req.Deltas))
+	}
+	for i, step := range out2.Steps {
+		if step.AnalyzeResponse == nil || !step.Cached {
+			t.Errorf("replayed step %d not served from cache", i)
+		}
+		if step.Key != out1.Steps[i].Key {
+			t.Errorf("step %d keys differ across identical requests", i)
+		}
+	}
+	// A cache-hit chain runs no analysis at all.
+	if out2.FullRuns != 0 || out2.PartialRuns != 0 {
+		t.Errorf("cached chain still analysed: %+v", out2)
+	}
+}
+
+func TestWhatIfBySystemKey(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// Unknown key: 404.
+	resp, _ := postJSON(t, ts.URL+"/v1/whatif", WhatIfRequest{
+		SystemKey: "deadbeef", Method: "IBN", Deltas: whatifChain()[:1],
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown system_key: status %d", resp.StatusCode)
+	}
+	// Analyse first; the response's system_key then addresses the warm
+	// engine.
+	_, body := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{System: didacticDoc(), Method: "IBN"})
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.SystemKey == "" {
+		t.Fatal("analyze response names no system_key")
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/whatif", WhatIfRequest{
+		SystemKey: ar.SystemKey, Method: "IBN", Deltas: whatifChain(),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out WhatIfResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 0 || len(out.Steps) != len(whatifChain()) {
+		t.Fatalf("chain by system_key did not complete: %+v", out)
+	}
+	// The same chain inline must produce the same chained keys (the base
+	// key derives from the system content, not from how it was named).
+	_, body = postJSON(t, ts.URL+"/v1/whatif", WhatIfRequest{
+		System: ptr(didacticDoc()), Method: "IBN", Deltas: whatifChain(),
+	})
+	var inline WhatIfResponse
+	if err := json.Unmarshal(body, &inline); err != nil {
+		t.Fatal(err)
+	}
+	if inline.BaseKey != out.BaseKey {
+		t.Errorf("inline and by-key base keys differ: %s vs %s", inline.BaseKey, out.BaseKey)
+	}
+}
+
+func TestWhatIfInvalidDeltaStopsChain(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	deltas := []DeltaSpec{
+		{Kind: "period", Flow: 0, Cycles: 1_500},
+		{Kind: "period", Flow: 99, Cycles: 1_500}, // out of range
+		{Kind: "period", Flow: 1, Cycles: 1_500},  // never reached
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/whatif", WhatIfRequest{
+		System: ptr(didacticDoc()), Method: "IBN", Deltas: deltas,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out WhatIfResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Steps) != 2 || out.Failed != 1 {
+		t.Fatalf("chain should stop at the failing step: %+v", out)
+	}
+	if out.Steps[0].AnalyzeResponse == nil || out.Steps[0].Error != "" {
+		t.Errorf("step 0 should have succeeded: %+v", out.Steps[0])
+	}
+	if out.Steps[1].Error == "" || out.Steps[1].Code != errCodeInvalid || out.Steps[1].AnalyzeResponse != nil {
+		t.Errorf("step 1 should carry the invalid-delta error: %+v", out.Steps[1])
+	}
+	// Unknown kinds fail the same way, in their step.
+	resp, body = postJSON(t, ts.URL+"/v1/whatif", WhatIfRequest{
+		System: ptr(didacticDoc()), Method: "IBN",
+		Deltas: []DeltaSpec{{Kind: "teleport", Flow: 0}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 1 || len(out.Steps) != 1 || out.Steps[0].Code != errCodeInvalid {
+		t.Fatalf("unknown kind should fail its step: %+v", out)
+	}
+}
+
+func TestWhatIfRequestErrors(t *testing.T) {
+	ts := newTestServer(t, Config{MaxWhatIfDeltas: 2})
+	cases := []struct {
+		name   string
+		body   any
+		status int
+	}{
+		{"no base", WhatIfRequest{Method: "IBN", Deltas: whatifChain()[:1]}, http.StatusUnprocessableEntity},
+		{"two bases", WhatIfRequest{System: ptr(didacticDoc()), SystemKey: "x", Method: "IBN", Deltas: whatifChain()[:1]}, http.StatusUnprocessableEntity},
+		{"no deltas", WhatIfRequest{System: ptr(didacticDoc()), Method: "IBN"}, http.StatusUnprocessableEntity},
+		{"too many deltas", WhatIfRequest{System: ptr(didacticDoc()), Method: "IBN", Deltas: whatifChain()[:3]}, http.StatusUnprocessableEntity},
+		{"bad method", WhatIfRequest{System: ptr(didacticDoc()), Method: "VOODOO", Deltas: whatifChain()[:1]}, http.StatusUnprocessableEntity},
+		{"bad json", map[string]any{"system": 42}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/whatif", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, resp.StatusCode, tc.status, body)
+		}
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
