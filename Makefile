@@ -5,7 +5,9 @@
 #   results/BENCH_sim.json      — simulator & engine benchmarks, incl.
 #                                 the before/after pairs of the retained
 #                                 reference engine vs the event-driven
-#                                 engine per load scenario
+#                                 engine per load scenario and of the
+#                                 sequential vs batched (RunMany)
+#                                 scenario-campaign runner
 #   results/BENCH_analysis.json — analysis-side benchmarks (scaling,
 #                                 set construction, Table II columns)
 #
@@ -25,7 +27,7 @@ bench-sim:
 	  go test -run=NONE -count=$(COUNT) -benchtime=$(BENCHTIME) -benchmem \
 	    -bench 'BenchmarkSimulator$$|BenchmarkSimulatorMeshScaling$$|BenchmarkWorstCaseSearch$$' . ; \
 	  go test -run=NONE -count=$(COUNT) -benchtime=$(BENCHTIME) -benchmem \
-	    -bench 'BenchmarkEngine' ./internal/sim ; \
+	    -bench 'BenchmarkEngine|BenchmarkRunMany' ./internal/sim ; \
 	} | go run ./cmd/benchjson -out results/BENCH_sim.json
 	@echo wrote results/BENCH_sim.json
 

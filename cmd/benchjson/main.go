@@ -9,8 +9,11 @@
 // of the event-driven engine over the retained reference engine, and
 // any BenchmarkWhatIfScratch/<scenario> pairs with
 // BenchmarkWhatIfIncremental/<scenario> for the speedup of the
-// delta-aware incremental analysis engine over from-scratch re-analysis
-// — the numbers those rewrites are held to.
+// delta-aware incremental analysis engine over from-scratch re-analysis,
+// and any BenchmarkRunManySequential/<scenario> pairs with
+// BenchmarkRunMany/<scenario> for the scenario throughput of the batch
+// runner over one-at-a-time engine runs — the numbers those rewrites
+// are held to.
 //
 // Usage:
 //
@@ -115,6 +118,16 @@ func main() {
 // that are not benchmark results (test chatter, pass/fail footers) are
 // ignored; the same benchmark appearing twice (e.g. -count=2) keeps the
 // faster run, the convention benchstat calls "min of counts".
+//
+// Input with no benchmark lines at all is an error, not an empty
+// document: it means the -bench regexp matched nothing or the test
+// binary failed before benchmarks ran, and an empty BENCH_*.json
+// committed as a baseline would silently disable every tracked pair.
+// Likewise, a tracked pair family (pairPrefixes) where one side matched
+// benchmarks and the other matched none is an error — a renamed
+// benchmark or a half-matching regexp, never a legitimate run. Families
+// absent on both sides stay legal so split runs (sim-only,
+// analysis-only) keep working.
 func Parse(r io.Reader) (*Doc, error) {
 	doc := &Doc{
 		Schema:    Schema,
@@ -141,13 +154,20 @@ func Parse(r io.Reader) (*Doc, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	if len(byName) == 0 {
+		return nil, fmt.Errorf("no benchmark results in input (did the -bench regexp match anything, and did the test binary build?)")
+	}
 	for _, b := range byName {
 		doc.Benchmarks = append(doc.Benchmarks, *b)
 	}
 	sort.Slice(doc.Benchmarks, func(i, j int) bool {
 		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
 	})
-	doc.Pairs = derivePairs(byName)
+	pairs, err := derivePairs(byName)
+	if err != nil {
+		return nil, err
+	}
+	doc.Pairs = pairs
 	return doc, nil
 }
 
@@ -194,14 +214,29 @@ func parseResult(name, iters, rest string) (*Benchmark, error) {
 var pairPrefixes = []struct{ before, after string }{
 	{"BenchmarkEngineReference/", "BenchmarkEngine/"},
 	{"BenchmarkWhatIfScratch/", "BenchmarkWhatIfIncremental/"},
+	{"BenchmarkRunManySequential/", "BenchmarkRunMany/"},
 }
 
 // derivePairs matches each pairPrefixes family's before/after runs by
 // scenario and reports the speedups, sorted by before name then
-// scenario.
-func derivePairs(byName map[string]*Benchmark) []Pair {
+// scenario. A family with results on exactly one side is an error (see
+// Parse); a family absent from the input entirely is skipped.
+func derivePairs(byName map[string]*Benchmark) ([]Pair, error) {
 	var pairs []Pair
 	for _, pp := range pairPrefixes {
+		nBefore, nAfter := 0, 0
+		for name := range byName {
+			if strings.HasPrefix(name, pp.before) {
+				nBefore++
+			}
+			if strings.HasPrefix(name, pp.after) {
+				nAfter++
+			}
+		}
+		if (nBefore == 0) != (nAfter == 0) {
+			return nil, fmt.Errorf("pair family %s* vs %s*: %d before and %d after results — one side of a tracked pair is missing (renamed benchmark, or -bench regexp matching only half the family?)",
+				pp.before, pp.after, nBefore, nAfter)
+		}
 		for name, ref := range byName {
 			scen, ok := strings.CutPrefix(name, pp.before)
 			if !ok {
@@ -227,7 +262,7 @@ func derivePairs(byName map[string]*Benchmark) []Pair {
 		}
 		return pairs[i].Scenario < pairs[j].Scenario
 	})
-	return pairs
+	return pairs, nil
 }
 
 func fatal(err error) {

@@ -15,6 +15,8 @@ BenchmarkEngineReference/moderate   	      38	  33740869 ns/op	   34448 B/op	   
 BenchmarkSimulator/saturated        	      96	  11072287 ns/op	   9031581 cycles/s	    1860 B/op	       5 allocs/op
 BenchmarkWhatIfScratch/period/n=400-8         	      28	  40913363 ns/op	 6434461 B/op	   68902 allocs/op
 BenchmarkWhatIfIncremental/period/n=400-8     	     988	   1194335 ns/op	  830416 B/op	    3695 allocs/op
+BenchmarkRunManySequential/campaign64-8       	      10	 104000000 ns/op	     512 B/op	       8 allocs/op
+BenchmarkRunMany/campaign64-8                 	      40	  26000000 ns/op	    1024 B/op	      24 allocs/op
 PASS
 ok  	wormnoc	15.244s
 `
@@ -27,8 +29,8 @@ func TestParse(t *testing.T) {
 	if doc.Schema != Schema {
 		t.Errorf("schema = %q", doc.Schema)
 	}
-	if len(doc.Benchmarks) != 7 {
-		t.Fatalf("parsed %d benchmarks, want 7: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	if len(doc.Benchmarks) != 9 {
+		t.Fatalf("parsed %d benchmarks, want 9: %+v", len(doc.Benchmarks), doc.Benchmarks)
 	}
 	byName := map[string]Benchmark{}
 	for _, b := range doc.Benchmarks {
@@ -49,8 +51,8 @@ func TestParse(t *testing.T) {
 		t.Errorf("custom metric cycles/s = %v", got)
 	}
 
-	if len(doc.Pairs) != 3 {
-		t.Fatalf("derived %d pairs, want 3: %+v", len(doc.Pairs), doc.Pairs)
+	if len(doc.Pairs) != 4 {
+		t.Fatalf("derived %d pairs, want 4: %+v", len(doc.Pairs), doc.Pairs)
 	}
 	if doc.Pairs[0].Scenario != "low" || doc.Pairs[1].Scenario != "moderate" {
 		t.Errorf("pair order: %+v", doc.Pairs)
@@ -58,12 +60,55 @@ func TestParse(t *testing.T) {
 	if s := doc.Pairs[0].Speedup; s < 3.7 || s > 3.8 {
 		t.Errorf("low speedup = %.2f, want ~3.73", s)
 	}
-	whatif := doc.Pairs[2]
-	if whatif.Scenario != "period/n=400" || whatif.AfterName != "BenchmarkWhatIfIncremental/period/n=400" {
-		t.Errorf("what-if pair not derived: %+v", whatif)
+	byBefore := map[string]Pair{}
+	for _, p := range doc.Pairs {
+		byBefore[p.BeforeName] = p
+	}
+	whatif, ok := byBefore["BenchmarkWhatIfScratch/period/n=400"]
+	if !ok || whatif.AfterName != "BenchmarkWhatIfIncremental/period/n=400" {
+		t.Errorf("what-if pair not derived: %+v", doc.Pairs)
 	}
 	if s := whatif.Speedup; s < 34.2 || s > 34.3 {
 		t.Errorf("what-if speedup = %.2f, want ~34.26", s)
+	}
+	runmany, ok := byBefore["BenchmarkRunManySequential/campaign64"]
+	if !ok || runmany.AfterName != "BenchmarkRunMany/campaign64" {
+		t.Errorf("RunMany pair not derived: %+v", doc.Pairs)
+	}
+	if s := runmany.Speedup; s < 3.9 || s > 4.1 {
+		t.Errorf("RunMany speedup = %.2f, want ~4.0", s)
+	}
+}
+
+// TestParseRejectsEmptyInput pins the fix for silently emitting empty
+// benchmark documents: input with no benchmark lines (failed build,
+// wrong -bench regexp) must error instead of producing a baseline that
+// disables every tracked pair.
+func TestParseRejectsEmptyInput(t *testing.T) {
+	for _, in := range []string{"", "PASS\nok  \twormnoc\t0.1s\n"} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) accepted input with zero benchmarks", in)
+		}
+	}
+}
+
+// TestParseRejectsHalfPair: a tracked pair family with results on
+// exactly one side means a renamed benchmark or a regexp matching only
+// half the family — an error, while families absent from both sides
+// (split sim/analysis bench runs) stay legal.
+func TestParseRejectsHalfPair(t *testing.T) {
+	half := "BenchmarkEngine/low 10 100 ns/op\n"
+	if _, err := Parse(strings.NewReader(half)); err == nil {
+		t.Error("Parse accepted a pair family with only the after side present")
+	}
+	half = "BenchmarkRunManySequential/campaign64 10 100 ns/op\n"
+	if _, err := Parse(strings.NewReader(half)); err == nil {
+		t.Error("Parse accepted a pair family with only the before side present")
+	}
+	// Both sides absent: fine — e.g. an analysis-only bench run.
+	ok := "BenchmarkWhatIfScratch/x 10 100 ns/op\nBenchmarkWhatIfIncremental/x 10 50 ns/op\n"
+	if _, err := Parse(strings.NewReader(ok)); err != nil {
+		t.Errorf("Parse rejected a run with one complete family and others absent: %v", err)
 	}
 }
 

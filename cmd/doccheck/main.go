@@ -1,0 +1,158 @@
+// Command doccheck fails when an exported symbol in the given packages
+// lacks a doc comment. It is the teeth behind the repository's
+// documentation contract: the CI doc-drift gate runs it over the
+// packages whose exported APIs are load-bearing (internal/sim,
+// internal/core), so a new exported function, type, method or
+// constant cannot merge undocumented.
+//
+// Usage:
+//
+//	doccheck ./internal/sim ./internal/core
+//
+// Each argument is a package directory (one package per directory;
+// _test.go files are ignored). Exit codes: 0 all exported symbols
+// documented, 1 usage or parse error, 2 missing doc comments (listed
+// one per line as file-less "pkg: Symbol" entries plus a count).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck PKGDIR [PKGDIR...]")
+		os.Exit(1)
+	}
+	var missing []string
+	for _, dir := range os.Args[1:] {
+		m, err := checkDir(filepath.Clean(dir))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(1)
+		}
+		missing = append(missing, m...)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+		fmt.Printf("doccheck: %d exported symbols lack doc comments\n", len(missing))
+		os.Exit(2)
+	}
+}
+
+// checkDir parses one package directory and returns a "pkg: Symbol"
+// entry for every exported symbol without a doc comment.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for name, pkg := range pkgs {
+		// go/doc computes the association of comments to declarations —
+		// the same view `go doc` renders — so "documented" here means
+		// documented where a reader will actually find it.
+		d := doc.New(pkg, dir, 0)
+		add := func(symbol, docText string) {
+			if strings.TrimSpace(docText) == "" {
+				missing = append(missing, fmt.Sprintf("%s: %s", name, symbol))
+			}
+		}
+		if strings.TrimSpace(d.Doc) == "" {
+			missing = append(missing, fmt.Sprintf("%s: (package comment)", name))
+		}
+		// A const/var name is documented if its group decl has a doc
+		// comment, or its own spec line does (the usual style for enum
+		// members: a comment above each name inside one const block).
+		// doc.Value.Doc only carries the group comment, so the specs are
+		// inspected directly.
+		values := func(vals []*doc.Value) {
+			for _, v := range vals {
+				groupDoc := strings.TrimSpace(v.Doc)
+				for _, spec := range v.Decl.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					specDoc := groupDoc
+					if specDoc == "" {
+						specDoc = vs.Doc.Text()
+					}
+					if specDoc == "" && vs.Comment != nil {
+						specDoc = vs.Comment.Text()
+					}
+					for _, n := range vs.Names {
+						if ast.IsExported(n.Name) {
+							add(n.Name, specDoc)
+						}
+					}
+				}
+			}
+		}
+		values(d.Consts)
+		values(d.Vars)
+		funcs := func(prefix string, fns []*doc.Func) {
+			for _, f := range fns {
+				if ast.IsExported(f.Name) {
+					add(prefix+f.Name, f.Doc)
+				}
+			}
+		}
+		funcs("", d.Funcs)
+		for _, t := range d.Types {
+			if ast.IsExported(t.Name) {
+				add(t.Name, t.Doc)
+			}
+			values(t.Consts)
+			values(t.Vars)
+			funcs("", t.Funcs)
+			funcs(t.Name+".", t.Methods)
+			fields(t, add)
+		}
+	}
+	return missing, nil
+}
+
+// fields flags undocumented exported struct fields of exported struct
+// types: for a result- or config-style API (sim.Config, core.Bounds)
+// the fields are the contract, and an undocumented field is exactly the
+// drift the gate exists to stop. Fields sharing a line with others
+// (embedded groups like `X, Y int`) count as one entry per name.
+func fields(t *doc.Type, add func(symbol, docText string)) {
+	for _, spec := range t.Decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, f := range st.Fields.List {
+			txt := f.Doc.Text()
+			if txt == "" && f.Comment != nil {
+				txt = f.Comment.Text() // trailing line comments count
+			}
+			for _, fname := range f.Names {
+				if ast.IsExported(fname.Name) {
+					add(t.Name+"."+fname.Name, txt)
+				}
+			}
+		}
+	}
+}

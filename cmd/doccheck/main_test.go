@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writePkg materialises one synthetic package in a temp dir.
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCheckDirFlagsUndocumented(t *testing.T) {
+	dir := writePkg(t, `// Package p is documented.
+package p
+
+// Documented works.
+func Documented() {}
+
+func Undocumented() {}
+
+// T is documented.
+type T struct {
+	// A is documented.
+	A int
+	B int // trailing comments count as documentation
+	C int
+}
+
+func (T) M() {}
+
+const (
+	// Good is documented per spec.
+	Good = iota
+	Bad
+)
+`)
+	missing, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"p: Undocumented": true,
+		"p: T.C":          true,
+		"p: T.M":          true,
+		"p: Bad":          true,
+	}
+	if len(missing) != len(want) {
+		t.Fatalf("missing = %v, want exactly %v", missing, want)
+	}
+	for _, m := range missing {
+		if !want[m] {
+			t.Errorf("unexpected entry %q in %v", m, missing)
+		}
+	}
+}
+
+func TestCheckDirRequiresPackageComment(t *testing.T) {
+	dir := writePkg(t, "package p\n")
+	missing, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || missing[0] != "p: (package comment)" {
+		t.Fatalf("missing = %v, want the package-comment entry", missing)
+	}
+}
+
+func TestCheckDirCleanPackage(t *testing.T) {
+	dir := writePkg(t, `// Package p is documented.
+package p
+
+// V is a documented group.
+var V, W int
+
+// F is documented.
+func F() {}
+
+func unexported() {}
+`)
+	missing, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("clean package flagged: %v", missing)
+	}
+}

@@ -16,10 +16,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"wormnoc/internal/noc"
 	"wormnoc/internal/oracle"
@@ -48,8 +50,8 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   nocfuzz run    [-n N] [-seed S] [-out DIR] [-duration D] [-restarts R]
-                 [-probes P] [-refine K] [-workers W] [-keep-going] [-v]
-                 [-cpuprofile FILE] [-memprofile FILE]
+                 [-probes P] [-refine K] [-workers W] [-scenario-workers SW]
+                 [-keep-going] [-v] [-cpuprofile FILE] [-memprofile FILE]
   nocfuzz replay -in FILE [-v]
   nocfuzz corpus [-n N] [-seed S] -out DIR
 
@@ -77,7 +79,8 @@ func cmdRun(args []string) {
 		restarts   = fs.Int("restarts", 2, "random restarts per phasing search")
 		probes     = fs.Int("probes", 4, "probes per flow and restart")
 		refine     = fs.Int("refine", 1, "greedy refinement sweeps per restart")
-		workers    = fs.Int("workers", 0, "parallel phasing searches (0 = all CPUs)")
+		workers    = fs.Int("workers", 0, "parallel phasing searches within one scenario (0 = auto)")
+		scWorkers  = fs.Int("scenario-workers", 0, "scenarios checked in parallel (0 = all CPUs); per-scenario searches then run serially")
 		keepGoing  = fs.Bool("keep-going", false, "check all N scenarios even after violations")
 		verbose    = fs.Bool("v", false, "log every scenario, not just violating ones")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -91,37 +94,36 @@ func cmdRun(args []string) {
 	}
 	defer stopProf()
 
-	violations := 0
-	simRuns := 0
-	for i := 0; i < *n; i++ {
-		scSeed := oracle.DeriveSeed(*seed, int64(i))
-		sc := oracle.Generate(scSeed, oracle.GenConfig{})
-		cfg := oracle.CheckConfig{
-			Seed:          scSeed,
+	// errStop cancels the campaign after the first violating scenario
+	// (default mode); it is not a failure of the campaign machinery.
+	errStop := errors.New("stop after violation")
+	var mu sync.Mutex // serialises shrinking, artifact writes and output
+	stats, err := oracle.Campaign(oracle.CampaignConfig{
+		Scenarios: *n,
+		Seed:      *seed,
+		Check: oracle.CheckConfig{
 			Duration:      noc.Cycles(*duration),
 			Restarts:      *restarts,
 			ProbesPerFlow: *probes,
 			RefineSteps:   *refine,
 			Workers:       *workers,
-		}
-		rep, err := oracle.Check(sc, cfg)
-		if err != nil {
-			fatal(fmt.Errorf("scenario %d (seed %d): %w", i, scSeed, err))
-		}
-		simRuns += rep.SimRuns
+		},
+		Workers: *scWorkers,
+	}, func(i int, sc *oracle.Scenario, ccfg oracle.CheckConfig, rep *oracle.Report) error {
+		mu.Lock()
+		defer mu.Unlock()
 		if *verbose {
 			fmt.Printf("[%d/%d] %s: %d violations, %d findings, %d sim runs\n",
 				i+1, *n, sc, len(rep.Violations), len(rep.Findings), rep.SimRuns)
 		}
 		if len(rep.Violations) == 0 {
-			continue
+			return nil
 		}
-		violations += len(rep.Violations)
 		v := rep.Violations[0]
 		fmt.Printf("VIOLATION at scenario %d (%s):\n  %s\n", i, sc, v.String())
 
 		fmt.Printf("  shrinking...")
-		shrunk, err := oracle.Shrink(sc, v, cfg, 0)
+		shrunk, err := oracle.Shrink(sc, v, ccfg, 0)
 		if err != nil {
 			fatal(err)
 		}
@@ -136,7 +138,7 @@ func cmdRun(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		art := oracle.NewArtifact(sc, cfg, *oracle.FindViolation(shrunk.Report, v), shrunk)
+		art := oracle.NewArtifact(sc, ccfg, *oracle.FindViolation(shrunk.Report, v), shrunk)
 		if err := art.WriteJSON(f); err != nil {
 			f.Close()
 			fatal(err)
@@ -146,11 +148,15 @@ func cmdRun(args []string) {
 		}
 		fmt.Printf("  counterexample written to %s\n", path)
 		if !*keepGoing {
-			break
+			return errStop
 		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStop) {
+		fatal(err)
 	}
-	fmt.Printf("%d scenarios checked, %d sim runs, %d violations\n", *n, simRuns, violations)
-	if violations > 0 {
+	fmt.Printf("%d scenarios checked, %d sim runs, %d violations\n", stats.Checked, stats.SimRuns, stats.Violations)
+	if stats.Violations > 0 {
 		stopProf()
 		os.Exit(3)
 	}

@@ -130,6 +130,7 @@ type FlowResult struct {
 
 // Result is the outcome of analysing a whole flow set.
 type Result struct {
+	// Method is the analysis that produced the result.
 	Method Method
 	// Flows holds per-flow results, indexed like the System's flows.
 	Flows []FlowResult

@@ -72,6 +72,8 @@ func ParseDeltaKind(s string) (DeltaKind, error) {
 // Delta is one typed edit of a system. Only the fields its Kind names
 // are meaningful; the rest stay zero.
 type Delta struct {
+	// Kind selects which edit this delta encodes and which of the
+	// remaining fields are meaningful.
 	Kind DeltaKind
 	// Flow is the edited flow's index (the first flow of a priority
 	// swap). Unused by DeltaBufDepth and DeltaAddFlow.

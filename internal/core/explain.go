@@ -46,15 +46,20 @@ type InterferenceTerm struct {
 // Breakdown decomposes one flow's response-time bound into its
 // zero-load latency and per-interferer contributions: R = C + Σ Total.
 type Breakdown struct {
+	// Method is the analysis the breakdown decomposes.
 	Method Method
-	// Flow is the analysed flow's index; Name its label.
+	// Flow is the analysed flow's index.
 	Flow int
+	// Name is the flow's human-readable label.
 	Name string
 	// C and R are the zero-load latency and the bound (R is only
 	// meaningful when Status is Schedulable or DeadlineMiss).
-	C, R   noc.Cycles
+	C, R noc.Cycles
+	// Status is the flow's analysis outcome.
 	Status FlowStatus
-	Terms  []InterferenceTerm
+	// Terms lists one interference contribution per direct interferer,
+	// evaluated at the fixed point.
+	Terms []InterferenceTerm
 	// Blocking is the non-preemptive flit-transfer blocking term (see
 	// blocking.go); zero on single-cycle links. The identity
 	// R = C + Blocking + Σ Terms[].Total holds for Schedulable flows.

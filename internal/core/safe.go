@@ -25,6 +25,8 @@ type InternalError struct {
 	Stack []byte
 }
 
+// Error formats the guarded operation and the recovered panic value;
+// the captured stack is not included (inspect Stack directly).
 func (e *InternalError) Error() string {
 	return fmt.Sprintf("core: internal error in %s: %v", e.Op, e.Value)
 }

@@ -355,7 +355,11 @@ func Check(sc *Scenario, cfg CheckConfig) (*Report, error) {
 			Restarts:      cfg.Restarts,
 			RefineSteps:   cfg.RefineSteps,
 			ProbesPerFlow: cfg.ProbesPerFlow,
-			Rand:          rand.New(rand.NewSource(DeriveSeed(cfg.Seed, int64(target)*2))),
+			// The check already fans out across target flows (and a
+			// campaign across scenarios); serial probe batches avoid
+			// stacking a third pool on the same cores.
+			Workers: 1,
+			Rand:    rand.New(rand.NewSource(DeriveSeed(cfg.Seed, int64(target)*2))),
 		})
 		if err != nil {
 			return err

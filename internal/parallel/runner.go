@@ -56,10 +56,10 @@ func (r *Runner) RunContext(ctx context.Context, n int, fn func(i int) error) er
 	return call.Run(n, fn)
 }
 
-// safeCall runs fn(i) with the pool's fault-injection hook and panic
+// safeCall runs fn(w, i) with the pool's fault-injection hook and panic
 // containment: a panic in the task (or injected at the site) is
 // recovered into a *PanicError carrying the index and stack.
-func safeCall(ctx context.Context, i int, fn func(i int) error) (err error) {
+func safeCall(ctx context.Context, w, i int, fn func(w, i int) error) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = newPanicError(i, v)
@@ -70,7 +70,7 @@ func safeCall(ctx context.Context, i int, fn func(i int) error) (err error) {
 			return ferr
 		}
 	}
-	return fn(i)
+	return fn(w, i)
 }
 
 // Run executes fn(i) for every i in [0, n). In the default mode it
@@ -81,6 +81,17 @@ func safeCall(ctx context.Context, i int, fn func(i int) error) (err error) {
 // task failures, and nil otherwise. fn must be safe for concurrent
 // invocation on distinct indices.
 func (r *Runner) Run(n int, fn func(i int) error) error {
+	return r.RunWorkers(n, func(_, i int) error { return fn(i) })
+}
+
+// RunWorkers is Run with the executing worker slot exposed: fn receives
+// (w, i) where w in [0, workers) identifies the worker goroutine running
+// task i and workers is min(Workers or GOMAXPROCS, n). Tasks with the
+// same w run sequentially, so callers can pin per-worker reusable state
+// — one simulation engine per slot, say — without further locking
+// (sim.RunMany is the canonical client). Error, cancellation, progress
+// and panic-containment semantics are exactly Run's.
+func (r *Runner) RunWorkers(n int, fn func(w, i int) error) error {
 	parent := r.Context
 	if parent == nil {
 		parent = context.Background()
@@ -98,7 +109,7 @@ func (r *Runner) Run(n int, fn func(i int) error) error {
 	return r.runPool(parent, w, n, fn)
 }
 
-func (r *Runner) runSerial(parent context.Context, n int, fn func(i int) error) error {
+func (r *Runner) runSerial(parent context.Context, n int, fn func(w, i int) error) error {
 	var te *TaskErrors
 	done := 0
 	for i := 0; i < n; i++ {
@@ -109,7 +120,7 @@ func (r *Runner) runSerial(parent context.Context, n int, fn func(i int) error) 
 			}
 			return err
 		}
-		if err := safeCall(parent, i, fn); err != nil {
+		if err := safeCall(parent, 0, i, fn); err != nil {
 			if !r.KeepGoing {
 				return err
 			}
@@ -128,7 +139,7 @@ func (r *Runner) runSerial(parent context.Context, n int, fn func(i int) error) 
 	return parent.Err()
 }
 
-func (r *Runner) runPool(parent context.Context, w, n int, fn func(i int) error) error {
+func (r *Runner) runPool(parent context.Context, w, n int, fn func(w, i int) error) error {
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	var (
@@ -141,7 +152,7 @@ func (r *Runner) runPool(parent context.Context, w, n int, fn func(i int) error)
 	work := make(chan int)
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for i := range work {
 				// A task handed over just before cancellation is
@@ -149,7 +160,7 @@ func (r *Runner) runPool(parent context.Context, w, n int, fn func(i int) error)
 				if ctx.Err() != nil {
 					continue
 				}
-				err := safeCall(ctx, i, fn)
+				err := safeCall(ctx, slot, i, fn)
 				mu.Lock()
 				if err != nil {
 					if r.KeepGoing {
@@ -170,7 +181,7 @@ func (r *Runner) runPool(parent context.Context, w, n int, fn func(i int) error)
 				}
 				mu.Unlock()
 			}
-		}()
+		}(k)
 	}
 dispatch:
 	for i := 0; i < n; i++ {

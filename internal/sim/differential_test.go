@@ -39,7 +39,11 @@ func diffConfigs(seed int64, numFlows int, periods []noc.Cycles) []sim.Config {
 
 func mustEqualResults(t *testing.T, label string, ref, got *sim.Result) {
 	t.Helper()
-	if !reflect.DeepEqual(ref, got) {
+	// Stats counts how the result was computed (fast-path batches), not
+	// what was observed; it is the one field allowed to differ.
+	a, b := *ref, *got
+	a.Stats, b.Stats = sim.Stats{}, sim.Stats{}
+	if !reflect.DeepEqual(&a, &b) {
 		t.Fatalf("%s: event-driven engine diverged from reference\nreference: %+v\nevent-driven: %+v", label, ref, got)
 	}
 }
@@ -194,5 +198,103 @@ func TestEngineReuseMatchesFreshRuns(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestDifferentialSaturated widens the differential corpus with the
+// adversarial regime the locked-arbitration fast path (DESIGN.md §13)
+// lives in: every flow released at cycle 0, so contention domains stay
+// busy for long stretches and the engine batches multi-cycle transfer
+// windows. Oracle scenarios (spanning linkl/routl/buf, where the fast
+// path partially or never engages) and shallow-buffer synthetic meshes
+// (where it dominates) must stay bit-identical to the reference.
+func TestDifferentialSaturated(t *testing.T) {
+	batches := 0
+	for i := 0; i < 40; i++ {
+		seed := oracle.DeriveSeed(0x5A70, int64(i))
+		sc := oracle.Generate(seed, oracle.GenConfig{})
+		sys, err := sc.System()
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		cfg := sim.Config{Duration: 6_000, RecordLatencies: i%3 == 0}
+		ref, err := sim.RunReference(sys, cfg)
+		if err != nil {
+			t.Fatalf("scenario %d: reference: %v", i, err)
+		}
+		got, err := sim.Run(sys, cfg)
+		if err != nil {
+			t.Fatalf("scenario %d: event-driven: %v", i, err)
+		}
+		mustEqualResults(t, fmt.Sprintf("saturated oracle scenario %d (%s)", i, sc), ref, got)
+		batches += got.Stats.FastPathBatches
+	}
+	for _, buf := range []int{2, 3, 4, 8} {
+		topo := noc.MustMesh(4, 4, noc.RouterConfig{BufDepth: buf, LinkLatency: 1})
+		sys, err := workload.Synthetic(topo, workload.SynthConfig{NumFlows: 32, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.Config{Duration: 20_000}
+		ref, err := sim.RunReference(sys, cfg)
+		if err != nil {
+			t.Fatalf("buf=%d: reference: %v", buf, err)
+		}
+		got, err := sim.Run(sys, cfg)
+		if err != nil {
+			t.Fatalf("buf=%d: event-driven: %v", buf, err)
+		}
+		mustEqualResults(t, fmt.Sprintf("saturated mesh buf=%d", buf), ref, got)
+		batches += got.Stats.FastPathBatches
+	}
+	if batches == 0 {
+		t.Error("fast path never engaged across the saturated corpus; the batching differential is vacuous")
+	}
+}
+
+// TestFastPathEngages asserts the locked-arbitration fast path actually
+// fires on the saturated benchmark scenario — so the bit-identity
+// guarantees above are exercised, not vacuous — and that tracing
+// disables it (per-cycle trace interleaving cannot be reproduced from a
+// batch) while still producing a byte-identical trace stream.
+func TestFastPathEngages(t *testing.T) {
+	sys := synth4x4(t, workload.SynthConfig{NumFlows: 32, Seed: 9})
+	cfg := sim.Config{Duration: 50_000}
+	ref, err := sim.RunReference(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "saturated bench scenario", ref, got)
+	if got.Stats.FastPathBatches == 0 {
+		t.Fatal("fast path did not engage on the saturated scenario")
+	}
+	if got.Stats.FastPathCycles < cfg.Duration/10 {
+		t.Errorf("fast path covered only %d of %d cycles; expected a dominant share under saturation",
+			got.Stats.FastPathCycles, cfg.Duration)
+	}
+	if ref.Stats != (sim.Stats{}) {
+		t.Errorf("reference engine reported nonzero Stats: %+v", ref.Stats)
+	}
+
+	var refTrace, newTrace bytes.Buffer
+	refCfg, newCfg := cfg, cfg
+	refCfg.TraceWriter = &refTrace
+	newCfg.TraceWriter = &newTrace
+	if _, err := sim.RunReference(sys, refCfg); err != nil {
+		t.Fatal(err)
+	}
+	traced, err := sim.Run(sys, newCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Stats.FastPathBatches != 0 {
+		t.Errorf("fast path engaged on a traced run (%d batches); tracing must disable it", traced.Stats.FastPathBatches)
+	}
+	if refTrace.Len() == 0 || !bytes.Equal(refTrace.Bytes(), newTrace.Bytes()) {
+		t.Errorf("traced saturated run diverged from reference (%d vs %d bytes)", refTrace.Len(), newTrace.Len())
 	}
 }

@@ -213,6 +213,19 @@ type Engine struct {
 
 	transfers []cand
 
+	// Locked-arbitration fast-path state (DESIGN.md §13). fastOK is the
+	// platform gate: the batch analysis is only valid when every link
+	// transfer takes one cycle and headers route instantly, so flits are
+	// ready on arrival and the wakeup heap stays empty. prevTransfers is
+	// last executed cycle's transfer set (the stability pre-filter);
+	// winnerOf maps a link to its index in transfers during an analysis
+	// (-1 outside); batchOrder and lastFlits are bulk-apply scratch.
+	fastOK        bool
+	prevTransfers []cand
+	winnerOf      []int32
+	batchOrder    []int32
+	lastFlits     []flit
+
 	// packet pool: pool holds every packet this engine ever allocated,
 	// free the currently reusable ones. reset refills free from pool
 	// wholesale, so packets stranded in-flight at a horizon are
@@ -253,6 +266,8 @@ func NewEngine(sys *traffic.System) *Engine {
 		jitter:      rand.New(rand.NewSource(0)),
 		dirty:       make([]bool, topo.NumLinks()),
 		linkWakeAt:  make([]noc.Cycles, topo.NumLinks()),
+		fastOK:      rc.LinkLatency == 1 && rc.RouteLatency == 0,
+		winnerOf:    make([]int32, topo.NumLinks()),
 		res: &Result{
 			WorstLatency:   make([]noc.Cycles, n),
 			TotalLatency:   make([]noc.Cycles, n),
@@ -261,6 +276,9 @@ func NewEngine(sys *traffic.System) *Engine {
 			DeadlineMisses: make([]int, n),
 			MaxOccupancy:   make([][]int, n),
 		},
+	}
+	for i := range e.winnerOf {
+		e.winnerOf[i] = -1
 	}
 	hops := 0
 	for i := 0; i < n; i++ {
@@ -351,6 +369,8 @@ func (e *Engine) reset(cfg Config) {
 	e.relHeap = e.relHeap[:0]
 	e.wakeHeap = e.wakeHeap[:0]
 	e.transfers = e.transfers[:0]
+	e.prevTransfers = e.prevTransfers[:0]
+	e.res.Stats = Stats{}
 	e.free = append(e.free[:0], e.pool...)
 	e.traceBuf = e.traceBuf[:0]
 	e.inFlight = 0
@@ -462,6 +482,15 @@ func (e *Engine) run() {
 		for _, c := range e.transfers {
 			e.transfer(c, t)
 		}
+		// 7. Locked-arbitration fast path: if this cycle's transfer set
+		// repeated the previous cycle's and provably repeats for m more
+		// cycles (no release due, every winner keeps flits and credits,
+		// every blocked contender stays blocked), apply those m cycles
+		// in one bulk step and jump t forward (DESIGN.md §13).
+		if e.fastOK && e.cfg.TraceWriter == nil && len(e.transfers) > 0 {
+			t += e.tryLockBatch(t)
+		}
+		e.prevTransfers = append(e.prevTransfers[:0], e.transfers...)
 	}
 	e.res.InFlight = e.inFlight
 	e.flushTrace()
@@ -610,20 +639,7 @@ func (e *Engine) deliver(a arrival) {
 		p.arrived++
 		e.flitsLive--
 		if p.arrived == p.length {
-			e.inFlight--
-			lat := a.at - p.release
-			e.res.Completed[a.flow]++
-			e.res.TotalLatency[a.flow] += lat
-			if lat > e.res.WorstLatency[a.flow] {
-				e.res.WorstLatency[a.flow] = lat
-			}
-			if lat > e.flows[a.flow].Deadline {
-				e.res.DeadlineMisses[a.flow]++
-			}
-			if e.cfg.RecordLatencies {
-				e.res.Latencies[a.flow] = append(e.res.Latencies[a.flow], lat)
-			}
-			e.free = append(e.free, p)
+			e.completePacket(a.flow, p, a.at)
 		}
 		return
 	}
@@ -640,6 +656,337 @@ func (e *Engine) deliver(a arrival) {
 		e.res.MaxOccupancy[a.flow][a.hop] = occ
 	}
 	e.markDirty(int(route[a.hop+1]))
+}
+
+// completePacket records the completion of packet p of flow flow whose
+// last flit arrived at cycle at, and recycles the packet.
+func (e *Engine) completePacket(flow int, p *packet, at noc.Cycles) {
+	e.inFlight--
+	lat := at - p.release
+	e.res.Completed[flow]++
+	e.res.TotalLatency[flow] += lat
+	if lat > e.res.WorstLatency[flow] {
+		e.res.WorstLatency[flow] = lat
+	}
+	if lat > e.flows[flow].Deadline {
+		e.res.DeadlineMisses[flow]++
+	}
+	if e.cfg.RecordLatencies {
+		e.res.Latencies[flow] = append(e.res.Latencies[flow], lat)
+	}
+	e.free = append(e.free, p)
+}
+
+// isWinner reports whether (flow, hop) is in the current transfer set.
+// Valid only while winnerOf is populated (inside tryLockBatch).
+func (e *Engine) isWinner(flow, hop int) bool {
+	wk := e.winnerOf[e.routes[flow][hop]]
+	return wk >= 0 && e.transfers[wk].flow == flow && e.transfers[wk].hop == hop
+}
+
+// tryLockBatch is the locked-arbitration fast path (DESIGN.md §13).
+// Called after phase 6 of an executed cycle t whose transfer set T
+// equals the previous cycle's, it computes the largest m such that
+// cycles t+1..t+m provably transfer exactly T again — every winner keeps
+// a flit to send, a credit to send it into, and its priority; every
+// other contender of every link that will be (re-)arbitrated stays
+// ineligible; and no source event falls inside the window — then applies
+// all m cycles in one bulk step and returns m (0 when no profitable
+// batch exists). Requires the fastOK platform (linkl=1, routl=0) and no
+// trace writer; under that gate the wake heap is empty and the arrival
+// ring holds exactly T's flits, in transfer order.
+func (e *Engine) tryLockBatch(t noc.Cycles) noc.Cycles {
+	T := e.transfers
+	if len(T) != len(e.prevTransfers) {
+		return 0
+	}
+	for k, c := range T {
+		if e.prevTransfers[k] != c {
+			return 0
+		}
+	}
+	// Global bounds: stay inside the horizon, and stop short of the next
+	// source event (a release changes some link's contender set).
+	m := e.cfg.Duration - 1 - t
+	if len(e.relHeap) > 0 {
+		if b := e.relHeap[0].at - t - 1; b < m {
+			m = b
+		}
+	}
+	if len(e.wakeHeap) > 0 {
+		if b := e.wakeHeap[0].at - t - 1; b < m {
+			m = b
+		}
+	}
+	if m < 2 {
+		return 0
+	}
+	for k, c := range T {
+		e.winnerOf[e.routes[c.flow][c.hop]] = int32(k)
+	}
+	// The links arbitrated during the batch are exactly the currently
+	// dirty ones (T's upstream credit returns and own re-arms) plus T's
+	// delivery targets: deliveries, pops and re-arms during a T-only
+	// cycle dirty no other link, and no releases fall inside the window.
+	for _, l := range e.dirtyList {
+		if m = e.analyzeLink(l, m); m < 2 {
+			break
+		}
+	}
+	if m >= 2 {
+		for _, c := range T {
+			route := e.routes[c.flow]
+			if c.hop+1 < route.Len() {
+				if l := int(route[c.hop+1]); !e.dirty[l] {
+					if m = e.analyzeLink(l, m); m < 2 {
+						break
+					}
+				}
+			}
+		}
+	}
+	if m >= 2 {
+		e.bulkApply(m, t) // needs winnerOf populated
+	}
+	for _, c := range T {
+		e.winnerOf[e.routes[c.flow][c.hop]] = -1
+	}
+	if m < 2 {
+		return 0
+	}
+	e.res.Stats.FastPathBatches++
+	e.res.Stats.FastPathCycles += m
+	return m
+}
+
+// analyzeLink bounds how many cycles after t link l keeps repeating its
+// cycle-t arbitration outcome, capped at m. For a link whose winner is
+// in T the bound is the winner's continuation bound (lower-priority
+// contenders are never examined while the winner stays eligible); for a
+// winnerless link every contender must stay ineligible.
+func (e *Engine) analyzeLink(l int, m noc.Cycles) noc.Cycles {
+	for _, c := range e.onLink[l] {
+		wk := e.winnerOf[e.routes[c.flow][c.hop]]
+		if wk >= 0 && e.transfers[wk] == c {
+			if b := e.winnerBound(c); b < m {
+				m = b
+			}
+			return m
+		}
+		if b := e.stayBlockedBound(c); b < m {
+			m = b
+		}
+		if m < 2 {
+			return m
+		}
+	}
+	return m
+}
+
+// winnerBound returns for how many further cycles winner c keeps
+// transferring one flit per cycle: it is limited by the flits its packet
+// still has on this hop (transfers never cross a packet boundary inside
+// a batch), by the supply of buffered flits when the upstream hop is not
+// also transferring, and by downstream credit when the downstream hop is
+// not also draining. State is read after cycle t's transfers applied.
+func (e *Engine) winnerBound(c cand) noc.Cycles {
+	i, h := c.flow, c.hop
+	route := e.routes[i]
+	if h == 0 {
+		q := &e.queue[i]
+		if q.len() == 0 {
+			return 0 // source drained; next packet needs a release
+		}
+		p := q.peek()
+		b := noc.Cycles(p.length - p.injected)
+		if !e.isWinner(i, 1) {
+			if cr := noc.Cycles(e.buf - e.fifos[i][0].occupancy()); cr < b {
+				b = cr
+			}
+		}
+		return b
+	}
+	up := &e.fifos[i][h-1]
+	feeding := e.isWinner(i, h-1)
+	var p2 *packet
+	var s2 int
+	if up.len() > 0 {
+		head := up.peek()
+		p2, s2 = head.pkt, head.seq
+	} else {
+		if !feeding {
+			return 0 // nothing buffered and nothing arriving
+		}
+		// The stream continues with the upstream winner's in-flight flit.
+		rf := &e.arrivals[e.arrivalHead+int(e.winnerOf[route[h-1]])].fl
+		p2, s2 = rf.pkt, rf.seq
+	}
+	b := noc.Cycles(p2.length - s2)
+	if !feeding {
+		if sup := noc.Cycles(up.len()); sup < b {
+			b = sup
+		}
+	}
+	if h < route.Len()-1 && !e.isWinner(i, h+1) {
+		if cr := noc.Cycles(e.buf - e.fifos[i][h].occupancy()); cr < b {
+			b = cr
+		}
+	}
+	return b
+}
+
+// stayBlockedBound returns for how many cycles after t the non-winning
+// contender c provably stays ineligible. maxCycles means "until some
+// event outside the batch model" — a release (globally bounded by the
+// release heap) or a transfer by a candidate that itself stays blocked.
+// A return of 0 means c is eligible at t+1 and the batch must be
+// abandoned; 1 means a transfer in T frees c's blocker next cycle.
+func (e *Engine) stayBlockedBound(c cand) noc.Cycles {
+	i, g := c.flow, c.hop
+	route := e.routes[i]
+	if g == 0 {
+		if e.queue[i].len() == 0 {
+			return maxCycles // refilled only by a release
+		}
+		if e.fifos[i][0].occupancy() < e.buf {
+			return 0 // credit available: eligible at t+1
+		}
+		if e.isWinner(i, 1) {
+			return 1 // the batch itself drains the blocking buffer
+		}
+		return maxCycles // blocker (i,1) is not transferring in the batch
+	}
+	up := &e.fifos[i][g-1]
+	if up.len() == 0 {
+		if e.isWinner(i, g-1) {
+			return 0 // upstream winner's flit lands at t+1, ready (routl=0)
+		}
+		return maxCycles // nothing buffered, feeder not transferring
+	}
+	// Head flit buffered and ready (routl=0: flits are ready on arrival).
+	if g == route.Len()-1 {
+		return 0 // ejection always consumes: eligible now
+	}
+	if e.fifos[i][g].occupancy() < e.buf {
+		return 0
+	}
+	if e.isWinner(i, g+1) {
+		return 1
+	}
+	return maxCycles
+}
+
+// bulkApply executes cycles t+1..t+m, all transferring exactly the
+// current transfer set, in one step. Winners are processed per flow in
+// increasing hop order so upstream pushes land before downstream pops of
+// the same flow's buffers; cross-flow winners touch disjoint state. The
+// arrival ring is rebuilt with each winner's last transferred flit (in
+// flight at t+m+1) and the dirty set left by cycle t's phase 6 is
+// already exactly the set cycle t+m would leave, so the normal loop
+// resumes at t+m+1 unchanged.
+func (e *Engine) bulkApply(m, t noc.Cycles) {
+	T := e.transfers
+	mi := int(m)
+	ord := e.batchOrder[:0]
+	for k := range T {
+		ord = append(ord, int32(k))
+	}
+	for a := 1; a < len(ord); a++ {
+		for b := a; b > 0; b-- {
+			x, y := T[ord[b]], T[ord[b-1]]
+			if x.flow > y.flow || (x.flow == y.flow && x.hop > y.hop) {
+				break
+			}
+			ord[b], ord[b-1] = ord[b-1], ord[b]
+		}
+	}
+	e.batchOrder = ord
+	if cap(e.lastFlits) < len(T) {
+		e.lastFlits = make([]flit, len(T))
+	}
+	lasts := e.lastFlits[:len(T)]
+	for _, k := range ord {
+		c := T[k]
+		i, h := c.flow, c.hop
+		route := e.routes[i]
+		// rf is this winner's flit in flight after cycle t: it is the
+		// first of the m flits delivered during the batch; the flits
+		// transferred during the batch are the next m of the stream.
+		rf := e.arrivals[e.arrivalHead+int(k)].fl
+		if h == 0 {
+			// Source: inject the next m flits of the head packet.
+			q := &e.queue[i]
+			p := q.peek()
+			s0 := p.injected
+			p.injected += mi
+			if p.injected == p.length {
+				q.pop()
+			}
+			e.flitsLive += mi
+			lasts[k] = flit{pkt: p, seq: s0 + mi - 1}
+			F := &e.fifos[i][0]
+			L0 := F.len()
+			occ := L0 + mi
+			if e.isWinner(i, 1) {
+				occ = L0 + 1
+			}
+			if occ > e.res.MaxOccupancy[i][0] {
+				e.res.MaxOccupancy[i][0] = occ
+			}
+			rf.readyAt = t + 1
+			F.push(rf)
+			for j := 1; j < mi; j++ {
+				F.push(flit{pkt: p, seq: s0 + j - 1, readyAt: t + 1 + noc.Cycles(j)})
+			}
+			continue
+		}
+		up := &e.fifos[i][h-1]
+		pops := up.flits[up.head : up.head+mi]
+		lasts[k] = pops[mi-1]
+		if h == route.Len()-1 {
+			// Ejection: the m delivered flits (rf + the first m-1 pops)
+			// leave the network. rf may be the last flit of a previous
+			// packet, completing it at t+1; the pops all belong to the
+			// current head packet and cannot complete it inside the
+			// batch (the no-boundary bound keeps its last flit out).
+			pOld := rf.pkt
+			if rf.seq == pOld.length-1 {
+				pOld.arrived++
+				e.completePacket(i, pOld, t+1)
+				p2 := pops[0].pkt
+				p2.arrived += mi - 1
+			} else {
+				pOld.arrived += mi
+			}
+			e.flitsLive -= mi
+		} else {
+			F := &e.fifos[i][h]
+			L0 := F.len()
+			occ := L0 + mi
+			if e.isWinner(i, h+1) {
+				occ = L0 + 1
+			}
+			if occ > e.res.MaxOccupancy[i][h] {
+				e.res.MaxOccupancy[i][h] = occ
+			}
+			rf.readyAt = t + 1
+			F.push(rf)
+			for j := 1; j < mi; j++ {
+				fl := pops[j-1]
+				fl.readyAt = t + 1 + noc.Cycles(j)
+				F.push(fl)
+			}
+		}
+		up.head += mi
+	}
+	// Rebuild the in-flight ring: one flit per winner, landing at t+m+1,
+	// in transfer (link) order, and extend the winners' busy periods.
+	e.arrivals = e.arrivals[:0]
+	e.arrivalHead = 0
+	for k, c := range T {
+		e.arrivals = append(e.arrivals, arrival{at: t + m + 1, flow: c.flow, hop: c.hop, fl: lasts[k]})
+		e.busyUntil[e.routes[c.flow][c.hop]] = t + m + 1
+	}
 }
 
 // traceLine appends one CSV trace record to the reusable trace buffer,

@@ -1,0 +1,257 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/workload"
+)
+
+// TestRunManyMatchesSequential checks that a RunMany batch — over
+// heterogeneous systems and configs, at several worker counts — streams
+// exactly the results sequential engine runs produce, independent of
+// parallelism.
+func TestRunManyMatchesSequential(t *testing.T) {
+	sysA := synth4x4(t, workload.SynthConfig{NumFlows: 16, Seed: 3})
+	sysB := synth4x4(t, workload.SynthConfig{NumFlows: 24, Seed: 4})
+	didactic := workload.Didactic(2)
+
+	var specs []sim.RunSpec
+	for i := 0; i < 4; i++ {
+		specs = append(specs,
+			sim.RunSpec{Sys: sysA, Cfg: sim.Config{Duration: 20_000, Offsets: staggeredOffsets(16, 20_000, int64(i))}},
+			sim.RunSpec{Sys: sysB, Cfg: sim.Config{Duration: 15_000, RecordLatencies: true}},
+			sim.RunSpec{Sys: didactic, Cfg: sim.Config{Duration: 20_000, MaxPacketsPerFlow: 2}},
+		)
+	}
+
+	want := make([]*sim.Result, len(specs))
+	for i, sp := range specs {
+		res, err := sim.Run(sp.Sys, sp.Cfg)
+		if err != nil {
+			t.Fatalf("sequential run %d: %v", i, err)
+		}
+		want[i] = copyResult(res)
+	}
+
+	for _, workers := range []int{1, 2, 7} {
+		got := make([]*sim.Result, len(specs))
+		var mu sync.Mutex
+		err := sim.RunMany(specs, sim.ManyOptions{Workers: workers}, func(i int, res *sim.Result) error {
+			mu.Lock()
+			got[i] = copyResult(res)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("RunMany(workers=%d): %v", workers, err)
+		}
+		for i := range specs {
+			if got[i] == nil {
+				t.Fatalf("RunMany(workers=%d): spec %d produced no result", workers, i)
+			}
+			a, b := *want[i], *got[i]
+			a.Stats, b.Stats = sim.Stats{}, sim.Stats{}
+			if !reflect.DeepEqual(&a, &b) {
+				t.Errorf("RunMany(workers=%d) spec %d diverged from sequential run\nwant %+v\ngot  %+v",
+					workers, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func copyResult(r *sim.Result) *sim.Result {
+	cp := *r
+	cp.WorstLatency = append([]noc.Cycles(nil), r.WorstLatency...)
+	cp.TotalLatency = append([]noc.Cycles(nil), r.TotalLatency...)
+	cp.Completed = append([]int(nil), r.Completed...)
+	cp.Released = append([]int(nil), r.Released...)
+	cp.DeadlineMisses = append([]int(nil), r.DeadlineMisses...)
+	cp.MaxOccupancy = make([][]int, len(r.MaxOccupancy))
+	for i := range r.MaxOccupancy {
+		cp.MaxOccupancy[i] = append([]int(nil), r.MaxOccupancy[i]...)
+	}
+	if r.Latencies != nil {
+		cp.Latencies = make([][]noc.Cycles, len(r.Latencies))
+		for i := range r.Latencies {
+			cp.Latencies[i] = append([]noc.Cycles(nil), r.Latencies[i]...)
+		}
+	}
+	return &cp
+}
+
+// TestRunManyValidation pins the batch-level input contract: nil
+// systems, embedded trace writers and invalid configs are rejected up
+// front, before any scenario runs.
+func TestRunManyValidation(t *testing.T) {
+	sys := synth4x4(t, workload.SynthConfig{NumFlows: 8, Seed: 5})
+	cases := []struct {
+		name string
+		spec sim.RunSpec
+	}{
+		{"nil system", sim.RunSpec{Sys: nil, Cfg: sim.Config{Duration: 10}}},
+		{"trace writer", sim.RunSpec{Sys: sys, Cfg: sim.Config{Duration: 10, TraceWriter: discardWriter{}}}},
+		{"bad duration", sim.RunSpec{Sys: sys, Cfg: sim.Config{Duration: 0}}},
+	}
+	for _, tc := range cases {
+		ran := false
+		err := sim.RunMany([]sim.RunSpec{tc.spec}, sim.ManyOptions{}, func(i int, res *sim.Result) error {
+			ran = true
+			return nil
+		})
+		if err == nil {
+			t.Errorf("%s: RunMany accepted an invalid spec", tc.name)
+		}
+		if ran {
+			t.Errorf("%s: RunMany ran a scenario despite the invalid spec", tc.name)
+		}
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestRunManyStops checks both stop paths: a callback error aborts the
+// batch with that error, and context cancellation surfaces the
+// context's error.
+func TestRunManyStops(t *testing.T) {
+	sys := synth4x4(t, workload.SynthConfig{NumFlows: 8, Seed: 5})
+	specs := make([]sim.RunSpec, 32)
+	for i := range specs {
+		specs[i] = sim.RunSpec{Sys: sys, Cfg: sim.Config{Duration: 5_000}}
+	}
+	sentinel := errors.New("enough")
+	err := sim.RunMany(specs, sim.ManyOptions{Workers: 2}, func(i int, res *sim.Result) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("RunMany returned %v, want the callback's error", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = sim.RunMany(specs, sim.ManyOptions{Workers: 2, Context: ctx}, func(i int, res *sim.Result) error {
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("RunMany returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRunManySteadyStateAllocs pins RunMany's zero-alloc steady state:
+// with caller-owned engine slots and a homogeneous batch, a warm call
+// allocates a small constant (pool bookkeeping), i.e. ~0 allocations
+// per scenario — the contract that lets the phasing search and the
+// oracle campaign run tens of thousands of scenarios cheaply.
+func TestRunManySteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting run skipped in -short mode")
+	}
+	sys := synth4x4(t, workload.SynthConfig{NumFlows: 16, Seed: 6})
+	const n = 64
+	specs := make([]sim.RunSpec, n)
+	for i := range specs {
+		specs[i] = sim.RunSpec{Sys: sys, Cfg: sim.Config{Duration: 5_000, Offsets: staggeredOffsets(16, 5_000, int64(i))}}
+	}
+	opts := sim.ManyOptions{Workers: 1, Engines: make([]*sim.Engine, 1)}
+	noop := func(i int, res *sim.Result) error { return nil }
+	for i := 0; i < 3; i++ {
+		if err := sim.RunMany(specs, opts, noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := sim.RunMany(specs, opts, noop); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perScenario := allocs / n; perScenario > 0.1 {
+		t.Errorf("warm RunMany allocates %.2f objects/scenario (%.0f per %d-spec call), want ~0",
+			perScenario, allocs, n)
+	}
+}
+
+// BenchmarkRunManySequential is the "before" of the RunMany pair: the
+// same scenario batch evaluated one engine run at a time, the way the
+// oracle campaign iterated before batching existed.
+func BenchmarkRunManySequential(b *testing.B) {
+	b.Run("campaign64", func(b *testing.B) {
+		specs := campaignSpecs(b)
+		eng := sim.NewEngine(specs[0].Sys)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, sp := range specs {
+				if _, err := eng.Run(sp.Cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkRunMany measures scenario throughput of the batch runner
+// with persistent per-worker engines — the steady state of the
+// verification campaign and the phasing search. The speedup over
+// BenchmarkRunManySequential is the scenario-parallelism win recorded
+// in BENCH_sim.json (on a single-core machine the pair degenerates to
+// parity; per-scenario cost, not the ratio, is the tracked number
+// there).
+func BenchmarkRunMany(b *testing.B) {
+	b.Run("campaign64", func(b *testing.B) {
+		specs := campaignSpecs(b)
+		opts := sim.ManyOptions{Engines: make([]*sim.Engine, 16)}
+		noop := func(i int, res *sim.Result) error { return nil }
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sim.RunMany(specs, opts, noop); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// campaignSpecs is a 64-scenario batch over one system with varying
+// phasings — the shape of a phasing-search refinement sweep.
+func campaignSpecs(b testing.TB) []sim.RunSpec {
+	sys := synth4x4(b, workload.SynthConfig{NumFlows: 32, Seed: 9})
+	specs := make([]sim.RunSpec, 64)
+	for i := range specs {
+		specs[i] = sim.RunSpec{Sys: sys, Cfg: sim.Config{Duration: 10_000, Offsets: staggeredOffsets(32, 10_000, int64(i))}}
+	}
+	return specs
+}
+
+// TestRunManyBenchSpecsAgree anchors the RunMany benchmark pair: both
+// sides compute identical results.
+func TestRunManyBenchSpecsAgree(t *testing.T) {
+	specs := campaignSpecs(t)
+	eng := sim.NewEngine(specs[0].Sys)
+	for i, sp := range specs[:8] {
+		seq, err := eng.Run(sp.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := copyResult(seq)
+		err = sim.RunMany(specs[i:i+1], sim.ManyOptions{}, func(_ int, res *sim.Result) error {
+			got := copyResult(res)
+			a, b := *want, *got
+			a.Stats, b.Stats = sim.Stats{}, sim.Stats{}
+			if !reflect.DeepEqual(&a, &b) {
+				return fmt.Errorf("spec %d: RunMany result differs from direct engine run", i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

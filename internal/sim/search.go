@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"wormnoc/internal/noc"
 	"wormnoc/internal/traffic"
@@ -37,6 +36,12 @@ type SearchConfig struct {
 	ProbesPerFlow int
 	// Seed makes the search deterministic.
 	Seed int64
+	// Workers bounds the engines evaluating probe batches concurrently;
+	// 0 (or negative) selects GOMAXPROCS, 1 forces a serial search. The
+	// result is identical for any value — only wall-clock time changes —
+	// so callers that already parallelise outside (the oracle fans out
+	// across target flows) set 1 to avoid oversubscription.
+	Workers int
 	// Rand, when non-nil, supplies every random choice of the search and
 	// Seed is ignored. It lets a caller running many searches (the
 	// verification oracle) thread one seeded generator through all of
@@ -60,10 +65,12 @@ type SearchResult struct {
 // SearchWorstCase runs the randomised phasing search.
 //
 // The search is the simulator's hottest client — thousands of runs per
-// invocation — so it recycles aggressively: one reusable Engine per
-// worker goroutine (the workers persist for the whole search), fixed
-// candidate-offset buffers, and engine-owned results. A probe costs
-// zero allocations in steady state.
+// invocation — so it recycles aggressively: probe batches go through
+// RunMany with persistent per-worker engine slots (one reusable Engine
+// per worker for the whole search), fixed candidate-offset buffers, and
+// engine-owned results. A probe costs zero allocations in steady state.
+// The result depends only on the configuration and seed, never on the
+// worker count.
 func SearchWorstCase(sys *traffic.System, cfg SearchConfig) (*SearchResult, error) {
 	n := sys.NumFlows()
 	if cfg.Target < 0 || cfg.Target >= n {
@@ -102,60 +109,41 @@ func SearchWorstCase(sys *traffic.System, cfg SearchConfig) (*SearchResult, erro
 		return res.WorstLatency[cfg.Target], nil
 	}
 
-	// Candidate-offset buffers, reused for every refinement batch, and
-	// the persistent evaluation workers. Each worker owns one Engine
-	// for the whole search, so steady-state probes allocate nothing.
+	// Candidate-offset buffers and probe specs, reused for every
+	// refinement batch, and persistent engine slots handed to RunMany so
+	// each worker keeps one warm Engine across all batches.
 	cands := make([][]noc.Cycles, cfg.ProbesPerFlow)
 	candStore := make([]noc.Cycles, cfg.ProbesPerFlow*n)
 	for i := range cands {
 		cands[i], candStore = candStore[:n:n], candStore[n:]
 	}
 	out := make([]noc.Cycles, cfg.ProbesPerFlow)
-	errs := make([]error, cfg.ProbesPerFlow)
-
-	workers := runtime.GOMAXPROCS(0)
+	specs := make([]RunSpec, cfg.ProbesPerFlow)
+	for i := range specs {
+		specs[i].Sys = sys
+		specs[i].Cfg = cfg.Base
+		specs[i].Cfg.Offsets = cands[i]
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > cfg.ProbesPerFlow {
 		workers = cfg.ProbesPerFlow
 	}
-	var (
-		jobs chan int
-		wg   sync.WaitGroup
-	)
-	if workers > 1 {
-		jobs = make(chan int)
-		defer close(jobs)
-		for w := 0; w < workers; w++ {
-			go func() {
-				eng := NewEngine(sys)
-				for i := range jobs {
-					run := cfg.Base
-					run.Offsets = cands[i]
-					res, err := eng.Run(run)
-					errs[i] = err
-					if err == nil {
-						out[i] = res.WorstLatency[cfg.Target]
-					}
-					wg.Done()
-				}
-			}()
-		}
-	}
+	many := ManyOptions{Workers: workers, Engines: make([]*Engine, workers)}
 
-	// evalBatch evaluates cands[0:k] into out/errs, in parallel when the
-	// workers exist.
-	evalBatch := func(k int) {
-		if workers <= 1 {
-			for i := 0; i < k; i++ {
-				out[i], errs[i] = evaluate(cands[i])
-			}
-			return
+	// evalBatch evaluates cands[0:k] into out[0:k].
+	evalBatch := func(k int) error {
+		err := RunMany(specs[:k], many, func(i int, res *Result) error {
+			out[i] = res.WorstLatency[cfg.Target]
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		wg.Add(k)
-		for i := 0; i < k; i++ {
-			jobs <- i
-		}
-		wg.Wait()
 		best.Runs += k
+		return nil
 	}
 
 	cur := make([]noc.Cycles, n)
@@ -187,11 +175,10 @@ func SearchWorstCase(sys *traffic.System, cfg SearchConfig) (*SearchResult, erro
 					copy(cands[p], cur)
 					cands[p][f] = noc.Cycles(rng.Int63n(period))
 				}
-				evalBatch(cfg.ProbesPerFlow)
+				if err := evalBatch(cfg.ProbesPerFlow); err != nil {
+					return nil, err
+				}
 				for i := 0; i < cfg.ProbesPerFlow; i++ {
-					if errs[i] != nil {
-						return nil, errs[i]
-					}
 					if out[i] > curWorst {
 						curWorst = out[i]
 						copy(cur, cands[i])

@@ -66,6 +66,22 @@ type Config struct {
 	TraceWriter io.Writer
 }
 
+// Stats reports engine-internal execution counters. They describe how a
+// result was computed, not what was observed: two runs that differ only
+// in Stats simulated the identical system trajectory. The differential
+// suite therefore compares Results with Stats ignored, and the retained
+// reference engine always leaves it zero.
+type Stats struct {
+	// FastPathBatches counts locked-arbitration batches: stretches of
+	// cycles in which every link's winner, credits and contender set
+	// were provably stable, executed as one bulk step instead of
+	// per-cycle arbitration (DESIGN.md §13).
+	FastPathBatches int
+	// FastPathCycles is the total number of simulated cycles covered by
+	// those batches (each batch covers at least 2 cycles).
+	FastPathCycles noc.Cycles
+}
+
 // Result holds the outcome of a run.
 type Result struct {
 	// WorstLatency[i] is the maximum observed latency (release to arrival
@@ -93,6 +109,10 @@ type Result struct {
 	// watching it grow along the contention domain during a downstream
 	// blocking is exactly the "buffered interference" of the paper.
 	MaxOccupancy [][]int
+	// Stats holds engine-internal execution counters. It is the one
+	// Result field allowed to differ between engines: comparisons of
+	// observable behaviour must ignore it (see Stats).
+	Stats Stats
 }
 
 // PeakOccupancy returns the largest buffer occupancy flow i reached on
