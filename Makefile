@@ -11,13 +11,23 @@
 #   results/BENCH_analysis.json — analysis-side benchmarks (scaling,
 #                                 set construction, Table II columns)
 #
+# `make bench-serve` regenerates the serving-tier baseline separately
+# (it boots real processes on loopback, so it is not part of `bench`):
+#
+#   results/BENCH_serve.json    — cmd/nocload latency/throughput report:
+#                                 one worker loaded directly vs 3 workers
+#                                 behind a cluster coordinator. The pair
+#                                 "speedup" is the single/fleet mean-
+#                                 latency ratio, i.e. the coordination
+#                                 overhead paid for fault tolerance.
+#
 # BENCHTIME/COUNT tune fidelity vs wall time; CI uses the defaults and
-# uploads both files as artifacts.
+# uploads the files as artifacts.
 
 BENCHTIME ?= 1s
 COUNT     ?= 1
 
-.PHONY: bench bench-sim bench-analysis
+.PHONY: bench bench-sim bench-analysis bench-serve fleet-chaos
 
 bench: bench-sim bench-analysis
 
@@ -37,3 +47,12 @@ bench-analysis:
 	  -bench 'BenchmarkAnalysisScaling$$|BenchmarkBuildSets$$|BenchmarkTable2Didactic$$|BenchmarkAblationEq7$$|BenchmarkWhatIfScratch$$|BenchmarkWhatIfIncremental$$' . \
 	  | go run ./cmd/benchjson -out results/BENCH_analysis.json
 	@echo wrote results/BENCH_analysis.json
+
+bench-serve:
+	scripts/bench_serve.sh
+
+# Fleet chaos drill: 3 workers + coordinator, zipf burst, one worker
+# SIGKILLed mid-burst; passes only if no client-visible errors, zero
+# incorrect results, bounded p99 and exactly-reconciled fleet metrics.
+fleet-chaos:
+	scripts/fleet_chaos.sh

@@ -215,6 +215,13 @@ var pairPrefixes = []struct{ before, after string }{
 	{"BenchmarkEngineReference/", "BenchmarkEngine/"},
 	{"BenchmarkWhatIfScratch/", "BenchmarkWhatIfIncremental/"},
 	{"BenchmarkRunManySequential/", "BenchmarkRunMany/"},
+	// cmd/nocload emits these (they are not `go test` benchmarks): one
+	// nocserve worker loaded directly vs the same load through a
+	// cluster coordinator fronting a worker fleet. "Speedup" here is
+	// the single-node/fleet mean-latency ratio; the interesting
+	// figures are the p99/p999 and shed/hedge-rate metrics carried on
+	// each record (results/BENCH_serve.json, Makefile `bench-serve`).
+	{"BenchmarkServeSingle/", "BenchmarkServeFleet/"},
 }
 
 // derivePairs matches each pairPrefixes family's before/after runs by

@@ -1,0 +1,649 @@
+// Command nocload is the serving tier's load harness: it drives a
+// nocserve worker or cluster coordinator with a zipf-skewed mix of
+// analyze, batch and what-if traffic, verifies every response against
+// a locally computed oracle, and reports latency percentiles,
+// throughput, shed/error rates and the coordinator's hedge rate in
+// `go test -bench` format — the input cmd/benchjson turns into
+// results/BENCH_serve.json, where BenchmarkServeSingle/<op> lines pair
+// with BenchmarkServeFleet/<op> lines (single node vs fleet, the
+// numbers the coordinator is held to).
+//
+// Closed loop (fixed concurrency, the capacity-probe shape):
+//
+//	nocload -target http://localhost:8080 -label ServeFleet -conc 16 -duration 10s
+//
+// Open loop (fixed arrival rate, the latency-under-load shape —
+// arrivals do not slow down when the server does, so queueing delay is
+// visible instead of hidden):
+//
+//	nocload -target http://localhost:8080 -rate 200 -duration 10s
+//
+// Correctness is not sampled, it is total: every 200 response is
+// compared bit-for-bit (wall time and cache provenance aside) against
+// an in-process single-node analysis of the same system. Any mismatch
+// is an "incorrect" result, and any incorrect result fails the run —
+// this is the harness the fleet-chaos CI job points at a cluster while
+// killing workers.
+//
+// Exit status: 0 on a clean run, 1 when a bound is violated
+// (incorrect > 0, -maxerrrate, -maxp99, -minthroughput), 2 on usage
+// errors.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wormnoc/internal/oracle"
+	"wormnoc/internal/serve"
+	"wormnoc/internal/traffic"
+)
+
+// op is one workload operation kind.
+type op int
+
+const (
+	opAnalyze op = iota
+	opBatch
+	opWhatIf
+	opKinds
+)
+
+func (o op) String() string { return [...]string{"analyze", "batch", "whatif"}[o] }
+
+// outcome classifies one request.
+type outcome int
+
+const (
+	outOK        outcome = iota
+	outShed              // 429/503: admission control or a draining fleet
+	outErr               // transport error or unexpected status
+	outIncorrect         // 200 with a payload diverging from the oracle
+)
+
+// sample is one completed request.
+type sample struct {
+	op      op
+	outcome outcome
+	latency time.Duration
+}
+
+// workload holds the generated system population and the per-system
+// oracle answers every response is checked against.
+type workload struct {
+	docs    []traffic.Document
+	method  string
+	deltas  []serve.DeltaSpec
+	analyze [][]byte // normalized expected /v1/analyze body per system
+	whatif  [][]byte // normalized expected /v1/whatif body per system
+}
+
+// normalizeAnalyze zeroes the run-dependent fields of an analyze
+// response in place (wall time, cache provenance).
+func normalizeAnalyze(raw json.RawMessage) (json.RawMessage, error) {
+	var resp serve.AnalyzeResponse
+	if err := strictUnmarshal(raw, &resp); err != nil {
+		return nil, err
+	}
+	resp.ElapsedUs = 0
+	resp.Cached = false
+	return json.Marshal(&resp)
+}
+
+func strictUnmarshal(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// normalizeWhatIf zeroes the run-dependent fields of a what-if
+// response: per-step wall time and cache provenance, plus the chain's
+// cache/engine observability (a warm fleet legitimately reports
+// different cache_hits than a cold oracle).
+func normalizeWhatIf(raw json.RawMessage) (json.RawMessage, error) {
+	var resp serve.WhatIfResponse
+	if err := strictUnmarshal(raw, &resp); err != nil {
+		return nil, err
+	}
+	for i := range resp.Steps {
+		if resp.Steps[i].AnalyzeResponse != nil {
+			resp.Steps[i].ElapsedUs = 0
+			resp.Steps[i].Cached = false
+		}
+	}
+	resp.CacheHits = 0
+	resp.FullRuns, resp.PartialRuns = 0, 0
+	resp.FlowsReanalyzed, resp.FlowsSkipped = 0, 0
+	resp.WarmAccepted = 0
+	return json.Marshal(&resp)
+}
+
+// buildWorkload generates the system population and computes the
+// oracle answers on an in-process single-node server.
+func buildWorkload(seed int64, systems int, method string) (*workload, error) {
+	w := &workload{
+		method: method,
+		deltas: []serve.DeltaSpec{{Kind: "buf", BufDepth: 4}, {Kind: "buf", BufDepth: 6}},
+	}
+	for i := 0; i < systems; i++ {
+		w.docs = append(w.docs, oracle.Generate(seed+int64(i), oracle.GenConfig{}).Doc)
+	}
+	local := serve.New(serve.Config{})
+	h := local.Handler()
+	post := func(path string, body any) (int, []byte, error) {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.Bytes(), nil
+	}
+	for i, doc := range w.docs {
+		status, body, err := post("/v1/analyze", serve.AnalyzeRequest{System: doc, Method: method})
+		if err != nil || status != http.StatusOK {
+			return nil, fmt.Errorf("oracle analyze of system %d: status %d, %v", i, status, err)
+		}
+		norm, err := normalizeAnalyze(body)
+		if err != nil {
+			return nil, fmt.Errorf("oracle analyze of system %d: %w", i, err)
+		}
+		w.analyze = append(w.analyze, norm)
+
+		status, body, err = post("/v1/whatif", serve.WhatIfRequest{System: &doc, Method: method, Deltas: w.deltas})
+		if err != nil || status != http.StatusOK {
+			return nil, fmt.Errorf("oracle whatif of system %d: status %d, %v", i, status, err)
+		}
+		norm, err = normalizeWhatIf(body)
+		if err != nil {
+			return nil, fmt.Errorf("oracle whatif of system %d: %w", i, err)
+		}
+		w.whatif = append(w.whatif, norm)
+	}
+	return w, nil
+}
+
+// mix is the analyze/batch/whatif weighting.
+type mix [opKinds]int
+
+func parseMix(spec string) (mix, error) {
+	var m mix
+	for _, field := range strings.Split(spec, ",") {
+		name, val, found := strings.Cut(strings.TrimSpace(field), "=")
+		if !found {
+			return m, fmt.Errorf("mix field %q: want op=weight", field)
+		}
+		var weight int
+		if _, err := fmt.Sscanf(val, "%d", &weight); err != nil || weight < 0 {
+			return m, fmt.Errorf("mix field %q: bad weight", field)
+		}
+		switch name {
+		case "analyze":
+			m[opAnalyze] = weight
+		case "batch":
+			m[opBatch] = weight
+		case "whatif":
+			m[opWhatIf] = weight
+		default:
+			return m, fmt.Errorf("mix field %q: unknown op (want analyze, batch or whatif)", field)
+		}
+	}
+	if m[opAnalyze]+m[opBatch]+m[opWhatIf] == 0 {
+		return m, fmt.Errorf("mix %q has zero total weight", spec)
+	}
+	return m, nil
+}
+
+func (m mix) pick(rng *rand.Rand) op {
+	total := m[opAnalyze] + m[opBatch] + m[opWhatIf]
+	r := rng.Intn(total)
+	for o := opAnalyze; o < opKinds; o++ {
+		if r < m[o] {
+			return o
+		}
+		r -= m[o]
+	}
+	return opAnalyze
+}
+
+// loader drives the target and verifies responses.
+type loader struct {
+	target    string
+	client    *http.Client
+	work      *workload
+	mix       mix
+	zipfS     float64
+	batchSize int
+	timeoutMs int64
+
+	mu      sync.Mutex
+	samples []sample
+	errLog  []string
+}
+
+// picker returns this goroutine's system-popularity sampler: zipf-
+// skewed when -zipf > 1 (a hot working set, the cache-friendly and
+// shard-hotspot shape), uniform otherwise.
+func (l *loader) picker(rng *rand.Rand) func() int {
+	n := uint64(len(l.work.docs))
+	if l.zipfS > 1 {
+		z := rand.NewZipf(rng, l.zipfS, 1, n-1)
+		return func() int { return int(z.Uint64()) }
+	}
+	return func() int { return rng.Intn(int(n)) }
+}
+
+func (l *loader) record(s sample) {
+	l.mu.Lock()
+	l.samples = append(l.samples, s)
+	l.mu.Unlock()
+}
+
+// doOne issues one operation and verifies the response. The returned
+// sample is already recorded.
+func (l *loader) doOne(ctx context.Context, o op, pick func() int) {
+	var (
+		path string
+		body any
+		sys  int
+	)
+	switch o {
+	case opAnalyze:
+		sys = pick()
+		path = "/v1/analyze"
+		body = serve.AnalyzeRequest{System: l.work.docs[sys], Method: l.work.method, TimeoutMs: l.timeoutMs}
+	case opWhatIf:
+		sys = pick()
+		path = "/v1/whatif"
+		body = serve.WhatIfRequest{System: &l.work.docs[sys], Method: l.work.method, Deltas: l.work.deltas, TimeoutMs: l.timeoutMs}
+	case opBatch:
+		path = "/v1/batch"
+		items := make([]int, l.batchSize)
+		docs := make([]traffic.Document, l.batchSize)
+		for i := range items {
+			items[i] = pick()
+			docs[i] = l.work.docs[items[i]]
+		}
+		body = serve.BatchRequest{Systems: docs, Method: l.work.method, TimeoutMs: l.timeoutMs}
+		l.doBatch(ctx, path, body, items)
+		return
+	}
+	start := time.Now()
+	status, respBody, err := l.post(ctx, path, body)
+	lat := time.Since(start)
+	if err != nil && ctx.Err() != nil {
+		// The run deadline cancelled this request mid-flight; that is
+		// the harness stopping, not the server failing.
+		return
+	}
+	out := l.classify(o, sys, status, respBody, err)
+	if out == outErr {
+		l.note("%s of system %d: status %d, err %v", o, sys, status, err)
+	} else if out == outIncorrect {
+		l.note("%s of system %d DIVERGED from oracle: %.200s", o, sys, respBody)
+	}
+	l.record(sample{op: o, outcome: out, latency: lat})
+}
+
+func (l *loader) doBatch(ctx context.Context, path string, body any, items []int) {
+	start := time.Now()
+	status, respBody, err := l.post(ctx, path, body)
+	lat := time.Since(start)
+	if err != nil && ctx.Err() != nil {
+		return
+	}
+	out := outOK
+	switch {
+	case err != nil:
+		out = outErr
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		out = outShed
+	case status != http.StatusOK:
+		out = outErr
+	default:
+		var resp serve.BatchResponse
+		if err := json.Unmarshal(respBody, &resp); err != nil || len(resp.Results) != len(items) {
+			out = outIncorrect
+			break
+		}
+		for i, sys := range items {
+			item := resp.Results[i]
+			if item.AnalyzeResponse == nil {
+				// A shed/timed-out item is a degradation, not a wrong
+				// answer; any other per-item error is.
+				if item.Code == "transient" || item.Code == "timeout" {
+					out = outShed
+				} else {
+					out = outIncorrect
+					l.note("batch item %d (system %d) failed: %s %s", i, sys, item.Code, item.Error)
+				}
+				continue
+			}
+			raw, err := json.Marshal(item.AnalyzeResponse)
+			if err != nil {
+				out = outIncorrect
+				continue
+			}
+			norm, err := normalizeAnalyze(raw)
+			if err != nil || !bytes.Equal(norm, l.work.analyze[sys]) {
+				out = outIncorrect
+				l.note("batch item %d (system %d) DIVERGED from oracle", i, sys)
+			}
+		}
+	}
+	if out == outErr {
+		l.note("batch: status %d, err %v", status, err)
+	}
+	l.record(sample{op: opBatch, outcome: out, latency: lat})
+}
+
+// note keeps the first few error details for the run summary, so a
+// failing run says what went wrong, not just how often.
+func (l *loader) note(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.errLog) < 10 {
+		l.errLog = append(l.errLog, fmt.Sprintf(format, args...))
+	}
+}
+
+func (l *loader) classify(o op, sys, status int, respBody []byte, err error) outcome {
+	switch {
+	case err != nil:
+		return outErr
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		return outShed
+	case status != http.StatusOK:
+		return outErr
+	}
+	var norm json.RawMessage
+	var expect []byte
+	var nerr error
+	switch o {
+	case opAnalyze:
+		norm, nerr = normalizeAnalyze(respBody)
+		expect = l.work.analyze[sys]
+	case opWhatIf:
+		norm, nerr = normalizeWhatIf(respBody)
+		expect = l.work.whatif[sys]
+	}
+	if nerr != nil || !bytes.Equal(norm, expect) {
+		return outIncorrect
+	}
+	return outOK
+}
+
+func (l *loader) post(ctx context.Context, path string, body any) (int, []byte, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, l.target+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := l.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// runClosed drives conc workers, each issuing its next request as soon
+// as the previous one completes, until the deadline.
+func (l *loader) runClosed(ctx context.Context, conc int, seed int64) {
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			pick := l.picker(rng)
+			for ctx.Err() == nil {
+				l.doOne(ctx, l.mix.pick(rng), pick)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen issues requests at a fixed arrival rate regardless of how
+// fast the target answers (bounded by maxOutstanding so a stalled
+// target cannot exhaust memory; arrivals dropped at that bound count
+// as errors — the server has fallen that far behind).
+func (l *loader) runOpen(ctx context.Context, rate float64, seed int64) {
+	const maxOutstanding = 4096
+	interval := time.Duration(float64(time.Second) / rate)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	rng := rand.New(rand.NewSource(seed))
+	pick := l.picker(rng)
+	var outstanding int64
+	var wg sync.WaitGroup
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-tick.C:
+			if atomic.LoadInt64(&outstanding) >= maxOutstanding {
+				l.record(sample{op: l.mix.pick(rng), outcome: outErr})
+				continue
+			}
+			o := l.mix.pick(rng)
+			sys := pick()
+			atomic.AddInt64(&outstanding, 1)
+			wg.Add(1)
+			go func(o op, sys int) {
+				defer wg.Done()
+				defer atomic.AddInt64(&outstanding, -1)
+				l.doOne(ctx, o, func() int { return sys })
+			}(o, sys)
+		}
+	}
+}
+
+// clusterCounters scrapes the coordinator-side fan-out counters from
+// /metrics (zero for a standalone worker, whose metrics carry no
+// cluster section).
+func (l *loader) clusterCounters(ctx context.Context) (hedges, retries, fallbacks int64) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, l.target+"/metrics", nil)
+	if err != nil {
+		return 0, 0, 0
+	}
+	resp, err := l.client.Do(req)
+	if err != nil {
+		return 0, 0, 0
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Cluster *serve.ClusterStatus `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil || snap.Cluster == nil {
+		return 0, 0, 0
+	}
+	return snap.Cluster.HedgesFired, snap.Cluster.Retries, snap.Cluster.LocalFallbacks
+}
+
+// percentile returns the p-th percentile (0 < p ≤ 100) of sorted
+// latencies in microseconds.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return float64(sorted[rank].Microseconds())
+}
+
+type opStats struct {
+	count, ok, shed, errs, incorrect int
+	lat                              []time.Duration
+}
+
+func main() {
+	var (
+		target     = flag.String("target", "", "base URL of the nocserve worker or coordinator to load (required)")
+		label      = flag.String("label", "ServeSingle", "benchmark family prefix: ServeSingle (one worker) or ServeFleet (coordinator)")
+		duration   = flag.Duration("duration", 10*time.Second, "load duration")
+		conc       = flag.Int("conc", 8, "closed-loop concurrency (ignored when -rate > 0)")
+		rate       = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		systems    = flag.Int("systems", 64, "distinct generated systems in the working set")
+		seed       = flag.Int64("seed", 1, "workload generator seed")
+		zipfS      = flag.Float64("zipf", 1.2, "zipf skew of system popularity (≤ 1 = uniform)")
+		mixFlag    = flag.String("mix", "analyze=70,batch=15,whatif=15", "op mix weights")
+		batchSize  = flag.Int("batchsize", 8, "systems per batch request")
+		method     = flag.String("method", "IBN", "analysis method to request")
+		timeoutMs  = flag.Int64("timeoutms", 0, "per-request timeout_ms (0 = server default)")
+		maxErrRate = flag.Float64("maxerrrate", 1, "fail (exit 1) when error rate exceeds this fraction")
+		maxP99     = flag.Duration("maxp99", 0, "fail (exit 1) when overall p99 exceeds this (0 = no bound)")
+		minReqs    = flag.Int("minreqs", 1, "fail (exit 1) when fewer requests complete")
+	)
+	flag.Parse()
+	if *target == "" || flag.NArg() > 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	m, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nocload: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "nocload: generating %d systems and oracle answers (seed %d)...\n", *systems, *seed)
+	work, err := buildWorkload(*seed, *systems, *method)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nocload: %v\n", err)
+		os.Exit(2)
+	}
+
+	l := &loader{
+		target:    strings.TrimSuffix(*target, "/"),
+		client:    &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}},
+		work:      work,
+		mix:       m,
+		zipfS:     *zipfS,
+		batchSize: *batchSize,
+		timeoutMs: *timeoutMs,
+	}
+
+	hedges0, retries0, fallbacks0 := l.clusterCounters(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	start := time.Now()
+	if *rate > 0 {
+		l.runOpen(ctx, *rate, *seed)
+	} else {
+		l.runClosed(ctx, *conc, *seed)
+	}
+	cancel()
+	elapsed := time.Since(start)
+	hedges1, retries1, fallbacks1 := l.clusterCounters(context.Background())
+
+	// Aggregate per op and overall ("mixed").
+	perOp := make([]opStats, opKinds)
+	var all opStats
+	for _, s := range l.samples {
+		for _, st := range []*opStats{&perOp[s.op], &all} {
+			st.count++
+			switch s.outcome {
+			case outOK:
+				st.ok++
+			case outShed:
+				st.shed++
+			case outErr:
+				st.errs++
+			case outIncorrect:
+				st.incorrect++
+			}
+			if s.latency > 0 {
+				st.lat = append(st.lat, s.latency)
+			}
+		}
+	}
+	hedgeRate := 0.0
+	if all.count > 0 {
+		hedgeRate = float64(hedges1-hedges0) / float64(all.count)
+	}
+
+	emit := func(name string, st *opStats) {
+		if st.count == 0 {
+			return
+		}
+		sort.Slice(st.lat, func(i, j int) bool { return st.lat[i] < st.lat[j] })
+		var mean float64
+		for _, d := range st.lat {
+			mean += float64(d.Nanoseconds())
+		}
+		if len(st.lat) > 0 {
+			mean /= float64(len(st.lat))
+		}
+		fmt.Printf("Benchmark%s/%s \t%8d\t%12.0f ns/op\t%10.0f p50_us\t%10.0f p99_us\t%10.0f p999_us\t%7.4f shed_rate\t%7.4f err_rate\t%7.4f hedge_rate\t%10.1f req/s\n",
+			*label, name, st.count, mean,
+			percentile(st.lat, 50), percentile(st.lat, 99), percentile(st.lat, 99.9),
+			float64(st.shed)/float64(st.count),
+			float64(st.errs+st.incorrect)/float64(st.count),
+			hedgeRate,
+			float64(st.count)/elapsed.Seconds())
+	}
+	emit("mixed", &all)
+	for o := opAnalyze; o < opKinds; o++ {
+		emit(o.String(), &perOp[o])
+	}
+	fmt.Fprintf(os.Stderr,
+		"nocload: %d requests in %v — %d ok, %d shed, %d errors, %d incorrect; fleet deltas: %d hedges, %d retries, %d local fallbacks\n",
+		all.count, elapsed.Round(time.Millisecond), all.ok, all.shed, all.errs, all.incorrect,
+		hedges1-hedges0, retries1-retries0, fallbacks1-fallbacks0)
+	for _, line := range l.errLog {
+		fmt.Fprintf(os.Stderr, "nocload:   %s\n", line)
+	}
+
+	failed := false
+	if all.incorrect > 0 {
+		fmt.Fprintf(os.Stderr, "nocload: FAIL: %d responses diverged from the local oracle\n", all.incorrect)
+		failed = true
+	}
+	if all.count < *minReqs {
+		fmt.Fprintf(os.Stderr, "nocload: FAIL: only %d requests completed (want ≥ %d)\n", all.count, *minReqs)
+		failed = true
+	}
+	if errRate := float64(all.errs) / float64(max(all.count, 1)); errRate > *maxErrRate {
+		fmt.Fprintf(os.Stderr, "nocload: FAIL: error rate %.4f exceeds %.4f\n", errRate, *maxErrRate)
+		failed = true
+	}
+	if *maxP99 > 0 {
+		sort.Slice(all.lat, func(i, j int) bool { return all.lat[i] < all.lat[j] })
+		if p99 := time.Duration(percentile(all.lat, 99)) * time.Microsecond; p99 > *maxP99 {
+			fmt.Fprintf(os.Stderr, "nocload: FAIL: p99 %v exceeds %v\n", p99, *maxP99)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,385 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"wormnoc/internal/canon"
+	"wormnoc/internal/faultinject"
+	"wormnoc/internal/serve"
+)
+
+// The headline chaos invariant: partition one of three workers under
+// live traffic and every result is still bit-identical to a
+// single-node run, with the coordinator's fan-out counters reconciled
+// EXACTLY against the fault injector — every injected partition hit is
+// accounted for as exactly one failover retry, and no other rung of
+// the degradation ladder fires.
+func TestFleetChaosPartitionExactReconciliation(t *testing.T) {
+	c, _ := startFleet(t, 3, Config{
+		// Freeze the non-deterministic rungs: no hedging, no membership
+		// flips, no breaker trips — this test isolates retry/failover.
+		HedgeDelay:       time.Hour,
+		DeadAfter:        1 << 20,
+		BreakerThreshold: 1 << 20,
+	})
+	h := c.Handler()
+
+	const nDocs = 32
+	docs := make([]string, 0, nDocs) // keys, for ownership accounting
+	req := serve.BatchRequest{Method: "IBN"}
+	for d := 1; d <= nDocs; d++ {
+		doc := testDoc(d)
+		req.Systems = append(req.Systems, doc)
+		docs = append(docs, canon.SystemKey(doc))
+	}
+	// Partition the backend owning the most keys (guaranteed > 0).
+	owned := make([]int, 3)
+	for _, k := range docs {
+		owned[c.ring.owner(k, nil)]++
+	}
+	victim := 0
+	for b := range owned {
+		if owned[b] > owned[victim] {
+			victim = b
+		}
+	}
+	victimOwned := int64(owned[victim])
+
+	in := faultinject.New(1).Add(faultinject.Fault{
+		Site: faultinject.SiteClusterRequest,
+		Kind: faultinject.KindError,
+		Keys: []string{c.backends[victim].Name},
+	})
+	faultinject.Enable(in)
+	defer faultinject.Disable()
+
+	// Per-request traffic: every victim-owned key fails over to its
+	// replica exactly once; every other key never touches the victim.
+	want := singleNodeBatch(t, req)
+	normalizeItems(want.Results)
+	for i := range req.Systems {
+		status, body := postJSON(t, h, "/v1/analyze", serve.AnalyzeRequest{System: req.Systems[i], Method: "IBN"})
+		if status != http.StatusOK {
+			t.Fatalf("analyze %d under partition: %d %s", i, status, body)
+		}
+		var resp serve.AnalyzeResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		normalizeAnalyze(&resp)
+		a, _ := json.Marshal(resp)
+		b, _ := json.Marshal(want.Results[i].AnalyzeResponse)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("analyze %d diverged under partition:\n%s\n%s", i, a, b)
+		}
+	}
+	// Batch traffic: the victim's whole group fails over as one
+	// sub-batch — one more retry, zero lost items.
+	status, body := postJSON(t, h, "/v1/batch", req)
+	if status != http.StatusOK {
+		t.Fatalf("batch under partition: %d %s", status, body)
+	}
+	var got serve.BatchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Failed != 0 {
+		t.Fatalf("batch under partition failed %d items", got.Failed)
+	}
+	normalizeItems(got.Results)
+	normalizeItems(want.Results)
+	a, _ := json.Marshal(got.Results)
+	b, _ := json.Marshal(want.Results)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("batch under partition diverged from single node:\n%s\n%s", a, b)
+	}
+
+	// Exact reconciliation, through the public /metrics surface: each
+	// injector hit at cluster.request is one failover retry (analyzes)
+	// plus one for the batch group, and nothing else moved.
+	var metrics struct {
+		Cluster *serve.ClusterStatus `json:"cluster"`
+	}
+	if status := getJSON(t, h, "/metrics", &metrics); status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	cs := metrics.Cluster
+	fired := in.Fired()[faultinject.SiteClusterRequest]
+	if fired != victimOwned+1 {
+		t.Fatalf("injector fired %d at cluster.request, want %d (victim-owned analyzes + 1 batch group)", fired, victimOwned+1)
+	}
+	if cs.Retries != fired {
+		t.Fatalf("retries = %d, injector fired %d — counters do not reconcile", cs.Retries, fired)
+	}
+	if cs.HedgesFired != 0 || cs.HedgeWins != 0 || cs.LocalFallbacks != 0 ||
+		cs.ProxiedShed != 0 || cs.BreakerTrips != 0 || cs.Rebalances != 0 {
+		t.Fatalf("unexpected ladder activity: %+v", cs)
+	}
+	if cs.Backends[victim].ConsecutiveFailures != int(fired) {
+		t.Fatalf("victim consecutive_failures = %d, want %d", cs.Backends[victim].ConsecutiveFailures, fired)
+	}
+}
+
+// The acceptance scenario with a real process death: one of three
+// workers' listeners closes under live traffic (no injection — actual
+// connection refusals). The campaign's results stay bit-identical to
+// single-node, the victim is marked dead after exactly DeadAfter
+// transport failures (counted as retries), and once dead it costs
+// nothing more.
+func TestFleetChaosWorkerDeathMidCampaign(t *testing.T) {
+	const deadAfter = 3
+	c, workers := startFleet(t, 3, Config{
+		HedgeDelay: time.Hour,
+		DeadAfter:  deadAfter,
+	})
+	h := c.Handler()
+
+	const nDocs = 24
+	req := serve.BatchRequest{Method: "IBN"}
+	keys := make([]string, nDocs)
+	for d := 1; d <= nDocs; d++ {
+		doc := testDoc(d)
+		req.Systems = append(req.Systems, doc)
+		keys[d-1] = canon.SystemKey(doc)
+	}
+	owned := make([]int, 3)
+	for _, k := range keys {
+		owned[c.ring.owner(k, nil)]++
+	}
+	victim := 0
+	for b := range owned {
+		if owned[b] > owned[victim] {
+			victim = b
+		}
+	}
+	if owned[victim] <= deadAfter {
+		t.Fatalf("victim owns only %d of %d keys; test needs > %d", owned[victim], nDocs, deadAfter)
+	}
+	want := singleNodeBatch(t, req)
+	normalizeItems(want.Results)
+
+	// Kill the worker process. The coordinator has not probed — it
+	// discovers the death from in-flight traffic.
+	workers[victim].ts.Close()
+
+	for i := range req.Systems {
+		status, body := postJSON(t, h, "/v1/analyze", serve.AnalyzeRequest{System: req.Systems[i], Method: "IBN"})
+		if status != http.StatusOK {
+			t.Fatalf("analyze %d after worker death: %d %s", i, status, body)
+		}
+		var resp serve.AnalyzeResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		normalizeAnalyze(&resp)
+		a, _ := json.Marshal(resp)
+		b, _ := json.Marshal(want.Results[i].AnalyzeResponse)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("analyze %d diverged after worker death:\n%s\n%s", i, a, b)
+		}
+	}
+
+	// The victim was marked dead at exactly the DeadAfter'th transport
+	// failure; each failure before that cost one failover retry.
+	cs := c.Status()
+	if cs.Backends[victim].State != serve.BackendDead {
+		t.Fatalf("victim state = %s after %d owned requests, want dead", cs.Backends[victim].State, owned[victim])
+	}
+	if cs.Retries != deadAfter {
+		t.Fatalf("retries = %d, want exactly %d (DeadAfter, then routed around)", cs.Retries, deadAfter)
+	}
+	if cs.Rebalances != 1 || cs.LocalFallbacks != 0 || cs.HedgesFired != 0 {
+		t.Fatalf("unexpected ladder activity: %+v", cs)
+	}
+	if cs.ShardsCovered != 1.0 {
+		t.Fatalf("shards_covered = %v with 2 of 3 workers alive, want 1.0", cs.ShardsCovered)
+	}
+
+	// A dead backend costs nothing more: the follow-up batch routes
+	// around it with zero additional retries and stays bit-identical.
+	status, body := postJSON(t, h, "/v1/batch", req)
+	if status != http.StatusOK {
+		t.Fatalf("batch after death: %d %s", status, body)
+	}
+	var got serve.BatchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Failed != 0 {
+		t.Fatalf("batch after death failed %d items", got.Failed)
+	}
+	normalizeItems(got.Results)
+	normalizeItems(want.Results)
+	a, _ := json.Marshal(got.Results)
+	b, _ := json.Marshal(want.Results)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("batch after death diverged:\n%s\n%s", a, b)
+	}
+	if after := c.Status(); after.Retries != deadAfter {
+		t.Fatalf("retries moved from %d to %d on post-death batch — dead backend still being dialled", deadAfter, after.Retries)
+	}
+}
+
+// Satellite regression: a byzantine-slow backend — alive, correct,
+// pathologically latent — is exactly what hedging is for, and the
+// hedge's cancelled losers must NOT count against the slow backend's
+// error budget. With BreakerThreshold=1, a single mis-accounted
+// cancellation would trip the breaker; the victim must stay alive and
+// closed through repeated hedge wins.
+func TestHedgeCancelNeverTripsBreaker(t *testing.T) {
+	c, _ := startFleet(t, 2, Config{
+		HedgeDelay:       5 * time.Millisecond,
+		HedgeBurst:       64,
+		BreakerThreshold: 1, // hair trigger: one recorded fault trips
+	})
+	h := c.Handler()
+	victim := 0
+
+	in := faultinject.New(1).Add(faultinject.Fault{
+		Site:  faultinject.SiteClusterRequest,
+		Kind:  faultinject.KindDelay, // unbounded: byzantine-slow
+		Keys:  []string{c.backends[victim].Name},
+		Delay: 2 * time.Second,
+	})
+	faultinject.Enable(in)
+	defer faultinject.Disable()
+
+	const n = 5
+	cursor := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		doc := docOwnedBy(t, c, victim, &cursor)
+		status, body := postJSON(t, h, "/v1/analyze", serve.AnalyzeRequest{System: doc, Method: "IBN"})
+		if status != http.StatusOK {
+			t.Fatalf("hedged analyze %d: %d %s", i, status, body)
+		}
+		var resp serve.AnalyzeResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Flows) == 0 {
+			t.Fatalf("hedged analyze %d returned no flows: %s", i, body)
+		}
+	}
+	// If any dispatch had waited out the 2s byzantine delay instead of
+	// racing a hedge and cancelling the loser, we could not be here yet.
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Fatalf("%d hedged requests took %v — losers were awaited, not cancelled", n, elapsed)
+	}
+
+	cs := c.Status()
+	if cs.HedgesFired != n || cs.HedgeWins != n {
+		t.Fatalf("hedges fired/won = %d/%d, want %d/%d", cs.HedgesFired, cs.HedgeWins, n, n)
+	}
+	if cs.BreakerTrips != 0 {
+		t.Fatalf("breaker trips = %d — hedge cancellations consumed the error budget", cs.BreakerTrips)
+	}
+	if st := cs.Backends[victim].State; st != serve.BackendAlive {
+		t.Fatalf("slow-but-healthy backend state = %s, want alive", st)
+	}
+	if cs.Retries != 0 || cs.LocalFallbacks != 0 {
+		t.Fatalf("unexpected ladder activity: %+v", cs)
+	}
+
+	// The hedge budget is a real bound: with the budget exhausted a
+	// dispatch may not hedge (tryHedge refuses), so hedges_fired never
+	// exceeds burst + budget×requests.
+	max := float64(c.cfg.HedgeBurst) + c.cfg.HedgeBudget*float64(n+1)
+	if float64(cs.HedgesFired) > max {
+		t.Fatalf("hedges_fired %d exceeds budget %v", cs.HedgesFired, max)
+	}
+}
+
+// A transiently slow backend (slow-start: a Times-bounded delay) is
+// ridden out by hedges without any membership or breaker consequence,
+// and once the slow-start clears the backend serves normally again.
+func TestSlowStartClears(t *testing.T) {
+	c, _ := startFleet(t, 2, Config{
+		HedgeDelay: 5 * time.Millisecond,
+		HedgeBurst: 64,
+	})
+	h := c.Handler()
+	victim := 0
+
+	in := faultinject.New(1).Add(faultinject.Fault{
+		Site:  faultinject.SiteClusterRequest,
+		Kind:  faultinject.KindDelay,
+		Keys:  []string{c.backends[victim].Name},
+		Delay: time.Second,
+		Times: 2, // slow-start: transiently slow after joining
+	})
+	faultinject.Enable(in)
+	defer faultinject.Disable()
+
+	cursor := 0
+	for i := 0; i < 4; i++ {
+		doc := docOwnedBy(t, c, victim, &cursor)
+		status, body := postJSON(t, h, "/v1/analyze", serve.AnalyzeRequest{System: doc, Method: "IBN"})
+		if status != http.StatusOK {
+			t.Fatalf("analyze %d through slow-start: %d %s", i, status, body)
+		}
+	}
+	cs := c.Status()
+	if cs.HedgesFired != 2 {
+		t.Fatalf("hedges fired = %d, want exactly 2 (the slow-start's Times)", cs.HedgesFired)
+	}
+	if !cs.Healthy() || cs.BreakerTrips != 0 || cs.Rebalances != 0 {
+		t.Fatalf("slow-start left a mark on the fleet: %+v", cs)
+	}
+}
+
+// Probe-level kill (the membership chaos site): enough failed probes
+// mark the backend dead without a single client request being hurt,
+// and requests immediately route around it.
+func TestProbeKillRebalances(t *testing.T) {
+	c, _ := startFleet(t, 3, Config{DeadAfter: 3, HedgeDelay: time.Hour})
+	h := c.Handler()
+	ctx := context.Background()
+	victim := 2
+
+	in := faultinject.New(1).Add(faultinject.Fault{
+		Site: faultinject.SiteClusterProbe,
+		Kind: faultinject.KindError,
+		Keys: []string{c.backends[victim].Name},
+	})
+	faultinject.Enable(in)
+	defer faultinject.Disable()
+
+	for i := 0; i < 3; i++ {
+		c.ProbeAll(ctx)
+	}
+	cs := c.Status()
+	if cs.Backends[victim].State != serve.BackendDead || cs.Rebalances != 1 {
+		t.Fatalf("after 3 killed probes: %+v", cs)
+	}
+	if fired := in.Fired()[faultinject.SiteClusterProbe]; fired != 3 {
+		t.Fatalf("probe site fired %d, want 3", fired)
+	}
+
+	// Traffic routes around the dead member with zero retries: the
+	// request-site injector never fires because the victim is not
+	// dialled at all.
+	cursor := 0
+	doc := docOwnedBy(t, c, victim, &cursor)
+	status, body := postJSON(t, h, "/v1/analyze", serve.AnalyzeRequest{System: doc, Method: "IBN"})
+	if status != http.StatusOK {
+		t.Fatalf("analyze with dead shard owner: %d %s", status, body)
+	}
+	cs = c.Status()
+	if cs.Retries != 0 || cs.LocalFallbacks != 0 {
+		t.Fatalf("routing around a dead member cost ladder activity: %+v", cs)
+	}
+
+	// Probes healing (injector disabled) revives the backend.
+	faultinject.Disable()
+	c.ProbeAll(ctx)
+	cs = c.Status()
+	if cs.Backends[victim].State != serve.BackendAlive || cs.Rebalances != 2 {
+		t.Fatalf("after healing probe: %+v", cs)
+	}
+}

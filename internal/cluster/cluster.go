@@ -1,0 +1,371 @@
+// Package cluster turns the single-process analysis service
+// (internal/serve) into a coordinator/worker fleet.
+//
+// A Coordinator fronts a configurable set of worker backends, each an
+// ordinary nocserve process. Requests are routed by the canonical
+// system key (internal/canon) over a consistent-hash ring, so each
+// backend owns a stable shard of the key space — and therefore of the
+// fleet's warm-engine and result caches: repeated analyses of one
+// system always land on the worker already holding its interference
+// sets. Batches fan out *across* backends (items grouped by shard
+// owner, sub-batches dispatched concurrently), and what-if chains
+// follow their base system's shard so they hit the warm engine their
+// base was analysed on.
+//
+// # Failure handling
+//
+// The coordinator survives — and conceals — individual backend
+// failures with a ladder of mechanisms, cheapest first:
+//
+//   - hedged requests: when a dispatch exceeds an adaptive latency
+//     quantile of recent requests, a budgeted second try is launched on
+//     the shard's next replica; the first usable response wins and the
+//     loser is cancelled (a cancelled loser records nothing against its
+//     backend — see Breaker below);
+//   - bounded retries: transport errors and 5xx worker failures fail
+//     over to the next replica in the shard's deterministic chain, with
+//     doubling, jittered backoff;
+//   - per-backend circuit breakers (serve.Breaker, the same lifecycle
+//     the workers apply per method): a backend burning its error budget
+//     is shed and probed half-open after a cooldown;
+//   - health-probe membership: consecutive probe or transport failures
+//     mark a backend dead, deterministically rebalancing its shard arcs
+//     to ring successors; a later successful probe restores it (and its
+//     shard) just as deterministically;
+//   - local degradation: when a shard has no routable owner at all, the
+//     coordinator computes the request on its own embedded serve.Server
+//     under that server's admission control, so total backend loss
+//     degrades throughput, never correctness.
+//
+// Every rung is counted (hedges fired/won, retries, rebalances, local
+// fallbacks, sheds) and the counters are exposed through the local
+// server's /metrics "cluster" section — the chaos suite reconciles
+// them exactly against the fault injector.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wormnoc/internal/faultinject"
+	"wormnoc/internal/serve"
+)
+
+// Backend names one worker of the fleet.
+type Backend struct {
+	// Name is the stable membership identifier; ring placement hashes
+	// it, so renaming a backend reshards it.
+	Name string
+	// URL is the backend's base URL (e.g. "http://127.0.0.1:8081").
+	URL string
+}
+
+// Config tunes a Coordinator. The zero value of every optional field
+// selects a production-reasonable default (see each field).
+type Config struct {
+	// Backends is the worker set. At least one backend is required.
+	Backends []Backend
+	// Local configures the coordinator's embedded serve.Server: the
+	// local-degradation compute path plus the /v1/methods, /metrics and
+	// /healthz surface. Its ClusterStatus hook is installed by New.
+	Local serve.Config
+	// Replicas is the length of each shard's owner chain (owner +
+	// failover/hedging replicas). Default 2, capped at len(Backends).
+	Replicas int
+	// VNodes is the virtual points per backend on the hash ring.
+	// Default 64.
+	VNodes int
+	// HedgeQuantile is the recent-latency percentile (1..100) a dispatch
+	// must exceed before a hedge is launched. Default 95.
+	HedgeQuantile int
+	// HedgeMinDelay and HedgeMaxDelay clamp the adaptive hedge delay;
+	// the maximum is also the cold-start delay while no latency data
+	// exists. Defaults 2ms and 1s.
+	HedgeMinDelay time.Duration
+	HedgeMaxDelay time.Duration
+	// HedgeDelay, when positive, fixes the hedge delay (tests and
+	// benchmarking); 0 selects the adaptive quantile.
+	HedgeDelay time.Duration
+	// HedgeBurst and HedgeBudget bound hedged duplication: a hedge may
+	// launch while hedges_fired < HedgeBurst + HedgeBudget×requests.
+	// Defaults 8 and 0.1 (≤10% sustained duplication).
+	HedgeBurst  int
+	HedgeBudget float64
+	// RequestRetries bounds failover re-attempts per request beyond the
+	// first dispatch (hedges not counted). Default 2; negative disables.
+	RequestRetries int
+	// RetryBackoff is the base failover backoff, doubled per attempt and
+	// jittered ±50%. Default 2ms.
+	RetryBackoff time.Duration
+	// ProbeInterval is the health-probe period. Default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe. Default 2s.
+	ProbeTimeout time.Duration
+	// DeadAfter marks a backend dead after this many consecutive probe
+	// or transport failures. Default 3.
+	DeadAfter int
+	// BreakerWindow/BreakerThreshold/BreakerCooldown tune the
+	// per-backend circuit breakers (same semantics as the workers'
+	// per-method ones). Defaults 64, 16, 15s.
+	BreakerWindow    int
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// BatchWorkers bounds one batch's cross-backend fan-out. Default
+	// GOMAXPROCS.
+	BatchWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = defaultVNodes
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile > 100 {
+		c.HedgeQuantile = 95
+	}
+	if c.HedgeMinDelay <= 0 {
+		c.HedgeMinDelay = 2 * time.Millisecond
+	}
+	if c.HedgeMaxDelay <= 0 {
+		c.HedgeMaxDelay = time.Second
+	}
+	if c.HedgeBurst <= 0 {
+		c.HedgeBurst = 8
+	}
+	if c.HedgeBudget <= 0 {
+		c.HedgeBudget = 0.1
+	}
+	if c.RequestRetries == 0 {
+		c.RequestRetries = 2
+	}
+	if c.RequestRetries < 0 {
+		c.RequestRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 64
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 16
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 15 * time.Second
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// backendState is one backend's mutable membership record.
+type backendState struct {
+	dead bool
+	// consecFails counts probe/transport failures since the last
+	// success; DeadAfter of them flip dead.
+	consecFails int
+}
+
+// Coordinator routes analysis traffic over the backend fleet. Create
+// one with New, expose it with Handler, start membership probing with
+// StartProbing. Safe for concurrent use.
+type Coordinator struct {
+	cfg      Config
+	backends []Backend // sorted by Name; ring indices point here
+	ring     *ring
+	local    *serve.Server
+	client   *http.Client
+	brk      *serve.Breaker
+	met      *fleetMetrics
+
+	mu    sync.Mutex
+	state []backendState
+}
+
+// New builds a Coordinator over cfg.Backends. Backend names must be
+// non-empty and unique (routing and the chaos sites key on them).
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	backends := append([]Backend(nil), cfg.Backends...)
+	sort.Slice(backends, func(i, j int) bool { return backends[i].Name < backends[j].Name })
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		if b.Name == "" {
+			return nil, fmt.Errorf("cluster: backend %d has no name", i)
+		}
+		if i > 0 && backends[i-1].Name == b.Name {
+			return nil, fmt.Errorf("cluster: duplicate backend name %q", b.Name)
+		}
+		names[i] = b.Name
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		backends: backends,
+		ring:     buildRing(names, cfg.VNodes),
+		client: &http.Client{
+			// Per-request contexts carry the deadlines; the client-level
+			// timeout stays off so hedge/retry budgets compose.
+			Transport: &http.Transport{MaxIdleConnsPerHost: 64},
+		},
+		brk:   serve.NewBreaker(cfg.BreakerWindow, cfg.BreakerThreshold, cfg.BreakerCooldown),
+		met:   newFleetMetrics(),
+		state: make([]backendState, len(backends)),
+	}
+	local := cfg.Local
+	local.ClusterStatus = c.Status
+	c.local = serve.New(local)
+	return c, nil
+}
+
+// Local returns the embedded serve.Server (the degradation compute path
+// and the /metrics / /healthz surface).
+func (c *Coordinator) Local() *serve.Server { return c.local }
+
+// Shutdown drains the embedded local server.
+func (c *Coordinator) Shutdown(ctx context.Context) error { return c.local.Shutdown(ctx) }
+
+// routable reports whether backend b may receive traffic: alive by
+// membership. (Breaker state is applied per dispatch, because Allow has
+// half-open probe-slot side effects.)
+func (c *Coordinator) routable(b int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.state[b].dead
+}
+
+// markFailure records one probe/transport failure against backend b,
+// flipping it dead — one deterministic rebalance — at the DeadAfter'th
+// consecutive failure.
+func (c *Coordinator) markFailure(b int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &c.state[b]
+	st.consecFails++
+	if !st.dead && st.consecFails >= c.cfg.DeadAfter {
+		st.dead = true
+		c.met.addRebalance()
+	}
+}
+
+// markSuccess resets backend b's failure streak, reviving it — the
+// reverse rebalance — if it was dead.
+func (c *Coordinator) markSuccess(b int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &c.state[b]
+	st.consecFails = 0
+	if st.dead {
+		st.dead = false
+		c.met.addRebalance()
+	}
+}
+
+// StartProbing launches the membership prober: every ProbeInterval each
+// backend's /healthz is probed (bounded by ProbeTimeout) until ctx is
+// cancelled. Tests drive ProbeAll directly instead.
+func (c *Coordinator) StartProbing(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(c.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.ProbeAll(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeAll health-probes every backend once, updating membership.
+func (c *Coordinator) ProbeAll(ctx context.Context) {
+	for b := range c.backends {
+		c.probe(ctx, b)
+	}
+}
+
+// probe checks one backend's /healthz. Any response at all counts as
+// alive — a degraded worker (tripped method breaker) still serves its
+// other methods, so membership only reacts to unreachability.
+func (c *Coordinator) probe(ctx context.Context, b int) {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	if faultinject.Enabled() {
+		if err := faultinject.Fire(pctx, faultinject.SiteClusterProbe, c.backends[b].Name); err != nil {
+			c.markFailure(b)
+			return
+		}
+	}
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, c.backends[b].URL+"/healthz", nil)
+	if err != nil {
+		c.markFailure(b)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.markFailure(b)
+		return
+	}
+	resp.Body.Close()
+	c.markSuccess(b)
+}
+
+// Status snapshots the fleet for /healthz and /metrics (installed as
+// the local server's Config.ClusterStatus hook by New).
+func (c *Coordinator) Status() *serve.ClusterStatus {
+	c.mu.Lock()
+	state := append([]backendState(nil), c.state...)
+	c.mu.Unlock()
+	open := make(map[string]bool)
+	for _, name := range c.brk.Open() {
+		open[name] = true
+	}
+	routable := func(b int) bool { return !state[b].dead }
+	counts, covered := c.ring.shardCounts(routable)
+	cs := &serve.ClusterStatus{
+		Backends:      make([]serve.BackendStatus, len(c.backends)),
+		ShardsCovered: covered,
+		States:        map[serve.BackendState]int{},
+	}
+	for i, b := range c.backends {
+		st := serve.BackendAlive
+		switch {
+		case state[i].dead:
+			st = serve.BackendDead
+		case open[b.Name]:
+			st = serve.BackendOpen
+		}
+		cs.Backends[i] = serve.BackendStatus{
+			Name:                b.Name,
+			URL:                 b.URL,
+			State:               st,
+			ConsecutiveFailures: state[i].consecFails,
+			Shards:              counts[i],
+		}
+		cs.States[st]++
+	}
+	cs.HedgesFired, cs.HedgeWins, cs.Retries, cs.Rebalances, cs.LocalFallbacks, cs.ProxiedShed = c.met.counters()
+	cs.BreakerTrips, _ = c.brk.Counters()
+	return cs
+}

@@ -1,0 +1,460 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	neturl "net/url"
+	"sync/atomic"
+	"testing"
+
+	"wormnoc/internal/canon"
+	"wormnoc/internal/serve"
+	"wormnoc/internal/traffic"
+	"wormnoc/internal/workload"
+)
+
+// testWorker is one fleet member: a real serve.Server behind a real
+// HTTP listener, with a request counter so tests can see where traffic
+// landed.
+type testWorker struct {
+	name string
+	srv  *serve.Server
+	ts   *httptest.Server
+	hits int64
+}
+
+func (w *testWorker) hitCount() int64 { return atomic.LoadInt64(&w.hits) }
+
+// startFleet boots n workers and a coordinator over them. The returned
+// cleanup is registered on t; cfg's Backends are filled in here.
+func startFleet(t *testing.T, n int, cfg Config) (*Coordinator, []*testWorker) {
+	t.Helper()
+	workers := make([]*testWorker, n)
+	for i := range workers {
+		w := &testWorker{name: fmt.Sprintf("w%d", i), srv: serve.New(serve.Config{})}
+		h := w.srv.Handler()
+		w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			atomic.AddInt64(&w.hits, 1)
+			h.ServeHTTP(rw, r)
+		}))
+		t.Cleanup(w.ts.Close)
+		workers[i] = w
+		cfg.Backends = append(cfg.Backends, Backend{Name: w.name, URL: w.ts.URL})
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, workers
+}
+
+// testDoc returns the didactic system at one buffer depth; each depth
+// canonicalises to a distinct system key, giving tests a cheap supply
+// of distinct-but-deterministic shard keys.
+func testDoc(bufDepth int) traffic.Document {
+	return workload.Didactic(bufDepth).ToDocument()
+}
+
+// docOwnedBy scans buffer depths for a system whose shard owner is the
+// given backend index, starting after *cursor (so successive calls
+// yield distinct systems).
+func docOwnedBy(t *testing.T, c *Coordinator, owner int, cursor *int) traffic.Document {
+	t.Helper()
+	for d := *cursor + 1; d < *cursor+2000; d++ {
+		doc := testDoc(d)
+		if c.ring.owner(canon.SystemKey(doc), nil) == owner {
+			*cursor = d
+			return doc
+		}
+	}
+	t.Fatalf("no didactic depth in (%d, %d] is owned by backend %d", *cursor, *cursor+2000, owner)
+	return traffic.Document{}
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) (int, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(payload))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	resp := w.Result()
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+func getJSON(t *testing.T, h http.Handler, path string, v any) int {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	resp := w.Result()
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if v != nil {
+		if err := json.Unmarshal(b, v); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", path, err, b)
+		}
+	}
+	return resp.StatusCode
+}
+
+// normalizeItems strips the fields that legitimately differ between a
+// fleet run and a single-node run — wall time, cache provenance and
+// worker-side retry counts — leaving the analytical payload, which must
+// be bit-identical.
+func normalizeItems(items []serve.BatchItem) {
+	for i := range items {
+		if items[i].AnalyzeResponse != nil {
+			items[i].ElapsedUs = 0
+			items[i].Cached = false
+		}
+		items[i].Retries = 0
+	}
+}
+
+func normalizeAnalyze(r *serve.AnalyzeResponse) {
+	r.ElapsedUs = 0
+	r.Cached = false
+}
+
+// singleNodeBatch computes the reference result on a fresh standalone
+// server — the ground truth a fleet answer must match bit-for-bit.
+func singleNodeBatch(t *testing.T, req serve.BatchRequest) serve.BatchResponse {
+	t.Helper()
+	ref := serve.New(serve.Config{})
+	status, body := postJSON(t, ref.Handler(), "/v1/batch", req)
+	if status != http.StatusOK {
+		t.Fatalf("reference batch failed: %d %s", status, body)
+	}
+	var out serve.BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// Repeated analyses of one system must land on one worker — that is
+// the point of shard routing (the second request hits the owner's
+// result cache, not a cold replica).
+func TestAnalyzeShardAffinity(t *testing.T) {
+	c, workers := startFleet(t, 3, Config{})
+	h := c.Handler()
+	req := serve.AnalyzeRequest{System: testDoc(2), Method: "IBN"}
+
+	var first serve.AnalyzeResponse
+	for i := 0; i < 3; i++ {
+		status, body := postJSON(t, h, "/v1/analyze", req)
+		if status != http.StatusOK {
+			t.Fatalf("analyze %d: %d %s", i, status, body)
+		}
+		var resp serve.AnalyzeResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = resp
+			continue
+		}
+		if !resp.Cached {
+			t.Fatalf("analyze %d was not a cache hit — rerouted off the shard owner", i)
+		}
+		normalizeAnalyze(&resp)
+		normalizeAnalyze(&first)
+		a, _ := json.Marshal(first)
+		b, _ := json.Marshal(resp)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("repeat analyze diverged:\n%s\n%s", a, b)
+		}
+	}
+	loaded := 0
+	for _, w := range workers {
+		if w.hitCount() > 0 {
+			loaded++
+			if w.hitCount() != 3 {
+				t.Fatalf("shard owner %s saw %d hits, want 3", w.name, w.hitCount())
+			}
+		}
+	}
+	if loaded != 1 {
+		t.Fatalf("%d workers saw traffic for one key, want exactly 1", loaded)
+	}
+	// The didactic IBN bound is known: τ3's R = 348 at depth 2.
+	last := first.Flows[len(first.Flows)-1]
+	if last.R != 348 {
+		t.Fatalf("didactic IBN R(τ3) = %d through the fleet, want 348", last.R)
+	}
+}
+
+// A batch must fan out across the fleet and return exactly what a
+// single node returns.
+func TestBatchFanOutMatchesSingleNode(t *testing.T) {
+	c, workers := startFleet(t, 3, Config{})
+	req := serve.BatchRequest{Method: "XLWX"}
+	for d := 1; d <= 24; d++ {
+		req.Systems = append(req.Systems, testDoc(d))
+	}
+	status, body := postJSON(t, c.Handler(), "/v1/batch", req)
+	if status != http.StatusOK {
+		t.Fatalf("fleet batch: %d %s", status, body)
+	}
+	var got serve.BatchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Failed != 0 {
+		t.Fatalf("fleet batch failed %d items: %s", got.Failed, body)
+	}
+	want := singleNodeBatch(t, req)
+	normalizeItems(got.Results)
+	normalizeItems(want.Results)
+	a, _ := json.Marshal(got.Results)
+	b, _ := json.Marshal(want.Results)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fleet batch diverged from single node:\n%s\n%s", a, b)
+	}
+	spread := 0
+	for _, w := range workers {
+		if w.hitCount() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("batch of 24 systems reached only %d of 3 workers", spread)
+	}
+}
+
+// A what-if chain must follow its base system's shard and produce the
+// single-node answer.
+func TestWhatIfFollowsBaseShard(t *testing.T) {
+	c, _ := startFleet(t, 3, Config{})
+	h := c.Handler()
+	req := serve.WhatIfRequest{
+		System: docPtr(testDoc(2)),
+		Method: "IBN",
+		Deltas: []serve.DeltaSpec{{Kind: "buf", BufDepth: 4}, {Kind: "buf", BufDepth: 8}},
+	}
+	status, body := postJSON(t, h, "/v1/whatif", req)
+	if status != http.StatusOK {
+		t.Fatalf("fleet whatif: %d %s", status, body)
+	}
+	var got serve.WhatIfResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	ref := serve.New(serve.Config{})
+	status, body = postJSON(t, ref.Handler(), "/v1/whatif", req)
+	if status != http.StatusOK {
+		t.Fatalf("reference whatif: %d %s", status, body)
+	}
+	var want serve.WhatIfResponse
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.BaseKey != want.BaseKey || len(got.Steps) != len(want.Steps) || got.Failed != want.Failed {
+		t.Fatalf("fleet whatif shape diverged: %+v vs %+v", got, want)
+	}
+	for i := range got.Steps {
+		if got.Steps[i].AnalyzeResponse != nil {
+			normalizeAnalyze(got.Steps[i].AnalyzeResponse)
+		}
+		if want.Steps[i].AnalyzeResponse != nil {
+			normalizeAnalyze(want.Steps[i].AnalyzeResponse)
+		}
+		a, _ := json.Marshal(got.Steps[i])
+		b, _ := json.Marshal(want.Steps[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("whatif step %d diverged:\n%s\n%s", i, a, b)
+		}
+	}
+	// A what-if that names neither base form still gets the canonical
+	// 422, via the local server.
+	status, _ = postJSON(t, h, "/v1/whatif", serve.WhatIfRequest{Method: "IBN", Deltas: req.Deltas})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("baseless whatif: %d, want 422", status)
+	}
+}
+
+func docPtr(d traffic.Document) *traffic.Document { return &d }
+
+// The coordinator's /healthz and /metrics must carry the fleet
+// sections (satellite: per-backend/per-shard state + the
+// cluster_backends{state} gauge), and malformed coordinator input must
+// fail like a worker would fail it.
+func TestCoordinatorSurface(t *testing.T) {
+	c, _ := startFleet(t, 3, Config{})
+	h := c.Handler()
+
+	var health struct {
+		OK      bool `json:"ok"`
+		Cluster struct {
+			Backends      []serve.BackendStatus      `json:"backends"`
+			ShardsCovered float64                    `json:"shards_covered"`
+			States        map[serve.BackendState]int `json:"states"`
+		} `json:"cluster"`
+	}
+	if status := getJSON(t, h, "/healthz", &health); status != http.StatusOK {
+		t.Fatalf("healthz: %d", status)
+	}
+	if !health.OK || len(health.Cluster.Backends) != 3 || health.Cluster.ShardsCovered != 1.0 {
+		t.Fatalf("healthz cluster section wrong: %+v", health)
+	}
+	if health.Cluster.States[serve.BackendAlive] != 3 {
+		t.Fatalf("states = %v, want 3 alive", health.Cluster.States)
+	}
+	shards := 0
+	for _, b := range health.Cluster.Backends {
+		shards += b.Shards
+	}
+	if shards != 3*c.cfg.VNodes {
+		t.Fatalf("backends own %d shards total, want %d", shards, 3*c.cfg.VNodes)
+	}
+
+	var metrics struct {
+		Cluster *serve.ClusterStatus `json:"cluster"`
+	}
+	if status := getJSON(t, h, "/metrics", &metrics); status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	if metrics.Cluster == nil || metrics.Cluster.States[serve.BackendAlive] != 3 {
+		t.Fatalf("metrics cluster section missing or wrong: %+v", metrics.Cluster)
+	}
+
+	// Strict decoding parity with workers.
+	status, _ := postJSON(t, h, "/v1/analyze", map[string]any{"system": testDoc(2), "method": "IBN", "bogus": 1})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d, want 400", status)
+	}
+	status, _ = postJSON(t, h, "/v1/batch", serve.BatchRequest{Method: "IBN"})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("empty batch: %d, want 422", status)
+	}
+	status, _ = postJSON(t, h, "/v1/batch", serve.BatchRequest{Method: "NOPE", Systems: []traffic.Document{testDoc(1)}})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown method: %d, want 422", status)
+	}
+}
+
+// With every backend dead the coordinator must keep answering — local
+// compute under its own admission control — and /healthz must say
+// degraded.
+func TestTotalBackendLossDegradesToLocal(t *testing.T) {
+	c, workers := startFleet(t, 2, Config{DeadAfter: 1})
+	for _, w := range workers {
+		w.ts.Close()
+	}
+	c.ProbeAll(context.Background())
+	h := c.Handler()
+
+	status, body := postJSON(t, h, "/v1/analyze", serve.AnalyzeRequest{System: testDoc(2), Method: "IBN"})
+	if status != http.StatusOK {
+		t.Fatalf("analyze with dead fleet: %d %s", status, body)
+	}
+	var resp serve.AnalyzeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if last := resp.Flows[len(resp.Flows)-1]; last.R != 348 {
+		t.Fatalf("local-fallback IBN R(τ3) = %d, want 348", last.R)
+	}
+
+	cs := c.Status()
+	if cs.States[serve.BackendDead] != 2 || cs.ShardsCovered != 0 {
+		t.Fatalf("status after total loss: %+v", cs)
+	}
+	if cs.LocalFallbacks < 1 {
+		t.Fatalf("local_fallbacks = %d, want ≥ 1", cs.LocalFallbacks)
+	}
+	if cs.Rebalances != 2 {
+		t.Fatalf("rebalances = %d, want 2 (one per death)", cs.Rebalances)
+	}
+
+	var health struct {
+		OK    bool   `json:"ok"`
+		State string `json:"state"`
+	}
+	if status := getJSON(t, h, "/healthz", &health); status != http.StatusOK {
+		t.Fatalf("healthz while degraded: %d", status)
+	}
+	if health.OK {
+		t.Fatal("healthz reports ok with the whole fleet dead")
+	}
+
+	// Batches too: every group becomes a local group.
+	req := serve.BatchRequest{Method: "IBN"}
+	for d := 1; d <= 6; d++ {
+		req.Systems = append(req.Systems, testDoc(d))
+	}
+	status, body = postJSON(t, h, "/v1/batch", req)
+	if status != http.StatusOK {
+		t.Fatalf("batch with dead fleet: %d %s", status, body)
+	}
+	var got serve.BatchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Failed != 0 {
+		t.Fatalf("local-degraded batch failed %d items: %s", got.Failed, body)
+	}
+	want := singleNodeBatch(t, req)
+	normalizeItems(got.Results)
+	normalizeItems(want.Results)
+	a, _ := json.Marshal(got.Results)
+	b, _ := json.Marshal(want.Results)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("local-degraded batch diverged from single node:\n%s\n%s", a, b)
+	}
+}
+
+// Membership must recover: a dead backend that answers probes again is
+// revived (one deterministic reverse rebalance) and resumes owning its
+// shard.
+func TestMembershipRevival(t *testing.T) {
+	c, workers := startFleet(t, 3, Config{DeadAfter: 2})
+	ctx := context.Background()
+
+	// Kill w1's listener; two probe rounds flip it dead.
+	victim := 1
+	url := workers[victim].ts.URL
+	workers[victim].ts.Close()
+	c.ProbeAll(ctx)
+	c.ProbeAll(ctx)
+	cs := c.Status()
+	if cs.Backends[victim].State != serve.BackendDead || cs.Rebalances != 1 {
+		t.Fatalf("after 2 failed probes: %+v", cs)
+	}
+
+	// Resurrect a listener on the old address (a worker restart).
+	u, err := neturl.Parse(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", u.Host)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", u.Host, err)
+	}
+	revived := httptest.NewUnstartedServer(workers[victim].srv.Handler())
+	revived.Listener.Close()
+	revived.Listener = l
+	revived.Start()
+	t.Cleanup(revived.Close)
+
+	c.ProbeAll(ctx)
+	cs = c.Status()
+	if cs.Backends[victim].State != serve.BackendAlive || cs.Rebalances != 2 {
+		t.Fatalf("after revival probe: %+v", cs)
+	}
+	if !cs.Healthy() {
+		t.Fatal("fleet not healthy after revival")
+	}
+}

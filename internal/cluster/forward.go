@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"time"
+
+	"wormnoc/internal/faultinject"
+)
+
+// attemptResult is one backend dispatch's outcome, delivered on the
+// race channel.
+type attemptResult struct {
+	id      int
+	backend int
+	status  int
+	body    []byte
+	err     error
+	hedged  bool
+}
+
+// do performs one HTTP POST against backend b, returning the status
+// and full response body. The faultinject site fires first, so chaos
+// tests can partition (KindError) or slow (KindDelay) a named backend
+// without touching the network stack.
+func (c *Coordinator) do(ctx context.Context, b int, path string, body []byte) (int, []byte, error) {
+	if faultinject.Enabled() {
+		if err := faultinject.Fire(ctx, faultinject.SiteClusterRequest, c.backends[b].Name); err != nil {
+			return 0, nil, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.backends[b].URL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, rb, nil
+}
+
+// backendFault reports whether an attempt outcome consumes the
+// backend's error budget and failure streak: transport errors and
+// 5xx responses that signal a sick or unreachable worker. A worker's
+// 429 (saturated), 504 (request deadline) and every 2xx/4xx are
+// legitimate outcomes of a healthy backend.
+func backendFault(status int, err error) bool {
+	if err != nil {
+		return true
+	}
+	return status == http.StatusInternalServerError ||
+		status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable
+}
+
+// finalStatus reports whether a response should be returned to the
+// client as-is rather than failed over: everything except faults and
+// worker saturation (429, which is worth one try on a replica).
+func finalStatus(status int, err error) bool {
+	return err == nil && !backendFault(status, err) && status != http.StatusTooManyRequests
+}
+
+// retryDelay is the failover backoff before re-attempt attempt
+// (0-based): base doubled per attempt, clamped to 1s, jittered ±50% so
+// coordinated failovers do not synchronise on a struggling backend.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	const maxBackoff = time.Second
+	d := base
+	for i := 0; i < attempt && d < maxBackoff; i++ {
+		d <<= 1
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
+// dispatch races one request over the shard's owner chain: the primary
+// dispatch, a budgeted hedge to the next replica once the adaptive
+// latency quantile elapses, and bounded, backoff-jittered failover
+// re-attempts (wrapping the chain) after faults. The first final
+// response wins; in-flight losers are cancelled and their outcomes are
+// drained off the race without feeding the per-backend error budget
+// (a cancellation is the coordinator's doing, not the backend's
+// fault). Returns ok=false when every rung failed — the caller then
+// degrades to local compute.
+func (c *Coordinator) dispatch(ctx context.Context, chain []int, path string, body []byte) (status int, respBody []byte, ok bool) {
+	if len(chain) == 0 {
+		return 0, nil, false
+	}
+	c.met.addRequest()
+
+	results := make(chan attemptResult, len(chain)+c.cfg.RequestRetries+1)
+	pending := make(map[int]context.CancelFunc)
+	nextID := 0
+	next := 0 // chain cursor, wraps for retries
+	budget := len(chain) + c.cfg.RequestRetries
+
+	// launch starts the next breaker-admitted backend off the chain.
+	// Every Allow is paired with exactly one Record or Release.
+	launch := func(hedged bool) bool {
+		for budget > 0 {
+			b := chain[next%len(chain)]
+			next++
+			budget--
+			if !c.brk.Allow(c.backends[b].Name) {
+				continue
+			}
+			actx, cancel := context.WithCancel(ctx)
+			id := nextID
+			nextID++
+			pending[id] = cancel
+			go func(id, b int, hedged bool) {
+				st, rb, err := c.do(actx, b, path, body)
+				results <- attemptResult{id: id, backend: b, status: st, body: rb, err: err, hedged: hedged}
+			}(id, b, hedged)
+			return true
+		}
+		return false
+	}
+
+	// settle cancels and drains every in-flight loser once the race is
+	// decided. A loser that died of our cancellation releases its
+	// breaker slot — it must not count as a backend fault (nor trip a
+	// slow-but-healthy backend's breaker); one that finished anyway
+	// carries a real outcome and is recorded normally.
+	settle := func() {
+		for _, cancel := range pending {
+			cancel()
+		}
+		if n := len(pending); n > 0 {
+			go func() {
+				for i := 0; i < n; i++ {
+					r := <-results
+					name := c.backends[r.backend].Name
+					if r.err != nil {
+						c.brk.Release(name)
+						continue
+					}
+					c.brk.Record(name, backendFault(r.status, nil))
+					if backendFault(r.status, nil) {
+						c.markFailure(r.backend)
+					} else {
+						c.markSuccess(r.backend)
+					}
+				}
+			}()
+		}
+		pending = nil
+	}
+
+	if !launch(false) {
+		return 0, nil, false
+	}
+	t0 := time.Now()
+	hedgeTimer := time.NewTimer(c.hedgeDelay())
+	defer hedgeTimer.Stop()
+	var shedResult *attemptResult
+	failovers := 0
+
+	for len(pending) > 0 {
+		select {
+		case <-hedgeTimer.C:
+			if c.met.tryHedge(c.cfg.HedgeBurst, c.cfg.HedgeBudget) {
+				launch(true)
+			}
+		case r := <-results:
+			delete(pending, r.id)
+			name := c.backends[r.backend].Name
+			if ctx.Err() != nil {
+				// The client's deadline expired mid-race: not the
+				// backend's fault, and not worth failing over.
+				c.brk.Record(name, false)
+				settle()
+				return http.StatusGatewayTimeout,
+					[]byte(`{"error":"request deadline expired before any backend responded"}`), true
+			}
+			if finalStatus(r.status, r.err) {
+				c.brk.Record(name, false)
+				c.markSuccess(r.backend)
+				c.met.recordLatency(time.Since(t0))
+				if r.hedged {
+					c.met.addHedgeWin()
+				}
+				settle()
+				return r.status, r.body, true
+			}
+			if r.err == nil && r.status == http.StatusTooManyRequests {
+				// A saturated worker is healthy; keep its 429 to proxy
+				// if every replica is saturated too.
+				c.brk.Record(name, false)
+				c.markSuccess(r.backend)
+				shed := r
+				shedResult = &shed
+			} else {
+				c.brk.Record(name, true)
+				c.markFailure(r.backend)
+			}
+			// Failover: if nothing is left in flight, re-attempt down
+			// the chain after a jittered backoff.
+			if len(pending) == 0 && budget > 0 {
+				t := time.NewTimer(retryDelay(c.cfg.RetryBackoff, failovers))
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return http.StatusGatewayTimeout,
+						[]byte(`{"error":"request deadline expired before any backend responded"}`), true
+				case <-t.C:
+				}
+				failovers++
+				if launch(false) {
+					c.met.addRetry()
+				}
+			}
+		}
+	}
+	if shedResult != nil {
+		// Every routable replica shed: proxy the saturation signal
+		// instead of piling the work onto the coordinator.
+		c.met.addShed()
+		return shedResult.status, shedResult.body, true
+	}
+	return 0, nil, false
+}
+
+// hedgeDelay resolves the configured hedge policy: a fixed HedgeDelay
+// when set, else the adaptive recent-latency quantile.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	if c.cfg.HedgeDelay > 0 {
+		return c.cfg.HedgeDelay
+	}
+	return c.met.hedgeDelay(c.cfg.HedgeQuantile, c.cfg.HedgeMinDelay, c.cfg.HedgeMaxDelay)
+}
+
+// memWriter is an in-memory http.ResponseWriter for the local
+// degradation path: the coordinator round-trips the request through its
+// embedded serve.Server's handler without a network hop, inheriting its
+// admission control, caches and fault containment.
+type memWriter struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (w *memWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+
+func (w *memWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+}
+
+func (w *memWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.buf.Write(b)
+}
+
+// localDo computes a request on the embedded local server — the last
+// rung of the degradation ladder, used when a shard has no routable
+// owner (all backends dead, shed, or out of budget).
+func (c *Coordinator) localDo(ctx context.Context, path string, body []byte) (int, []byte) {
+	c.met.addLocalFallback()
+	req := (&http.Request{
+		Method: http.MethodPost,
+		URL:    &url.URL{Path: path},
+		Header: http.Header{"Content-Type": []string{"application/json"}},
+		Body:   io.NopCloser(bytes.NewReader(body)),
+		Host:   "local",
+	}).WithContext(ctx)
+	w := &memWriter{}
+	c.local.Handler().ServeHTTP(w, req)
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.status, w.buf.Bytes()
+}

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"wormnoc/internal/canon"
+	"wormnoc/internal/core"
+	"wormnoc/internal/parallel"
+	"wormnoc/internal/serve"
+	"wormnoc/internal/traffic"
+)
+
+// Handler returns the coordinator's HTTP surface: the three analysis
+// endpoints are routed over the fleet; everything else (/v1/methods,
+// /metrics, /healthz, pprof) falls through to the embedded local
+// server, whose /healthz and /metrics carry the fleet sections via the
+// ClusterStatus hook.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", c.wrap(c.handleAnalyze))
+	mux.HandleFunc("POST /v1/batch", c.wrap(c.handleBatch))
+	mux.HandleFunc("POST /v1/whatif", c.wrap(c.handleWhatIf))
+	mux.Handle("/", c.local.Handler())
+	return mux
+}
+
+// wrap is the coordinator-side request lifecycle: panic recovery (a
+// routing fault must never kill the fleet's front door) and body-size
+// capping. The analysis semantics — admission, caches, breakers — live
+// on the workers and the local server; the coordinator adds none of its
+// own.
+func (c *Coordinator) wrap(h http.HandlerFunc) http.HandlerFunc {
+	maxBytes := c.cfg.Local.MaxRequestBytes
+	if maxBytes <= 0 {
+		maxBytes = 16 << 20
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				log.Printf("cluster: panic in coordinator handler: %v\n%s", v, debug.Stack())
+				writeJSONError(w, http.StatusInternalServerError, "internal coordinator error")
+			}
+		}()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+		}
+		h(w, r)
+	}
+}
+
+// requestTimeout mirrors the workers' policy: a request's timeout_ms is
+// honoured up to the local server's default, which is also the default.
+func (c *Coordinator) requestTimeout(ms int64) time.Duration {
+	def := c.cfg.Local.DefaultTimeout
+	if def <= 0 {
+		def = 30 * time.Second
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 || d > def {
+		return def
+	}
+	return d
+}
+
+// decodeStrict mirrors the workers' decoding contract (unknown fields
+// and trailing garbage are errors), so a schema typo fails identically
+// whether a client talks to a worker or the coordinator.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// forwardKeyed is the shared single-request path of /v1/analyze and
+// /v1/whatif: dispatch over key's owner chain, degrade to local compute
+// when the fleet cannot take it, and proxy the winning response bytes
+// verbatim.
+func (c *Coordinator) forwardKeyed(w http.ResponseWriter, r *http.Request, key, path string, body []byte, timeoutMs int64) {
+	ctx, cancel := context.WithTimeout(r.Context(), c.requestTimeout(timeoutMs))
+	defer cancel()
+	chain := c.ring.owners(key, c.cfg.Replicas, c.routable)
+	status, respBody, ok := c.dispatch(ctx, chain, path, body)
+	if !ok {
+		status, respBody = c.localDo(ctx, path, body)
+	}
+	writeRaw(w, status, respBody)
+}
+
+func (c *Coordinator) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	var req serve.AnalyzeRequest
+	if err := decodeStrict(body, &req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	c.forwardKeyed(w, r, canon.SystemKey(req.System), "/v1/analyze", body, req.TimeoutMs)
+}
+
+func (c *Coordinator) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	var req serve.WhatIfRequest
+	if err := decodeStrict(body, &req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	// A what-if routes with its base system, so the chain hits the
+	// worker whose warm-engine cache holds (or will hold) the base. A
+	// request that names neither base form goes to the local server for
+	// the canonical 422.
+	key := req.SystemKey
+	if key == "" && req.System != nil {
+		key = canon.SystemKey(*req.System)
+	}
+	if key == "" {
+		status, respBody := c.localDo(r.Context(), "/v1/whatif", body)
+		writeRaw(w, status, respBody)
+		return
+	}
+	c.forwardKeyed(w, r, key, "/v1/whatif", body, req.TimeoutMs)
+}
+
+// batchGroup is one shard owner's slice of a fanned-out batch.
+type batchGroup struct {
+	owner   int   // backend index, -1 for the ownerless (local) group
+	indices []int // original item positions, ascending
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	var req serve.BatchRequest
+	if err := decodeStrict(body, &req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Systems) == 0 {
+		writeJSONError(w, http.StatusUnprocessableEntity, "batch names no systems")
+		return
+	}
+	maxBatch := c.cfg.Local.MaxBatchSystems
+	if maxBatch <= 0 {
+		maxBatch = 1024
+	}
+	if len(req.Systems) > maxBatch {
+		writeJSONError(w, http.StatusUnprocessableEntity, "batch of %d systems exceeds the cap of %d", len(req.Systems), maxBatch)
+		return
+	}
+	if _, err := core.ParseMethod(req.Method); err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.requestTimeout(req.TimeoutMs))
+	defer cancel()
+
+	// Group items by shard owner. Ownerless items (no routable backend
+	// anywhere on their chain) go straight to the local group.
+	n := len(req.Systems)
+	keys := make([]string, n)
+	groups := map[int]*batchGroup{}
+	for i := range req.Systems {
+		keys[i] = canon.SystemKey(req.Systems[i])
+		owner := c.ring.owner(keys[i], c.routable)
+		g, ok := groups[owner]
+		if !ok {
+			g = &batchGroup{owner: owner}
+			groups[owner] = g
+		}
+		g.indices = append(g.indices, i)
+	}
+	order := make([]*batchGroup, 0, len(groups))
+	for _, g := range groups {
+		order = append(order, g)
+	}
+
+	// Fan the groups out concurrently; each group fails or succeeds
+	// independently, and a group whose every replica fails is computed
+	// locally, so a killed backend can delay its shard but never lose
+	// or corrupt an item.
+	out := serve.BatchResponse{Results: make([]serve.BatchItem, n)}
+	runner := &parallel.Runner{Workers: c.cfg.BatchWorkers, KeepGoing: true}
+	runErr := runner.RunContext(ctx, len(order), func(gi int) error {
+		c.runGroup(ctx, order[gi], keys, &req, out.Results)
+		return nil
+	})
+	if runErr != nil {
+		// KeepGoing only reports per-index panics; runGroup contains its
+		// own failure handling, so any surviving indices get a typed
+		// error below.
+		var te *parallel.TaskErrors
+		if errors.As(runErr, &te) {
+			for _, gi := range te.Indices() {
+				for _, i := range order[gi].indices {
+					if out.Results[i].AnalyzeResponse == nil && out.Results[i].Error == "" {
+						out.Results[i] = serve.BatchItem{
+							Error: "internal error dispatching batch group",
+							Code:  "panic",
+						}
+					}
+				}
+			}
+		}
+	}
+	for i := range out.Results {
+		if res := out.Results[i].AnalyzeResponse; res != nil {
+			if res.Cached {
+				out.CacheHits++
+			}
+		} else {
+			out.Failed++
+		}
+	}
+	// Mirror the workers' contract: batch-level 504 only when the
+	// deadline expired and no item at all produced a result.
+	if out.Failed == n && ctx.Err() != nil {
+		writeJSONError(w, http.StatusGatewayTimeout, "batch aborted, no item completed: %v", ctx.Err())
+		return
+	}
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// runGroup dispatches one owner's sub-batch (over the owner's replica
+// chain, hedged and retried like any dispatch), degrades to local
+// compute when the fleet cannot take it, and scatters the items back
+// into their original positions.
+func (c *Coordinator) runGroup(ctx context.Context, g *batchGroup, keys []string, req *serve.BatchRequest, results []serve.BatchItem) {
+	sub := serve.BatchRequest{
+		Systems:   make([]traffic.Document, 0, len(g.indices)),
+		Method:    req.Method,
+		Options:   req.Options,
+		TimeoutMs: req.TimeoutMs,
+	}
+	for _, i := range g.indices {
+		sub.Systems = append(sub.Systems, req.Systems[i])
+	}
+	payload, err := json.Marshal(&sub)
+	if err != nil {
+		c.failGroup(g, results, fmt.Sprintf("encoding sub-batch: %v", err), "invalid_system")
+		return
+	}
+	var status int
+	var respBody []byte
+	ok := false
+	if g.owner >= 0 {
+		status, respBody, ok = c.dispatch(ctx, c.ring.owners(keys[g.indices[0]], c.cfg.Replicas, c.routable), "/v1/batch", payload)
+	}
+	if !ok {
+		status, respBody = c.localDo(ctx, "/v1/batch", payload)
+	}
+	switch status {
+	case http.StatusOK:
+		var subOut serve.BatchResponse
+		if err := json.Unmarshal(respBody, &subOut); err != nil || len(subOut.Results) != len(g.indices) {
+			c.failGroup(g, results, "malformed sub-batch response", "transient")
+			return
+		}
+		for j, i := range g.indices {
+			results[i] = subOut.Results[j]
+		}
+	case http.StatusGatewayTimeout:
+		c.failGroup(g, results, "batch deadline expired", "timeout")
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		c.failGroup(g, results, "analysis capacity saturated, retry later", "transient")
+	default:
+		c.failGroup(g, results, fmt.Sprintf("sub-batch failed with status %d", status), "transient")
+	}
+}
+
+// failGroup marks every item of a group failed with one shared error.
+func (c *Coordinator) failGroup(g *batchGroup, results []serve.BatchItem, msg, code string) {
+	for _, i := range g.indices {
+		results[i] = serve.BatchItem{Error: msg, Code: code}
+	}
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// fleetLatencyWindow is how many recent winning-dispatch latencies the
+// adaptive hedge-delay estimator keeps.
+const fleetLatencyWindow = 512
+
+// fleetMetrics holds the coordinator's fan-out counters (exposed via
+// serve.ClusterStatus) and the recent-latency window the hedge delay is
+// derived from. Safe for concurrent use.
+type fleetMetrics struct {
+	mu             sync.Mutex
+	requests       int64
+	hedgesFired    int64
+	hedgeWins      int64
+	retries        int64
+	rebalances     int64
+	localFallbacks int64
+	proxiedShed    int64
+	lat            [fleetLatencyWindow]int64 // µs
+	latN           int64
+}
+
+func newFleetMetrics() *fleetMetrics { return &fleetMetrics{} }
+
+func (m *fleetMetrics) addRequest() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+}
+
+// tryHedge atomically checks the hedge budget — hedges may launch while
+// hedges_fired < burst + budget×requests — and claims one hedge slot
+// when allowed. Check and claim are one critical section so concurrent
+// dispatches cannot overshoot the budget.
+func (m *fleetMetrics) tryHedge(burst int, budget float64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if float64(m.hedgesFired) >= float64(burst)+budget*float64(m.requests) {
+		return false
+	}
+	m.hedgesFired++
+	return true
+}
+
+func (m *fleetMetrics) addHedgeWin() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hedgeWins++
+}
+
+func (m *fleetMetrics) addRetry() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retries++
+}
+
+func (m *fleetMetrics) addRebalance() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rebalances++
+}
+
+func (m *fleetMetrics) addLocalFallback() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.localFallbacks++
+}
+
+func (m *fleetMetrics) addShed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.proxiedShed++
+}
+
+func (m *fleetMetrics) recordLatency(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lat[m.latN%fleetLatencyWindow] = d.Microseconds()
+	m.latN++
+}
+
+// hedgeDelay derives the adaptive hedge delay: the quantile-th
+// percentile of recent winning latencies, clamped to [min, max]. With
+// no data yet it returns max — cold coordinators do not hedge
+// aggressively.
+func (m *fleetMetrics) hedgeDelay(quantile int, min, max time.Duration) time.Duration {
+	m.mu.Lock()
+	n := m.latN
+	if n > fleetLatencyWindow {
+		n = fleetLatencyWindow
+	}
+	lat := make([]int64, n)
+	copy(lat, m.lat[:n])
+	m.mu.Unlock()
+	if len(lat) == 0 {
+		return max
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	rank := (quantile*len(lat) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	d := time.Duration(lat[rank-1]) * time.Microsecond
+	if d < min {
+		d = min
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+func (m *fleetMetrics) counters() (hedges, hedgeWins, retries, rebalances, localFallbacks, shed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hedgesFired, m.hedgeWins, m.retries, m.rebalances, m.localFallbacks, m.proxiedShed
+}

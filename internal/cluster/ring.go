@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"sort"
+)
+
+// ring is a consistent-hash ring over the configured backends. Each
+// backend contributes vnodes virtual points, placed by hashing
+// "name#i"; a canonical system key (internal/canon) is owned by the
+// first point clockwise from the key's hash. Routing therefore depends
+// only on the *set* of backend names (membership is sorted before the
+// ring is built), never on configuration order, process identity or
+// time — the same fleet always shards the same way, across coordinator
+// restarts (satisfying the determinism the engine-cache sharding needs:
+// a key's warm engine lives where the key routes).
+//
+// Virtual nodes make removal well-behaved: when one of N backends dies,
+// only the keys in its points' arcs move — in expectation 1/N of the
+// key space — and every surviving backend's shard is untouched. The
+// dead backend's arcs fall to their clockwise successors, so the ring
+// rebalances deterministically with no coordination.
+//
+// The ring itself is immutable after build; liveness is applied at
+// lookup time (owners skips backends the caller marks unroutable), so
+// membership changes never mutate shared state.
+type ring struct {
+	// points is sorted by hash; backend is an index into the
+	// coordinator's name-sorted backend slice.
+	points []ringPoint
+	// backends is the number of distinct backends on the ring.
+	backends int
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// defaultVNodes balances shard-size variance (more points = more even
+// shards) against lookup-table size. 64 points per backend keeps the
+// largest/smallest shard ratio under ~2 for small fleets.
+const defaultVNodes = 64
+
+// buildRing places vnodes points per backend name. names must already
+// be sorted and unique; indices into it are what lookups return.
+func buildRing(names []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &ring{
+		points:   make([]ringPoint, 0, len(names)*vnodes),
+		backends: len(names),
+	}
+	for b, name := range names {
+		h := fnv64(name)
+		for i := 0; i < vnodes; i++ {
+			// Derive the i-th virtual point by avalanche-mixing the name
+			// hash with the vnode ordinal; splitmix64 scatters even
+			// near-identical names ("w1", "w2") uniformly.
+			r.points = append(r.points, ringPoint{
+				hash:    splitmix64(h ^ (uint64(i) * 0x9e3779b97f4a7c15)),
+				backend: b,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by backend index so the
+		// order — and hence routing — stays deterministic.
+		return r.points[i].backend < r.points[j].backend
+	})
+	return r
+}
+
+// owners returns up to max distinct backends for key, in ring order
+// starting at the key's owning point, including only backends for which
+// routable returns true. The first entry is the shard owner; the rest
+// are the failover/hedging replica chain. A nil routable accepts every
+// backend.
+func (r *ring) owners(key string, max int, routable func(int) bool) []int {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	h := fnv64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	if max > r.backends {
+		max = r.backends
+	}
+	out := make([]int, 0, max)
+	seen := make(map[int]bool, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.backend] {
+			continue
+		}
+		seen[p.backend] = true
+		if routable == nil || routable(p.backend) {
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}
+
+// owner returns key's shard owner among routable backends (-1 when none
+// is routable).
+func (r *ring) owner(key string, routable func(int) bool) int {
+	if o := r.owners(key, r.backends, routable); len(o) > 0 {
+		return o[0]
+	}
+	return -1
+}
+
+// shardCounts returns how many ring points each backend owns after
+// liveness filtering: point arcs of unroutable backends are credited to
+// their clockwise successor, mirroring what owners does per key. The
+// second return is the fraction of points with any routable owner.
+func (r *ring) shardCounts(routable func(int) bool) (counts []int, covered float64) {
+	counts = make([]int, r.backends)
+	if len(r.points) == 0 {
+		return counts, 0
+	}
+	coveredPoints := 0
+	for i := range r.points {
+		// Walk clockwise from this point to the first routable backend,
+		// exactly like a key hashing into this arc would.
+		for j := 0; j < len(r.points); j++ {
+			b := r.points[(i+j)%len(r.points)].backend
+			if routable == nil || routable(b) {
+				counts[b]++
+				coveredPoints++
+				break
+			}
+		}
+	}
+	return counts, float64(coveredPoints) / float64(len(r.points))
+}
+
+// fnv64 is the FNV-1a hash of s — cheap, allocation-free, and stable
+// across processes, which is all key placement needs (canon keys are
+// already uniformly distributed SHA-256 hex).
+func fnv64(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the avalanche finaliser used to scatter virtual-node
+// points (same construction as internal/faultinject's).
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomKeys returns n hex-ish keys, deterministically in seed — stand-
+// ins for canon system keys.
+func randomKeys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x%016x", rng.Uint64(), rng.Uint64())
+	}
+	return keys
+}
+
+// Routing must depend only on the membership *set*: the same names in
+// any configuration order, across any number of coordinator "restarts"
+// (fresh ring builds), route every key identically. This is what makes
+// the shard → warm-engine-cache assignment stable across the fleet's
+// lifetime.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	names := []string{"w0", "w1", "w2", "w3", "w4"}
+	keys := randomKeys(2000, 1)
+	base := buildRing(names, 64)
+	want := make([]int, len(keys))
+	for i, k := range keys {
+		want[i] = base.owner(k, nil)
+	}
+	for restart := 0; restart < 5; restart++ {
+		// New constructs sort membership by name; buildRing receives the
+		// same sorted slice regardless of Config order, so rebuilding is
+		// exactly what a coordinator restart does.
+		r := buildRing(names, 64)
+		for i, k := range keys {
+			if got := r.owner(k, nil); got != want[i] {
+				t.Fatalf("restart %d: key %d owner = %d, want %d", restart, i, got, want[i])
+			}
+		}
+	}
+}
+
+// New must reject unusable memberships and sort the rest by name so
+// ring indices are configuration-order-independent.
+func TestNewMembershipValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty backend set")
+	}
+	if _, err := New(Config{Backends: []Backend{{Name: "a"}, {Name: "a"}}}); err == nil {
+		t.Fatal("New accepted duplicate backend names")
+	}
+	if _, err := New(Config{Backends: []Backend{{Name: ""}}}); err == nil {
+		t.Fatal("New accepted an unnamed backend")
+	}
+	c, err := New(Config{Backends: []Backend{{Name: "z", URL: "http://z"}, {Name: "a", URL: "http://a"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.backends[0].Name != "a" || c.backends[1].Name != "z" {
+		t.Fatalf("membership not name-sorted: %+v", c.backends)
+	}
+}
+
+// Removing one of N backends must remap exactly the keys the removed
+// backend owned — its arcs fall to ring successors — and nothing else;
+// in expectation that is 1/N of the key space. Adding it back restores
+// the original routing bit-for-bit.
+func TestRingRemovalRemapsOnlyOwnedKeys(t *testing.T) {
+	const n = 5
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	r := buildRing(names, 64)
+	keys := randomKeys(10000, 2)
+
+	for dead := 0; dead < n; dead++ {
+		alive := func(b int) bool { return b != dead }
+		moved := 0
+		for _, k := range keys {
+			before := r.owner(k, nil)
+			after := r.owner(k, alive)
+			if before != dead {
+				// Stability: a key whose owner survives must not move.
+				if after != before {
+					t.Fatalf("dead=%d: key of surviving owner %d remapped to %d", dead, before, after)
+				}
+				continue
+			}
+			if after == dead {
+				t.Fatalf("dead=%d: key still routed to the dead backend", dead)
+			}
+			moved++
+		}
+		// The moved fraction is the dead backend's shard: ~1/N with
+		// vnode-bounded variance. 64 vnodes keep it well within
+		// [0.5/N, 2/N] for N=5.
+		frac := float64(moved) / float64(len(keys))
+		if frac < 0.5/n || frac > 2.0/n {
+			t.Fatalf("dead=%d: %.3f of keys moved, want ~%.3f (1/N)", dead, frac, 1.0/n)
+		}
+		// Revival restores routing exactly (the ring itself never
+		// changed; liveness is lookup-time).
+		for _, k := range keys[:500] {
+			if r.owner(k, nil) != r.owner(k, func(int) bool { return true }) {
+				t.Fatal("revived routing differs from original")
+			}
+		}
+	}
+}
+
+// Growing the fleet by one backend must only move keys *to* the new
+// backend (~1/(N+1) of them); no key may move between two old backends.
+func TestRingAddRemapsOnlyToNewBackend(t *testing.T) {
+	old := []string{"w0", "w1", "w2", "w3"}
+	grown := []string{"w0", "w1", "w2", "w3", "w4"} // sorted; w4 is index 4
+	rOld := buildRing(old, 64)
+	rNew := buildRing(grown, 64)
+	keys := randomKeys(10000, 3)
+
+	moved := 0
+	for _, k := range keys {
+		before := rOld.owner(k, nil)
+		after := rNew.owner(k, nil)
+		if after == before {
+			continue
+		}
+		if after != 4 {
+			t.Fatalf("key moved between old backends %d → %d on grow", before, after)
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.5/5 || frac > 2.0/5 {
+		t.Fatalf("%.3f of keys moved to the new backend, want ~%.3f", frac, 1.0/5)
+	}
+}
+
+// The replica chain must start with the owner, contain no duplicates,
+// and be deterministic; shardCounts must agree with per-key ownership
+// and report coverage 0 only when every backend is unroutable.
+func TestRingOwnersAndCoverage(t *testing.T) {
+	names := []string{"w0", "w1", "w2"}
+	r := buildRing(names, 64)
+	for _, k := range randomKeys(200, 4) {
+		chain := r.owners(k, 2, nil)
+		if len(chain) != 2 {
+			t.Fatalf("owners(%q) = %v, want 2 distinct backends", k, chain)
+		}
+		if chain[0] == chain[1] {
+			t.Fatalf("owners(%q) repeats backend %d", k, chain[0])
+		}
+		if chain[0] != r.owner(k, nil) {
+			t.Fatalf("owners(%q)[0] = %d, owner = %d", k, chain[0], r.owner(k, nil))
+		}
+	}
+	counts, covered := r.shardCounts(nil)
+	total := 0
+	for _, c := range counts {
+		if c == 0 {
+			t.Fatalf("a backend owns zero shards: %v", counts)
+		}
+		total += c
+	}
+	if total != 3*64 || covered != 1.0 {
+		t.Fatalf("shardCounts = %v (total %d, covered %.2f), want total %d covered 1.0", counts, total, covered, 3*64)
+	}
+	_, covered = r.shardCounts(func(int) bool { return false })
+	if covered != 0 {
+		t.Fatalf("covered = %.2f with every backend dead, want 0", covered)
+	}
+}

@@ -40,6 +40,18 @@ type Site string
 //	SiteServeCachePut:    the canonical request key (hex)
 //	SiteServeBatchItem:   the batch item index ("0", "1", …)
 //	SiteServeEngineBuild: the canonical system key (hex)
+//	SiteClusterRequest:   the backend name the coordinator dials
+//	SiteClusterProbe:     the backend name being health-probed
+//
+// The two cluster sites are the backend-level chaos vocabulary: a
+// KindError fault at SiteClusterRequest is a partition (the dial fails,
+// the coordinator fails over to the next replica), the same fault at
+// SiteClusterProbe kills the backend for membership purposes (enough
+// consecutive probe failures mark it dead and rebalance its shard), a
+// Times-bounded KindDelay at SiteClusterRequest is a slow-start
+// (transiently slow after joining), and an unbounded KindDelay is a
+// byzantine-slow backend — alive and correct but pathologically
+// latent, the case hedged requests exist for.
 const (
 	SiteParallelTask     Site = "parallel.task"
 	SiteCoreFixedPoint   Site = "core.fixedpoint"
@@ -47,6 +59,8 @@ const (
 	SiteServeCachePut    Site = "serve.cache.put"
 	SiteServeBatchItem   Site = "serve.batch.item"
 	SiteServeEngineBuild Site = "serve.engine.build"
+	SiteClusterRequest   Site = "cluster.request"
+	SiteClusterProbe     Site = "cluster.probe"
 )
 
 // Kind selects what a matched fault does.

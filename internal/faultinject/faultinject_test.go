@@ -205,3 +205,45 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+// The backend-level chaos vocabulary: a partition at one backend's
+// request site fires only for that backend, a kill at the probe site
+// fires independently, and a Times-bounded delay models a slow-start
+// that clears.
+func TestClusterSites(t *testing.T) {
+	in := New(7).
+		Add(Fault{Site: SiteClusterRequest, Kind: KindError, Keys: []string{"w1"}}).
+		Add(Fault{Site: SiteClusterProbe, Kind: KindError, Keys: []string{"w2"}}).
+		Add(Fault{Site: SiteClusterRequest, Kind: KindDelay, Keys: []string{"w3"}, Delay: time.Millisecond, Times: 2})
+	Enable(in)
+	defer Disable()
+	ctx := context.Background()
+
+	// w1 is partitioned at the request site only.
+	if err := Fire(ctx, SiteClusterRequest, "w1"); err == nil {
+		t.Fatal("partitioned backend's request did not fail")
+	}
+	if err := Fire(ctx, SiteClusterProbe, "w1"); err != nil {
+		t.Fatalf("w1 probe failed but only w2 is killed: %v", err)
+	}
+	// w2 fails probes (membership kill) but requests still connect.
+	if err := Fire(ctx, SiteClusterProbe, "w2"); err == nil {
+		t.Fatal("killed backend's probe did not fail")
+	}
+	if err := Fire(ctx, SiteClusterRequest, "w2"); err != nil {
+		t.Fatalf("w2 request failed but only w1 is partitioned: %v", err)
+	}
+	// w3's slow-start delays exactly twice, then clears.
+	for i := 0; i < 3; i++ {
+		if err := Fire(ctx, SiteClusterRequest, "w3"); err != nil {
+			t.Fatalf("slow-start hit %d returned an error: %v", i, err)
+		}
+	}
+	fired := in.Fired()
+	if fired[SiteClusterRequest] != 3 { // 1 partition + 2 slow-start delays
+		t.Fatalf("SiteClusterRequest fired %d, want 3", fired[SiteClusterRequest])
+	}
+	if fired[SiteClusterProbe] != 1 {
+		t.Fatalf("SiteClusterProbe fired %d, want 1", fired[SiteClusterProbe])
+	}
+}

@@ -1,0 +1,95 @@
+package serve
+
+// This file defines the fleet-state reporting contract between the
+// serving layer and the cluster coordinator (internal/cluster). A
+// standalone worker knows nothing about the fleet; a coordinator
+// injects a ClusterStatus provider via Config.ClusterStatus, and the
+// server then folds per-backend and per-shard state into GET /healthz
+// and a "cluster" section (including cluster_backends{state=...}
+// counts) into GET /metrics. The provider lives here as a callback, not
+// an import, so serve never depends on cluster (which depends on
+// serve).
+
+// BackendState names one backend's membership state as reported at
+// /healthz and /metrics.
+type BackendState string
+
+// The backend membership states.
+const (
+	// BackendAlive: the backend passed its last health probe and is
+	// routable.
+	BackendAlive BackendState = "alive"
+	// BackendDead: the backend failed enough consecutive probes (or
+	// transport attempts) to be deterministically rebalanced away from.
+	BackendDead BackendState = "dead"
+	// BackendOpen: the backend is probe-alive but its circuit breaker is
+	// open, so it is shed until the cooldown's half-open probe succeeds.
+	BackendOpen BackendState = "open"
+)
+
+// BackendStatus is one backend's row in the coordinator's /healthz and
+// /metrics fleet sections.
+type BackendStatus struct {
+	// Name is the backend's stable identifier (ring membership is keyed
+	// by it).
+	Name string `json:"name"`
+	// URL is the backend's base URL.
+	URL string `json:"url"`
+	// State is the membership state ("alive", "dead" or "open").
+	State BackendState `json:"state"`
+	// ConsecutiveFailures counts probe/transport failures since the last
+	// success (resets on success; DeadAfter of them mark the backend
+	// dead).
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// Shards is how many hash-ring shards the backend currently owns.
+	Shards int `json:"shards"`
+}
+
+// ClusterStatus is the fleet snapshot a coordinator's status provider
+// returns: the per-backend states, shard coverage, and the fan-out
+// counters the chaos suite reconciles exactly against the fault
+// injector.
+type ClusterStatus struct {
+	// Backends holds one row per configured backend, in membership
+	// (name-sorted) order.
+	Backends []BackendStatus `json:"backends"`
+	// ShardsCovered is the fraction of ring shards with at least one
+	// routable owner (1.0 = every shard has a live backend; 0 = full
+	// local-degradation mode).
+	ShardsCovered float64 `json:"shards_covered"`
+	// States counts backends per state — the cluster_backends{state=...}
+	// gauge.
+	States map[BackendState]int `json:"cluster_backends"`
+	// HedgesFired counts hedged second-try requests launched after the
+	// latency-quantile delay.
+	HedgesFired int64 `json:"hedges_fired"`
+	// HedgeWins counts hedges whose response was used (the primary lost
+	// the race and was cancelled).
+	HedgeWins int64 `json:"hedge_wins"`
+	// Retries counts transport-level re-attempts against further
+	// replicas after transient/connection errors.
+	Retries int64 `json:"retries"`
+	// Rebalances counts deterministic ring rebalances: every transition
+	// of a backend to dead or back to alive.
+	Rebalances int64 `json:"rebalances"`
+	// LocalFallbacks counts requests computed locally because no shard
+	// owner was routable (the degradation ladder's last rung).
+	LocalFallbacks int64 `json:"local_fallbacks"`
+	// ProxiedShed counts requests shed by workers (429/503 proxied
+	// through) plus coordinator-side sheds.
+	ProxiedShed int64 `json:"proxied_shed"`
+	// BreakerTrips counts per-backend circuit-breaker trips.
+	BreakerTrips int64 `json:"breaker_trips"`
+}
+
+// Healthy reports whether every backend is alive (the fleet analogue of
+// a clean method-breaker set): any dead or breaker-open backend flags
+// the coordinator degraded at /healthz while it keeps serving.
+func (cs *ClusterStatus) Healthy() bool {
+	for _, b := range cs.Backends {
+		if b.State != BackendAlive {
+			return false
+		}
+	}
+	return true
+}

@@ -577,6 +577,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.liveTelemetry(),
 		trips, shed, s.brk.openMethods(),
 	)
+	// A coordinator's local node folds the fleet counters in, so one
+	// /metrics scrape covers both the local engine pool and the cluster
+	// (hedges, retries, rebalances, cluster_backends{state=...}).
+	if s.cfg.ClusterStatus != nil {
+		if cs := s.cfg.ClusterStatus(); cs != nil {
+			snap["cluster"] = cs
+		}
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -584,13 +592,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // the circuit breaker: while one or more methods are tripped the server
 // stays up (200) but flags itself degraded and names the shed methods,
 // so orchestration can distinguish "partially serving" from "dead"
-// (draining is still a 503 via the wrap gate).
+// (draining is still a 503 via the wrap gate). Running as a
+// coordinator's local node (Config.ClusterStatus set), the body
+// additionally reports per-backend and per-shard fleet state — a dead
+// or breaker-open backend flags the coordinator degraded exactly like a
+// tripped local method does.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	open := s.brk.openMethods()
-	body := map[string]any{"ok": len(open) == 0}
+	ok := len(open) == 0
+	body := map[string]any{}
 	if len(open) > 0 {
 		body["degraded"] = true
 		body["open_methods"] = open
 	}
+	if s.cfg.ClusterStatus != nil {
+		if cs := s.cfg.ClusterStatus(); cs != nil {
+			body["cluster"] = map[string]any{
+				"backends":       cs.Backends,
+				"shards_covered": cs.ShardsCovered,
+				"states":         cs.States,
+			}
+			if !cs.Healthy() {
+				ok = false
+				body["degraded"] = true
+			}
+		}
+	}
+	body["ok"] = ok
 	writeJSON(w, http.StatusOK, body)
 }

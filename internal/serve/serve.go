@@ -104,6 +104,13 @@ type Config struct {
 	// BreakerCooldown is how long a tripped method sheds before a probe
 	// request is let through. Default 15s.
 	BreakerCooldown time.Duration
+	// ClusterStatus, when non-nil, marks this server as a fleet
+	// coordinator's local node: /healthz gains a per-backend/per-shard
+	// "cluster" section (and reports degraded while any backend is dead
+	// or shed) and /metrics gains the cluster counters, including the
+	// cluster_backends{state=...} gauge. Standalone workers leave it
+	// nil. The callback must be safe for concurrent use.
+	ClusterStatus func() *ClusterStatus
 }
 
 func (c Config) withDefaults() Config {

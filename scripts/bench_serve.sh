@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Regenerates results/BENCH_serve.json: the serving tier's tracked
+# latency/throughput baseline (Makefile `bench-serve`, DESIGN.md §14).
+#
+# Two cmd/nocload runs against real processes on loopback:
+#
+#   BenchmarkServeSingle/* — one nocserve worker, loaded directly
+#   BenchmarkServeFleet/*  — 3 workers behind a cluster coordinator
+#
+# Both runs use the same seed, mix, skew and duration, so the pairs
+# benchjson derives compare like with like. Tune with:
+#
+#   DURATION=10s CONC=16 SYSTEMS=64 scripts/bench_serve.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-10s}"
+CONC="${CONC:-16}"
+SYSTEMS="${SYSTEMS:-64}"
+SEED="${SEED:-1}"
+OUT="${OUT:-results/BENCH_serve.json}"
+PORT_BASE="${PORT_BASE:-19080}"
+
+BIN="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$BIN"' EXIT
+go build -o "$BIN/nocserve" ./cmd/nocserve
+go build -o "$BIN/nocload" ./cmd/nocload
+
+wait_healthy() { # url
+  for _ in $(seq 1 100); do
+    curl -sf "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "bench_serve: $1 never became healthy" >&2
+  return 1
+}
+
+coord="http://127.0.0.1:$PORT_BASE"
+w1="http://127.0.0.1:$((PORT_BASE + 1))"
+w2="http://127.0.0.1:$((PORT_BASE + 2))"
+w3="http://127.0.0.1:$((PORT_BASE + 3))"
+
+"$BIN/nocserve" -addr "127.0.0.1:$((PORT_BASE + 1))" &
+"$BIN/nocserve" -addr "127.0.0.1:$((PORT_BASE + 2))" &
+"$BIN/nocserve" -addr "127.0.0.1:$((PORT_BASE + 3))" &
+wait_healthy "$w1"; wait_healthy "$w2"; wait_healthy "$w3"
+
+report="$(mktemp)"
+
+echo "bench_serve: single-node run ($DURATION, conc $CONC)..." >&2
+"$BIN/nocload" -target "$w1" -label ServeSingle -duration "$DURATION" \
+  -conc "$CONC" -systems "$SYSTEMS" -seed "$SEED" -maxerrrate 0 >>"$report"
+
+"$BIN/nocserve" -mode coordinator -addr "127.0.0.1:$PORT_BASE" \
+  -backends "w1=$w1,w2=$w2,w3=$w3" &
+wait_healthy "$coord"
+
+echo "bench_serve: fleet run ($DURATION, conc $CONC)..." >&2
+"$BIN/nocload" -target "$coord" -label ServeFleet -duration "$DURATION" \
+  -conc "$CONC" -systems "$SYSTEMS" -seed "$SEED" -maxerrrate 0 >>"$report"
+
+mkdir -p "$(dirname "$OUT")"
+go run ./cmd/benchjson -in "$report" -out "$OUT"
+rm -f "$report"
+echo "wrote $OUT" >&2

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Fleet chaos drill (CI `fleet-chaos` job): boot 3 nocserve workers
+# behind a cluster coordinator, drive a zipf-skewed analyze/batch/whatif
+# burst through cmd/nocload, and kill one worker halfway through.
+#
+# Pass criteria (any violation exits non-zero):
+#
+#   - zero incorrect results: every 200 the coordinator returned during
+#     and after the kill is bit-identical to nocload's local oracle
+#     (nocload -maxerrrate 0 also forbids client-visible errors — the
+#     fleet must conceal the death entirely via retry/failover);
+#   - bounded tail latency: overall p99 stays under MAX_P99;
+#   - reconciled metrics: afterwards /metrics must show exactly one
+#     dead backend, exactly one rebalance, hedge wins ≤ hedges fired,
+#     and full shard coverage by the survivors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-10s}"
+CONC="${CONC:-16}"
+SYSTEMS="${SYSTEMS:-48}"
+SEED="${SEED:-7}"
+MAX_P99="${MAX_P99:-2s}"
+KILL_AFTER="${KILL_AFTER:-4}" # seconds into the burst
+PORT_BASE="${PORT_BASE:-19180}"
+
+BIN="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$BIN"' EXIT
+go build -o "$BIN/nocserve" ./cmd/nocserve
+go build -o "$BIN/nocload" ./cmd/nocload
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -sf "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "fleet_chaos: $1 never became healthy" >&2
+  return 1
+}
+
+coord="http://127.0.0.1:$PORT_BASE"
+"$BIN/nocserve" -addr "127.0.0.1:$((PORT_BASE + 1))" & W1=$!
+"$BIN/nocserve" -addr "127.0.0.1:$((PORT_BASE + 2))" & W2=$!
+"$BIN/nocserve" -addr "127.0.0.1:$((PORT_BASE + 3))" & W3=$!
+wait_healthy "http://127.0.0.1:$((PORT_BASE + 1))"
+wait_healthy "http://127.0.0.1:$((PORT_BASE + 2))"
+wait_healthy "http://127.0.0.1:$((PORT_BASE + 3))"
+
+"$BIN/nocserve" -mode coordinator -addr "127.0.0.1:$PORT_BASE" \
+  -backends "w1=http://127.0.0.1:$((PORT_BASE + 1)),w2=http://127.0.0.1:$((PORT_BASE + 2)),w3=http://127.0.0.1:$((PORT_BASE + 3))" &
+wait_healthy "$coord"
+
+# The assassin: SIGKILL (not SIGTERM) one worker mid-burst, so it gets
+# no graceful drain — in-flight requests die with it.
+( sleep "$KILL_AFTER"; echo "fleet_chaos: killing worker w2 (pid $W2)" >&2; kill -9 "$W2" ) &
+
+echo "fleet_chaos: bursting for $DURATION at concurrency $CONC..." >&2
+"$BIN/nocload" -target "$coord" -label ServeFleet -duration "$DURATION" \
+  -conc "$CONC" -systems "$SYSTEMS" -seed "$SEED" \
+  -maxerrrate 0 -maxp99 "$MAX_P99"
+
+# Give membership probes a beat to register the corpse, then reconcile.
+sleep 3
+curl -sf "$coord/metrics" >"$BIN/metrics.json"
+python3 - "$BIN/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+cs = snap.get("cluster")
+assert cs, "coordinator /metrics has no cluster section"
+states = cs["cluster_backends"]
+assert states.get("dead") == 1, f"want exactly 1 dead backend, got {states}"
+assert states.get("alive") == 2, f"want 2 alive backends, got {states}"
+assert cs["rebalances"] == 1, f"want exactly 1 rebalance for 1 death, got {cs['rebalances']}"
+assert cs["hedge_wins"] <= cs["hedges_fired"], f"hedge wins {cs['hedge_wins']} > fired {cs['hedges_fired']}"
+assert cs["shards_covered"] == 1.0, f"survivors cover {cs['shards_covered']} of shards, want 1.0"
+dead = [b for b in cs["backends"] if b["state"] == "dead"]
+assert [b["name"] for b in dead] == ["w2"], f"wrong corpse: {dead}"
+assert all(b["shards"] == 0 for b in dead), "dead backend still owns shards"
+print("fleet_chaos: metrics reconciled —",
+      f"{cs['retries']} retries, {cs['hedges_fired']} hedges ({cs['hedge_wins']} wins),",
+      f"{cs['rebalances']} rebalance, {cs['local_fallbacks']} local fallbacks")
+EOF
+echo "fleet_chaos: PASS" >&2
