@@ -16,11 +16,14 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"wormnoc/internal/noc"
@@ -35,6 +38,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		cmdRun(os.Args[2:])
+	case "exhaust":
+		cmdExhaust(os.Args[2:])
 	case "replay":
 		cmdReplay(os.Args[2:])
 	case "corpus":
@@ -49,14 +54,26 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  nocfuzz run    [-n N] [-seed S] [-out DIR] [-duration D] [-restarts R]
-                 [-probes P] [-refine K] [-workers W] [-scenario-workers SW]
-                 [-keep-going] [-v] [-cpuprofile FILE] [-memprofile FILE]
-  nocfuzz replay -in FILE [-v]
-  nocfuzz corpus [-n N] [-seed S] -out DIR
+  nocfuzz run     [-n N] [-seed S] [-out DIR] [-duration D] [-restarts R]
+                  [-probes P] [-refine K] [-workers W] [-scenario-workers SW]
+                  [-keep-going] [-v] [-cpuprofile FILE] [-memprofile FILE]
+  nocfuzz exhaust [-n N] [-seed S] [-out DIR] [-mesh M] [-flows F]
+                  [-jitter J] [-workers W] [-budget STATES] [-timeout DUR]
+                  [-duration D] [-keep-going] [-v]
+  nocfuzz replay  -in FILE [-v]
+  nocfuzz corpus  [-n N] [-seed S] -out DIR
 
 run     generates N scenarios from S, checks every invariant, shrinks
         violations and writes one artifact per violating scenario to DIR.
+exhaust generates N deliberately tiny scenarios (mesh dims <= M, <= F
+        flows, short periods) and model-checks each with the explicit-
+        state backend: the full release-phasing grid is enumerated and
+        the chain search <= exhaustive <= IBN <= XLWX is proved, with
+        the search-vs-exhaustive gap written to DIR/gap-report.json.
+        Scenarios whose grid exceeds the state budget are reported as
+        skipped; budget- or timeout-truncated enumerations are reported
+        as truncated, never as proofs. Violations shrink to artifacts
+        exactly as with run.
 replay  re-runs the check an artifact records; exit 3 if it reproduces.
 corpus  emits go-fuzz seed files (one int64 seed each) for
         internal/oracle's FuzzOracleScenario target.
@@ -158,6 +175,204 @@ func cmdRun(args []string) {
 	fmt.Printf("%d scenarios checked, %d sim runs, %d violations\n", stats.Checked, stats.SimRuns, stats.Violations)
 	if stats.Violations > 0 {
 		stopProf()
+		os.Exit(3)
+	}
+}
+
+// gapRow is one scenario-flow line of the exhaust gap report.
+type gapRow struct {
+	Scenario   int    `json:"scenario"`
+	Seed       int64  `json:"seed"`
+	Flow       int    `json:"flow"`
+	Search     int64  `json:"search"`
+	Exhaustive int64  `json:"exhaustive"`
+	Gap        int64  `json:"gap"`
+	Proven     bool   `json:"proven"`
+	GridSize   int64  `json:"grid_size"`
+	States     int64  `json:"states"`
+	Truncation string `json:"truncation,omitempty"`
+}
+
+// gapReport is the DIR/gap-report.json schema: campaign-level coverage
+// plus one row per (enumerated scenario, schedulable flow).
+type gapReport struct {
+	Scenarios int      `json:"scenarios"`
+	Exhausted int      `json:"exhausted"`
+	Complete  int      `json:"complete"`
+	Skipped   int      `json:"skipped"`
+	Truncated int      `json:"truncated"`
+	SimRuns   int      `json:"sim_runs"`
+	MaxGap    int64    `json:"max_gap"`
+	Rows      []gapRow `json:"rows"`
+}
+
+func cmdExhaust(args []string) {
+	fs := flag.NewFlagSet("exhaust", flag.ExitOnError)
+	var (
+		n         = fs.Int("n", 50, "number of tiny scenarios to model-check")
+		seed      = fs.Int64("seed", 1, "root seed; scenario i uses a seed derived from it")
+		out       = fs.String("out", "exhaust-out", "directory for gap-report.json and counterexample artifacts")
+		mesh      = fs.Int("mesh", 2, "max mesh dimension of generated scenarios (exhaustive backend accepts <= 4 nodes)")
+		flows     = fs.Int("flows", 3, "max flows per scenario (exhaustive backend accepts <= 4)")
+		jitter    = fs.Int64("jitter", 0, "max release jitter in cycles (0 = jitter-free scenarios, the certified class)")
+		workers   = fs.Int("workers", 0, "scenarios checked in parallel (0 = all CPUs)")
+		budget    = fs.Int64("budget", 1<<16, "state budget: max phasings enumerated per scenario; larger grids are skipped")
+		timeout   = fs.Duration("timeout", 0, "wall-clock cap for the whole matrix (0 = none); a timed-out matrix reports partial coverage")
+		duration  = fs.Int64("duration", 2_000, "simulation horizon of the randomised (jittered) attack, cycles")
+		keepGoing = fs.Bool("keep-going", false, "check all N scenarios even after violations")
+		verbose   = fs.Bool("v", false, "log every scenario, not just violating ones")
+	)
+	fs.Parse(args)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	gen := oracle.GenConfig{
+		MaxDim:          *mesh,
+		MaxFlows:        *flows,
+		MaxBuf:          4,
+		MaxLinkLatency:  1,
+		MaxRouteLatency: -1,
+		// Short periods keep the phasing grid (the product of the
+		// periods) within the state budget.
+		PeriodMin: 6, PeriodMax: 18,
+		LenMin: 2, LenMax: 6,
+		JitterProb: -1,
+		MaxJitter:  noc.Cycles(*jitter),
+	}
+	if *jitter > 0 {
+		// Jittered scenarios still get checked — the analytic bounds
+		// absorb the jitter terms, so the chain stays sound — but the
+		// certified class remains the jitter-free phasings.
+		gen.JitterProb = 0.25
+	}
+
+	errStop := errors.New("stop after violation")
+	report := gapReport{Scenarios: *n}
+	var mu sync.Mutex
+	stats, err := oracle.Campaign(oracle.CampaignConfig{
+		Scenarios: *n,
+		Seed:      *seed,
+		Gen:       gen,
+		Check: oracle.CheckConfig{
+			Duration:         noc.Cycles(*duration),
+			ExhaustiveStates: *budget,
+		},
+		Workers: *workers,
+		Context: ctx,
+	}, func(i int, sc *oracle.Scenario, ccfg oracle.CheckConfig, rep *oracle.Report) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if rep.Exhaustive == nil {
+			report.Skipped++
+			if *verbose {
+				fmt.Printf("[%d/%d] %s: exhaustive skipped (%v)\n", i+1, *n, sc, rep.Notes)
+			}
+		} else {
+			ex := rep.Exhaustive
+			if ex.Complete {
+				report.Complete++
+			} else {
+				report.Truncated++
+			}
+			for _, g := range ex.Gaps {
+				report.Rows = append(report.Rows, gapRow{
+					Scenario:   i,
+					Seed:       sc.Seed,
+					Flow:       g.Flow,
+					Search:     int64(g.Search),
+					Exhaustive: int64(g.Exhaustive),
+					Gap:        int64(g.Gap),
+					Proven:     g.Proven,
+					GridSize:   ex.GridSize,
+					States:     ex.States,
+					Truncation: ex.Truncation,
+				})
+				if int64(g.Gap) > report.MaxGap {
+					report.MaxGap = int64(g.Gap)
+				}
+			}
+			if *verbose {
+				fmt.Printf("[%d/%d] %s: %d/%d phasings, complete=%v, %d gap rows\n",
+					i+1, *n, sc, ex.States, ex.GridSize, ex.Complete, len(ex.Gaps))
+			}
+		}
+		if len(rep.Violations) == 0 {
+			return nil
+		}
+		v := rep.Violations[0]
+		fmt.Printf("VIOLATION at scenario %d (%s):\n  %s\n", i, sc, v.String())
+		fmt.Printf("  shrinking...")
+		shrunk, err := oracle.Shrink(sc, v, ccfg, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf(" %d reductions in %d attempts -> %s\n",
+			shrunk.Reductions, shrunk.Attempts, shrunk.Scenario)
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("ce-%06d.json", i))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		art := oracle.NewArtifact(sc, ccfg, *oracle.FindViolation(shrunk.Report, v), shrunk)
+		if err := art.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  counterexample written to %s\n", path)
+		if !*keepGoing {
+			return errStop
+		}
+		return nil
+	})
+	timedOut := ctx.Err() != nil
+	if err != nil && !errors.Is(err, errStop) && !timedOut {
+		fatal(err)
+	}
+
+	report.Exhausted = stats.Exhausted
+	report.SimRuns = stats.SimRuns
+	// Deterministic report regardless of completion order.
+	sort.Slice(report.Rows, func(a, b int) bool {
+		if report.Rows[a].Scenario != report.Rows[b].Scenario {
+			return report.Rows[a].Scenario < report.Rows[b].Scenario
+		}
+		return report.Rows[a].Flow < report.Rows[b].Flow
+	})
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(*out, "gap-report.json")
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&report); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%d/%d scenarios checked: %d enumerated (%d complete proofs, %d truncated), %d skipped, max search gap %d cycles\n",
+		stats.Checked, *n, stats.Exhausted, report.Complete, report.Truncated, report.Skipped, report.MaxGap)
+	fmt.Printf("gap report written to %s\n", path)
+	if timedOut {
+		fmt.Printf("TIMED OUT after %s: coverage above is partial, not a proof of the full matrix\n", *timeout)
+	}
+	if stats.Violations > 0 {
 		os.Exit(3)
 	}
 }

@@ -1,0 +1,46 @@
+package exhaustive_test
+
+import (
+	"fmt"
+	"log"
+
+	"wormnoc/internal/exhaustive"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// Two flows sharing every link of a 2-node line: the smallest system
+// with real contention. Plan sizes the phasing grid, Explore enumerates
+// it completely, and Proven certifies the worst cases as true maxima of
+// the canonical phasing class — the upgrade from the randomised
+// search's "worst found" to "worst possible".
+func Example() {
+	topo, err := noc.NewMesh(2, 1, noc.RouterConfig{BufDepth: 4, LinkLatency: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "hi", Priority: 1, Period: 8, Deadline: 8, Length: 2, Src: 0, Dst: 1},
+		{Name: "lo", Priority: 2, Period: 12, Deadline: 12, Length: 3, Src: 0, Dst: 1},
+	})
+
+	sp, err := exhaustive.Plan(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid: %d phasings, horizon: %d cycles\n", sp.GridSize, sp.SuggestedDuration)
+
+	res, err := exhaustive.Explore(sys, exhaustive.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("complete: %v\n", res.Complete)
+	for i, fr := range res.Flows {
+		fmt.Printf("%s: worst %d (proven %v)\n", sys.Flow(i).Name, fr.Worst, res.Proven(i))
+	}
+	// Output:
+	// grid: 96 phasings, horizon: 49 cycles
+	// complete: true
+	// hi: worst 4 (proven true)
+	// lo: worst 7 (proven true)
+}

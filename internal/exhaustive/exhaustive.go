@@ -1,0 +1,542 @@
+// Package exhaustive is the explicit-state verification backend for
+// small configurations: where the oracle's randomised phasing search
+// (sim.SearchWorstCase) samples the space of release phasings, this
+// package enumerates it, computing the *true* worst-case latency of
+// every flow over the whole class and upgrading the oracle's verdict
+// from "no violation found" to "provably none exists in this class".
+//
+// # The certified class
+//
+// The explored class is the canonical phasing class of the event-driven
+// simulator: every flow releases strictly periodically with its first
+// release at an offset in [0, Period), jitter injection disabled, over a
+// fixed horizon. Three facts make enumeration of that class a proof:
+//
+//   - the simulator is a deterministic function of the offset vector —
+//     sim.TieFree certifies that arbitration never admits a tie, so
+//     there are no interleavings to enumerate per phasing (were that
+//     gate ever to fail, Explore refuses rather than certify);
+//   - the offset grid Π[0,Pᵢ) is finite and is a strict superset of
+//     every phasing the randomised search can probe (the search draws
+//     offsets from exactly these ranges), so "search ≤ exhaustive" is an
+//     invariant, not a hope;
+//   - the joint release pattern is periodic in the hyperperiod H from
+//     cycle 0, so a horizon of H + 2·max(Dᵢ) shows every relative
+//     release configuration a full deadline-window of observation
+//     (see Space.SuggestedDuration and DESIGN.md §15 for the steady-
+//     state argument and its schedulability precondition).
+//
+// Per-packet varying jitter is deliberately outside the class: a
+// constant release delay is subsumed by the offset grid, while
+// adversarial per-release jitter would blow the space up exponentially.
+// Flows may still carry Jitter > 0 — the analytic bounds then include
+// the jitter terms and only get looser, so "exhaustive ≤ bound" remains
+// a sound (if conservative) invariant.
+//
+// # Budgets and truncation
+//
+// Exploration is bounded twice: MaxStates caps the number of phasings
+// simulated (exceeding it either fails or, with AllowTruncated, falls
+// back to deterministic stride sampling plus local refinement), and an
+// optional Context cancels long runs. Either truncation is reported
+// explicitly — Result.Complete is false, Result.Truncation says why, and
+// Result.Proven never claims a proof for a truncated run. Truncated
+// results remain valid lower bounds on the true worst case and any
+// bound exceedance they witness is a real violation.
+//
+// Exploration fans out over parallel.Runner with deterministic work
+// partitioning: the sampled grid is cut into fixed-size index chunks
+// merged in chunk order, so the Result is bit-identical at any worker
+// count. internal/oracle wires Explore in as the exhaustive-divergent
+// invariant class; cmd/nocfuzz's exhaust subcommand drives whole
+// matrices of small configurations through it.
+package exhaustive
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/parallel"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/traffic"
+)
+
+const (
+	// MaxFlows bounds the flow-set size Explore accepts. The grid is the
+	// product of the periods, so the limit keeps "exhaustive" honest:
+	// beyond a handful of flows no budget reaches the full grid and the
+	// proof claim would silently degrade into sampling.
+	MaxFlows = 4
+	// MaxNodes bounds the platform size (2×2 meshes and 1×N lines up to
+	// four nodes). Larger platforms are the randomised oracle's job.
+	MaxNodes = 4
+	// DefaultMaxStates is the state budget used when Config.MaxStates is
+	// zero: about a million phasings, a few seconds of single-core work
+	// on typical tiny configurations.
+	DefaultMaxStates = 1 << 20
+	// DefaultDedupCap bounds the visited set of the refinement pass (see
+	// Config.DedupCap).
+	DefaultDedupCap = 1 << 16
+	// chunkStates is the number of sampled grid points per work chunk.
+	// Fixed — never derived from the worker count — so the chunk
+	// partition, and with it the merged result, is identical at any
+	// parallelism.
+	chunkStates = 2048
+)
+
+// Space describes the state space of one system before exploring it:
+// how many phasings the full grid holds and how long a horizon shows
+// them all. Plan computes it; Explore embeds the same numbers in its
+// Result.
+type Space struct {
+	// GridSize is the number of canonical phasings, Π Periodᵢ over all
+	// flows.
+	GridSize int64
+	// Hyperperiod is lcm(Periodᵢ): the joint release pattern of any
+	// phasing repeats with this period from cycle 0.
+	Hyperperiod noc.Cycles
+	// MaxDeadline is the largest flow deadline, the observation slack
+	// appended to the horizon.
+	MaxDeadline noc.Cycles
+	// SuggestedDuration is the auto-selected horizon,
+	// Hyperperiod + 2·MaxDeadline + 1: releases in the second
+	// deadline-window-aligned hyperperiod repeat the steady-state
+	// configurations and still complete inside the horizon when the
+	// system is schedulable.
+	SuggestedDuration noc.Cycles
+}
+
+// Plan sizes the state space of sys without exploring it: callers use
+// it to decide whether a configuration fits an exhaustive budget (the
+// oracle skips the invariant, loudly, when it does not). The error
+// reports structural limits — too many flows or nodes, an arbitration
+// tie, arithmetic overflow of the grid — not budget overruns, which are
+// Explore's to enforce.
+func Plan(sys *traffic.System) (Space, error) {
+	var sp Space
+	n := sys.NumFlows()
+	if n > MaxFlows {
+		return sp, fmt.Errorf("exhaustive: %d flows exceed the limit of %d", n, MaxFlows)
+	}
+	if nodes := sys.Topology().NumNodes(); nodes > MaxNodes {
+		return sp, fmt.Errorf("exhaustive: %d nodes exceed the limit of %d", nodes, MaxNodes)
+	}
+	if ok, reason := sim.TieFree(sys); !ok {
+		return sp, fmt.Errorf("exhaustive: interleavings are not enumerable: %s", reason)
+	}
+	sp.GridSize = 1
+	sp.Hyperperiod = 1
+	for i := 0; i < n; i++ {
+		f := sys.Flow(i)
+		p := int64(f.Period)
+		if sp.GridSize > math.MaxInt64/p {
+			return sp, fmt.Errorf("exhaustive: phasing grid overflows int64 (periods too large)")
+		}
+		sp.GridSize *= p
+		h := lcm(sp.Hyperperiod, f.Period)
+		if h <= 0 {
+			return sp, fmt.Errorf("exhaustive: hyperperiod overflows int64 (periods too large)")
+		}
+		sp.Hyperperiod = h
+		if f.Deadline > sp.MaxDeadline {
+			sp.MaxDeadline = f.Deadline
+		}
+	}
+	sp.SuggestedDuration = sp.Hyperperiod + 2*sp.MaxDeadline + 1
+	return sp, nil
+}
+
+func gcd(a, b noc.Cycles) noc.Cycles {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// lcm returns the least common multiple, or a non-positive value on
+// int64 overflow.
+func lcm(a, b noc.Cycles) noc.Cycles {
+	g := gcd(a, b)
+	q := a / g
+	if q != 0 && b > math.MaxInt64/q {
+		return -1
+	}
+	return q * b
+}
+
+// Config parameterises one exploration. The zero value explores the
+// full grid at stride 1 (a proof, when it fits DefaultMaxStates) with
+// the auto horizon and all CPUs.
+type Config struct {
+	// Duration is the simulation horizon per phasing; 0 selects
+	// Space.SuggestedDuration. Shorter horizons weaken the certified
+	// class ("worst within Duration"), never the chain invariants — the
+	// comparison search must simply run the same horizon.
+	Duration noc.Cycles
+	// Stride samples every Stride-th grid point when > 1. A strided run
+	// is explicitly NOT a proof (Complete stays false); it exists for
+	// configurations whose grid exceeds any budget, paired with the
+	// refinement pass around each flow's best phasing.
+	Stride int64
+	// MaxStates caps the number of phasings simulated in the systematic
+	// pass (0 = DefaultMaxStates). When the strided grid still exceeds
+	// it, Explore fails — or, with AllowTruncated, raises the stride
+	// deterministically and reports the truncation.
+	MaxStates int64
+	// AllowTruncated permits the budget to degrade the run into stride
+	// sampling instead of returning an error. The result is then marked
+	// Complete=false with the reason in Truncation.
+	AllowTruncated bool
+	// Workers bounds the chunk fan-out (0 = GOMAXPROCS). The result is
+	// bit-identical for any value.
+	Workers int
+	// Context, when non-nil, cancels a long exploration. A cancelled run
+	// returns the states merged so far, marked truncated; which states
+	// those are depends on timing, so only state-budget truncation is
+	// deterministic.
+	Context context.Context
+	// DedupCap bounds the refinement pass's visited set (0 =
+	// DefaultDedupCap). The set stores exact encoded offset vectors —
+	// internal/canon-style length-stable little-endian keys — so a hit
+	// can never alias two distinct phasings; overflowing the cap only
+	// costs duplicate simulations, never correctness.
+	DedupCap int
+}
+
+// FlowResult is one flow's exhaustive outcome.
+type FlowResult struct {
+	// Worst is the maximum observed latency over every explored phasing,
+	// or -1 when no packet of the flow ever completed.
+	Worst noc.Cycles
+	// Offsets is the first (lowest grid index) phasing achieving Worst.
+	Offsets []noc.Cycles
+	// Censored counts explored phasings in which a packet of this flow
+	// released at least a deadline before the horizon failed to complete
+	// — direct evidence of a latency beyond the deadline that the
+	// horizon cut off. Non-zero censoring voids the proof claim for this
+	// flow and every lower-priority one (see Result.Proven).
+	Censored int64
+	// DeadlineMisses totals observed deadline misses across explored
+	// phasings (completed packets whose latency exceeded the deadline).
+	DeadlineMisses int64
+}
+
+// Result is the outcome of one exploration.
+type Result struct {
+	// Flows holds per-flow worst cases, indexed like the system's flows.
+	Flows []FlowResult
+	// Space echoes the state-space plan of the explored system.
+	Space Space
+	// Duration is the horizon every phasing was simulated for.
+	Duration noc.Cycles
+	// Stride is the effective sampling stride of the systematic pass
+	// (1 = full grid).
+	Stride int64
+	// Explored counts the systematic pass's sampled grid points;
+	// Refined counts the refinement pass's additional simulations;
+	// States = Explored + Refined is everything simulated.
+	Explored, Refined, States int64
+	// Deduped counts refinement candidates skipped because they were
+	// provably already simulated (on the sampled lattice or in the
+	// visited set).
+	Deduped int64
+	// Complete reports whether the full grid was enumerated at stride 1
+	// without cancellation — the precondition of every proof claim.
+	Complete bool
+	// Truncation is empty for complete runs; otherwise it states what
+	// was cut (stride sampling, state budget, cancellation) so callers
+	// can never mistake a truncated run for a proof.
+	Truncation string
+
+	priorities []int
+}
+
+// Proven reports whether Flows[i].Worst is the provable true worst case
+// of flow i over the certified class: the run must be Complete and no
+// flow at equal-or-higher priority (including i itself) may have
+// censored packets or deadline misses — the steady-state horizon
+// argument presumes the interferer subsystem actually meets its
+// deadlines. A truncated or censored run still yields valid *lower*
+// bounds (and hence valid violations), just no proof of absence.
+func (r *Result) Proven(i int) bool {
+	if !r.Complete {
+		return false
+	}
+	for j := range r.Flows {
+		if r.priorities[j] <= r.priorities[i] &&
+			(r.Flows[j].Censored > 0 || r.Flows[j].DeadlineMisses > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// chunkRes accumulates one chunk's per-flow maxima. worstAt carries the
+// flat grid index achieving the maximum so the merge can prefer the
+// lowest index deterministically.
+type chunkRes struct {
+	worst    []noc.Cycles
+	worstAt  []int64
+	censored []int64
+	misses   []int64
+	states   int64
+}
+
+// Explore enumerates the phasing grid of sys and returns every flow's
+// worst case over it. It is deterministic in (sys, cfg) — including at
+// any Workers value — except for Context-cancelled runs, whose partial
+// coverage depends on timing. Structural errors (limits, ties, an
+// over-budget grid without AllowTruncated) return a nil Result.
+func Explore(sys *traffic.System, cfg Config) (*Result, error) {
+	sp, err := Plan(sys)
+	if err != nil {
+		return nil, err
+	}
+	n := sys.NumFlows()
+	res := &Result{
+		Flows:      make([]FlowResult, n),
+		Space:      sp,
+		Duration:   cfg.Duration,
+		priorities: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Flows[i].Worst = -1
+		res.priorities[i] = sys.Flow(i).Priority
+	}
+	if res.Duration <= 0 {
+		res.Duration = sp.SuggestedDuration
+	}
+	maxStates := cfg.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	stride := cfg.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	if stride > 1 {
+		res.Truncation = fmt.Sprintf("stride %d sampling requested: %d of %d phasings", stride, ceilDiv(sp.GridSize, stride), sp.GridSize)
+	}
+	if ceilDiv(sp.GridSize, stride) > maxStates {
+		if !cfg.AllowTruncated {
+			return nil, fmt.Errorf("exhaustive: grid of %d phasings exceeds the state budget of %d (set AllowTruncated for stride sampling)",
+				sp.GridSize, maxStates)
+		}
+		stride = ceilDiv(sp.GridSize, maxStates)
+		res.Truncation = fmt.Sprintf("state budget %d: stride raised to %d, sampling %d of %d phasings",
+			maxStates, stride, ceilDiv(sp.GridSize, stride), sp.GridSize)
+	}
+	res.Stride = stride
+	res.Explored = ceilDiv(sp.GridSize, stride)
+
+	periods := make([]int64, n)
+	deadlines := make([]int64, n)
+	for i := 0; i < n; i++ {
+		f := sys.Flow(i)
+		periods[i] = int64(f.Period)
+		deadlines[i] = int64(f.Deadline)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numChunks := int(ceilDiv(res.Explored, chunkStates))
+	chunks := make([]chunkRes, numChunks)
+	{
+		// One arena for all chunk slices keeps the allocation count flat
+		// in the chunk count.
+		cyc := make([]noc.Cycles, numChunks*n)
+		i64 := make([]int64, 3*numChunks*n)
+		for c := range chunks {
+			chunks[c].worst, cyc = cyc[:n:n], cyc[n:]
+			chunks[c].worstAt, i64 = i64[:n:n], i64[n:]
+			chunks[c].censored, i64 = i64[:n:n], i64[n:]
+			chunks[c].misses, i64 = i64[:n:n], i64[n:]
+		}
+	}
+	engines := make([]*sim.Engine, workers)
+	offsets := make([][]noc.Cycles, workers)
+	runner := parallel.Runner{Workers: workers, Context: cfg.Context}
+	runErr := runner.RunWorkers(numChunks, func(w, c int) error {
+		eng := engines[w]
+		if eng == nil {
+			eng = sim.NewEngine(sys)
+			engines[w] = eng
+			offsets[w] = make([]noc.Cycles, n)
+		}
+		off := offsets[w]
+		cr := &chunks[c]
+		for i := range cr.worst {
+			cr.worst[i] = -1
+			cr.worstAt[i] = -1
+		}
+		lo := int64(c) * chunkStates
+		hi := lo + chunkStates
+		if hi > res.Explored {
+			hi = res.Explored
+		}
+		for k := lo; k < hi; k++ {
+			idx := k * stride
+			decodeOffsets(idx, periods, off)
+			sr, err := eng.Run(sim.Config{Duration: res.Duration, Offsets: off})
+			if err != nil {
+				return err
+			}
+			cr.states++
+			for i := 0; i < n; i++ {
+				if sr.WorstLatency[i] > cr.worst[i] {
+					cr.worst[i] = sr.WorstLatency[i]
+					cr.worstAt[i] = idx
+				}
+				if int64(sr.Completed[i]) < expectedAt(int64(off[i]), periods[i], int64(res.Duration), deadlines[i]) {
+					cr.censored[i]++
+				}
+				cr.misses[i] += int64(sr.DeadlineMisses[i])
+			}
+		}
+		return nil
+	})
+	cancelled := false
+	if runErr != nil {
+		if cfg.Context != nil && cfg.Context.Err() != nil {
+			cancelled = true
+			res.Truncation = fmt.Sprintf("cancelled mid-exploration: %v; partial coverage only", runErr)
+		} else {
+			return nil, fmt.Errorf("exhaustive: exploration failed: %w", runErr)
+		}
+	}
+
+	// Merge in chunk order: the per-flow maximum prefers the lowest flat
+	// index on ties, so the reported witness phasing is deterministic.
+	best := make([]int64, n)
+	for i := range best {
+		best[i] = -1
+	}
+	for c := range chunks {
+		cr := &chunks[c]
+		res.States += cr.states
+		for i := 0; i < n; i++ {
+			if cr.worstAt[i] >= 0 && (cr.worst[i] > res.Flows[i].Worst ||
+				(cr.worst[i] == res.Flows[i].Worst && (best[i] < 0 || cr.worstAt[i] < best[i]))) {
+				res.Flows[i].Worst = cr.worst[i]
+				best[i] = cr.worstAt[i]
+			}
+			res.Flows[i].Censored += cr.censored[i]
+			res.Flows[i].DeadlineMisses += cr.misses[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		res.Flows[i].Offsets = make([]noc.Cycles, n)
+		if best[i] >= 0 {
+			decodeOffsets(best[i], periods, res.Flows[i].Offsets)
+		}
+	}
+
+	if stride > 1 && !cancelled {
+		refine(sys, cfg, res, periods, deadlines, best)
+	}
+	res.Complete = stride == 1 && !cancelled
+	return res, nil
+}
+
+// expectedAt returns the number of completions a flow releasing at
+// offset off owes the horizon: releases at off + m·period with a full
+// deadline window before the last simulated cycle. A shortfall means a
+// packet outlived its deadline without completing — censoring evidence.
+func expectedAt(off, period, duration, deadline int64) int64 {
+	last := duration - 1 - deadline
+	if off > last {
+		return 0
+	}
+	return (last-off)/period + 1
+}
+
+// decodeOffsets expands flat grid index idx into the per-flow offset
+// vector (mixed radix, the last flow varying fastest).
+func decodeOffsets(idx int64, periods []int64, out []noc.Cycles) {
+	for i := len(periods) - 1; i >= 0; i-- {
+		out[i] = noc.Cycles(idx % periods[i])
+		idx /= periods[i]
+	}
+}
+
+// encodeOffsets is decodeOffsets' inverse; it returns -1 if the vector
+// is off-grid (it never is for in-range offsets).
+func encodeOffsets(off []noc.Cycles, periods []int64) int64 {
+	var idx int64
+	for i := range periods {
+		idx = idx*periods[i] + int64(off[i])
+	}
+	return idx
+}
+
+// refine runs the local-refinement pass of a strided exploration:
+// around every flow's best-known phasing, each coordinate is swept over
+// the stride-wide window the sampling skipped. Candidates already on
+// the sampled lattice, or already tried by an overlapping window, are
+// deduplicated — the former exactly by index arithmetic, the latter by
+// the bounded visited set. The pass is sequential and in a fixed sweep
+// order, so strided results stay deterministic at any worker count.
+func refine(sys *traffic.System, cfg Config, res *Result, periods, deadlines []int64, best []int64) {
+	n := len(periods)
+	dedupCap := cfg.DedupCap
+	if dedupCap <= 0 {
+		dedupCap = DefaultDedupCap
+	}
+	visited := make(map[string]struct{}, 1024)
+	eng := sim.NewEngine(sys)
+	off := make([]noc.Cycles, n)
+	keyBuf := make([]byte, 8*n)
+	for target := 0; target < n; target++ {
+		if best[target] < 0 {
+			continue
+		}
+		base := res.Flows[target].Offsets
+		for f := 0; f < n; f++ {
+			for d := int64(1); d < res.Stride; d++ {
+				for _, sign := range [2]int64{1, -1} {
+					copy(off, base)
+					p := periods[f]
+					off[f] = noc.Cycles(((int64(base[f])+sign*d)%p + p) % p)
+					if encodeOffsets(off, periods)%res.Stride == 0 {
+						res.Deduped++ // on the sampled lattice: already simulated
+						continue
+					}
+					for i, o := range off {
+						binary.LittleEndian.PutUint64(keyBuf[8*i:], uint64(o))
+					}
+					if _, dup := visited[string(keyBuf)]; dup {
+						res.Deduped++
+						continue
+					}
+					if len(visited) < dedupCap {
+						visited[string(keyBuf)] = struct{}{}
+					}
+					sr, err := eng.Run(sim.Config{Duration: res.Duration, Offsets: off})
+					if err != nil {
+						return // validated inputs cannot fail; keep partial refinement
+					}
+					res.Refined++
+					res.States++
+					for i := 0; i < n; i++ {
+						if sr.WorstLatency[i] > res.Flows[i].Worst {
+							res.Flows[i].Worst = sr.WorstLatency[i]
+							copy(res.Flows[i].Offsets, off)
+						}
+						if int64(sr.Completed[i]) < expectedAt(int64(off[i]), periods[i], int64(res.Duration), deadlines[i]) {
+							res.Flows[i].Censored++
+						}
+						res.Flows[i].DeadlineMisses += int64(sr.DeadlineMisses[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

@@ -1,0 +1,370 @@
+package exhaustive
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/traffic"
+)
+
+// rc is the canonical tiny-platform router: unit link latency, zero
+// routing latency, deep-enough buffers that credit stalls don't add
+// incidental latency to the hand derivations.
+var rc = noc.RouterConfig{BufDepth: 4, LinkLatency: 1}
+
+func line2(t *testing.T) *noc.Topology {
+	t.Helper()
+	topo, err := noc.NewMesh(2, 1, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func mesh22(t *testing.T) *noc.Topology {
+	t.Helper()
+	topo, err := noc.NewMesh(2, 2, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestExploreHandChecked pins the exhaustive worst case of systems small
+// enough to derive on paper, and asserts the randomised search attains
+// the same value (search == exhaustive) on each: these grids are tiny,
+// so a search that can't saturate them would be a search bug.
+func TestExploreHandChecked(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *traffic.System
+		// want[i] is flow i's true worst-case latency over the canonical
+		// phasing class, derived in the comments below.
+		want []noc.Cycles
+	}{
+		{
+			// A solo flow sees no interference at any phasing: its worst
+			// case is the zero-load latency, here routl·2 + linkl·3 +
+			// linkl·(3-1) = 5 over the 3-link route (injection, mesh,
+			// ejection).
+			name: "solo flow is zero-load",
+			build: func(t *testing.T) *traffic.System {
+				return traffic.MustSystem(line2(t), []traffic.Flow{
+					{Name: "solo", Priority: 1, Period: 10, Deadline: 10, Length: 3, Src: 0, Dst: 1},
+				})
+			},
+			want: []noc.Cycles{5},
+		},
+		{
+			// Link-disjoint flows on the 2x2 mesh (XY routing keeps 0->1
+			// on the top row and 2->3 on the bottom row) cannot interact:
+			// both worst cases are their zero-load latencies regardless of
+			// phasing. C = 3 + (L-1).
+			name: "disjoint flows stay zero-load",
+			build: func(t *testing.T) *traffic.System {
+				return traffic.MustSystem(mesh22(t), []traffic.Flow{
+					{Name: "top", Priority: 1, Period: 6, Deadline: 6, Length: 2, Src: 0, Dst: 1},
+					{Name: "bottom", Priority: 2, Period: 9, Deadline: 9, Length: 3, Src: 2, Dst: 3},
+				})
+			},
+			want: []noc.Cycles{4, 5},
+		},
+		{
+			// One shared link chain, two flows (the ISSUE's 1-link/2-flow
+			// case): h and l share the whole 0->1 route. h always wins
+			// every arbitration, so its worst case is its zero-load
+			// latency C_h = 3 + (2-1) = 4. l's worst response satisfies
+			// the classic recurrence R = C_l + ceil(R/P_h)*L_h: with
+			// C_l = 5, L_h = 2, P_h = 8 the fixed point is R = 7 — one h
+			// packet's flits ever fit inside l's response window.
+			name: "single-link contention pair",
+			build: func(t *testing.T) *traffic.System {
+				return traffic.MustSystem(line2(t), []traffic.Flow{
+					{Name: "h", Priority: 1, Period: 8, Deadline: 8, Length: 2, Src: 0, Dst: 1},
+					{Name: "l", Priority: 2, Period: 12, Deadline: 12, Length: 3, Src: 0, Dst: 1},
+				})
+			},
+			want: []noc.Cycles{4, 7},
+		},
+		{
+			// The ISSUE's 2x1-line/3-flow case: two flows contend for the
+			// 0->1 direction while the third rides the disjoint 1->0
+			// direction. h: zero-load 3 + 1 = 4. l: R = C_l + ceil(R/P_h)*L_h
+			// with C_l = 3 + 3 = 6, L_h = 2, P_h = 10 gives R = 8.
+			// back: solo on its direction, zero-load 3 + 1 = 4.
+			name: "line three flows",
+			build: func(t *testing.T) *traffic.System {
+				return traffic.MustSystem(line2(t), []traffic.Flow{
+					{Name: "h", Priority: 1, Period: 10, Deadline: 10, Length: 2, Src: 0, Dst: 1},
+					{Name: "l", Priority: 2, Period: 14, Deadline: 14, Length: 4, Src: 0, Dst: 1},
+					{Name: "back", Priority: 3, Period: 9, Deadline: 9, Length: 2, Src: 1, Dst: 0},
+				})
+			},
+			want: []noc.Cycles{4, 8, 4},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := tc.build(t)
+			res, err := Explore(sys, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Complete {
+				t.Fatalf("tiny grid not explored completely: %s", res.Truncation)
+			}
+			if res.Truncation != "" {
+				t.Fatalf("complete run carries truncation note %q", res.Truncation)
+			}
+			if res.States != res.Space.GridSize || res.Explored != res.Space.GridSize {
+				t.Fatalf("complete run states=%d explored=%d, want grid %d",
+					res.States, res.Explored, res.Space.GridSize)
+			}
+			for i := range tc.want {
+				if got := res.Flows[i].Worst; got != tc.want[i] {
+					t.Errorf("flow %d: exhaustive worst %d, hand-derived %d", i, got, tc.want[i])
+				}
+				if !res.Proven(i) {
+					t.Errorf("flow %d: complete uncensored run not proven", i)
+				}
+				if res.Flows[i].Censored != 0 || res.Flows[i].DeadlineMisses != 0 {
+					t.Errorf("flow %d: unexpected censoring %d / misses %d",
+						i, res.Flows[i].Censored, res.Flows[i].DeadlineMisses)
+				}
+				// The witness phasing must replay to the reported worst.
+				rr, err := sim.Run(sys, sim.Config{Duration: res.Duration, Offsets: res.Flows[i].Offsets})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rr.WorstLatency[i] != res.Flows[i].Worst {
+					t.Errorf("flow %d: witness offsets replay to %d, reported %d",
+						i, rr.WorstLatency[i], res.Flows[i].Worst)
+				}
+				// search == exhaustive on these grids: the randomised
+				// search explores a subset of the same class, so it can
+				// never exceed the exhaustive value, and on grids this
+				// small it must reach it.
+				sr, err := sim.SearchWorstCase(sys, sim.SearchConfig{
+					Base:   sim.Config{Duration: res.Duration},
+					Target: i, Seed: 1, Workers: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sr.Worst > res.Flows[i].Worst {
+					t.Errorf("flow %d: search found %d above exhaustive %d — enumeration is not exhaustive",
+						i, sr.Worst, res.Flows[i].Worst)
+				}
+				if sr.Worst != res.Flows[i].Worst {
+					t.Errorf("flow %d: search %d != exhaustive %d on a trivially saturable grid",
+						i, sr.Worst, res.Flows[i].Worst)
+				}
+			}
+		})
+	}
+}
+
+// TestExploreDeterministicAcrossWorkers asserts bit-identical results at
+// any parallelism, for both complete and stride-truncated explorations.
+func TestExploreDeterministicAcrossWorkers(t *testing.T) {
+	sys := traffic.MustSystem(line2(t), []traffic.Flow{
+		{Name: "h", Priority: 1, Period: 8, Deadline: 8, Length: 2, Src: 0, Dst: 1},
+		{Name: "l", Priority: 2, Period: 12, Deadline: 12, Length: 3, Src: 0, Dst: 1},
+		{Name: "back", Priority: 3, Period: 10, Deadline: 10, Length: 2, Src: 1, Dst: 0},
+	})
+	for _, cfg := range []Config{
+		{},
+		{MaxStates: 100, AllowTruncated: true},
+		{Stride: 7},
+	} {
+		var base *Result
+		for _, workers := range []int{1, 2, 8} {
+			c := cfg
+			c.Workers = workers
+			res, err := Explore(sys, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base == nil {
+				base = res
+				continue
+			}
+			if !reflect.DeepEqual(base, res) {
+				t.Fatalf("cfg %+v: result differs between workers=1 and workers=%d:\n%+v\nvs\n%+v",
+					cfg, workers, base, res)
+			}
+		}
+	}
+}
+
+// TestExploreRepeatable asserts two identical invocations return
+// bit-identical results (no hidden map-iteration or timing dependence).
+func TestExploreRepeatable(t *testing.T) {
+	sys := traffic.MustSystem(line2(t), []traffic.Flow{
+		{Name: "h", Priority: 1, Period: 8, Deadline: 8, Length: 2, Src: 0, Dst: 1},
+		{Name: "l", Priority: 2, Period: 12, Deadline: 12, Length: 3, Src: 0, Dst: 1},
+	})
+	a, err := Explore(sys, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explore(sys, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeated runs differ:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestExploreTruncationHonesty: budget-capped runs must refuse or
+// degrade loudly, and must never claim Complete or Proven.
+func TestExploreTruncationHonesty(t *testing.T) {
+	sys := traffic.MustSystem(line2(t), []traffic.Flow{
+		{Name: "h", Priority: 1, Period: 8, Deadline: 8, Length: 2, Src: 0, Dst: 1},
+		{Name: "l", Priority: 2, Period: 12, Deadline: 12, Length: 3, Src: 0, Dst: 1},
+	})
+	if _, err := Explore(sys, Config{MaxStates: 10}); err == nil {
+		t.Fatal("over-budget grid without AllowTruncated did not error")
+	}
+	res, err := Explore(sys, Config{MaxStates: 10, AllowTruncated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("budget-truncated run claims Complete")
+	}
+	if !strings.Contains(res.Truncation, "state budget") {
+		t.Fatalf("truncation reason %q does not name the budget", res.Truncation)
+	}
+	if res.Stride <= 1 {
+		t.Fatalf("truncated run kept stride %d", res.Stride)
+	}
+	for i := range res.Flows {
+		if res.Proven(i) {
+			t.Fatalf("flow %d proven on a truncated run", i)
+		}
+	}
+	// The strided sample plus refinement is still a valid lower bound.
+	full, err := Explore(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Flows {
+		if res.Flows[i].Worst > full.Flows[i].Worst {
+			t.Fatalf("flow %d: truncated worst %d exceeds full-grid worst %d",
+				i, res.Flows[i].Worst, full.Flows[i].Worst)
+		}
+	}
+	if res.Deduped == 0 {
+		t.Error("refinement pass reported no deduplicated candidates on overlapping windows")
+	}
+}
+
+// TestExploreCancelled: a cancelled context yields a partial result
+// marked truncated, not an error and not a proof.
+func TestExploreCancelled(t *testing.T) {
+	sys := traffic.MustSystem(line2(t), []traffic.Flow{
+		{Name: "h", Priority: 1, Period: 8, Deadline: 8, Length: 2, Src: 0, Dst: 1},
+		{Name: "l", Priority: 2, Period: 12, Deadline: 12, Length: 3, Src: 0, Dst: 1},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Explore(sys, Config{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("cancelled run claims Complete")
+	}
+	if !strings.Contains(res.Truncation, "cancelled") {
+		t.Fatalf("truncation reason %q does not mention cancellation", res.Truncation)
+	}
+	for i := range res.Flows {
+		if res.Proven(i) {
+			t.Fatalf("flow %d proven on a cancelled run", i)
+		}
+	}
+}
+
+// TestExploreCensoring: an overloaded link must surface as censored
+// phasings and deadline misses, voiding the proof claim for the starved
+// flow while the fully-preempting top-priority flow stays provable.
+func TestExploreCensoring(t *testing.T) {
+	// Utilisation on the shared 0->1 path is 6/8 + 6/8 > 1: the
+	// low-priority flow's backlog grows without bound, so late packets
+	// never complete inside any horizon.
+	sys := traffic.MustSystem(line2(t), []traffic.Flow{
+		{Name: "h", Priority: 1, Period: 8, Deadline: 8, Length: 6, Src: 0, Dst: 1},
+		{Name: "l", Priority: 2, Period: 8, Deadline: 8, Length: 6, Src: 0, Dst: 1},
+	})
+	res, err := Explore(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("tiny grid not complete: %s", res.Truncation)
+	}
+	if res.Flows[1].Censored == 0 && res.Flows[1].DeadlineMisses == 0 {
+		t.Fatal("overloaded low-priority flow shows neither censoring nor deadline misses")
+	}
+	if res.Proven(1) {
+		t.Fatal("starved flow claims a proven worst case")
+	}
+	if !res.Proven(0) {
+		t.Fatal("top-priority flow of a complete run should stay proven")
+	}
+}
+
+// TestPlanLimits: structural refusals — too many flows, too many nodes,
+// grid overflow — are Plan errors, not silent downgrades.
+func TestPlanLimits(t *testing.T) {
+	big, err := noc.NewMesh(3, 3, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Plan(traffic.MustSystem(big, []traffic.Flow{
+		{Name: "a", Priority: 1, Period: 10, Deadline: 10, Length: 2, Src: 0, Dst: 8},
+	})); err == nil {
+		t.Error("9-node mesh accepted")
+	}
+
+	topo := line2(t)
+	five := make([]traffic.Flow, 5)
+	for i := range five {
+		five[i] = traffic.Flow{Priority: i + 1, Period: 10, Deadline: 10, Length: 1, Src: 0, Dst: 1}
+	}
+	if _, err := Plan(traffic.MustSystem(topo, five)); err == nil {
+		t.Error("5-flow system accepted")
+	}
+
+	huge := noc.Cycles(math.MaxInt64 / 2)
+	if _, err := Plan(traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "a", Priority: 1, Period: huge, Deadline: huge, Length: 1, Src: 0, Dst: 1},
+		{Name: "b", Priority: 2, Period: huge - 1, Deadline: huge - 1, Length: 1, Src: 0, Dst: 1},
+	})); err == nil {
+		t.Error("overflowing phasing grid accepted")
+	}
+
+	sp, err := Plan(traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "a", Priority: 1, Period: 6, Deadline: 5, Length: 2, Src: 0, Dst: 1},
+		{Name: "b", Priority: 2, Period: 10, Deadline: 9, Length: 2, Src: 0, Dst: 1},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.GridSize != 60 {
+		t.Errorf("grid size %d, want 60", sp.GridSize)
+	}
+	if sp.Hyperperiod != 30 {
+		t.Errorf("hyperperiod %d, want 30", sp.Hyperperiod)
+	}
+	if sp.SuggestedDuration != 30+2*9+1 {
+		t.Errorf("suggested duration %d, want %d", sp.SuggestedDuration, 30+2*9+1)
+	}
+}

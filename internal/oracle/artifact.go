@@ -47,6 +47,10 @@ type CheckSpec struct {
 	// compatibility with artifacts written before the invariant
 	// existed.
 	EditChainLen int `json:"edit_chain_len,omitempty"`
+	// ExhaustiveStates records the explicit-state backend's state
+	// budget; zero (the backend disabled) is omitted for compatibility
+	// with artifacts written before the backend existed.
+	ExhaustiveStates int64 `json:"exhaustive_states,omitempty"`
 }
 
 // ViolationSpec is the serialised form of Violation.
@@ -76,12 +80,13 @@ func NewArtifact(sc *Scenario, cfg CheckConfig, v Violation, shrink *ShrinkResul
 		Seed:     sc.Seed,
 		Scenario: sc.Doc,
 		Check: CheckSpec{
-			Seed:          cfg.Seed,
-			Duration:      int64(cfg.Duration),
-			Restarts:      cfg.Restarts,
-			RefineSteps:   cfg.RefineSteps,
-			ProbesPerFlow: cfg.ProbesPerFlow,
-			EditChainLen:  cfg.EditChainLen,
+			Seed:             cfg.Seed,
+			Duration:         int64(cfg.Duration),
+			Restarts:         cfg.Restarts,
+			RefineSteps:      cfg.RefineSteps,
+			ProbesPerFlow:    cfg.ProbesPerFlow,
+			EditChainLen:     cfg.EditChainLen,
+			ExhaustiveStates: cfg.ExhaustiveStates,
 		},
 		Violation: ViolationSpec{
 			Class:     v.Class.String(),
@@ -137,12 +142,13 @@ func ReadArtifact(r io.Reader) (*Artifact, error) {
 // found under.
 func (a *Artifact) CheckConfig() CheckConfig {
 	return CheckConfig{
-		Seed:          a.Check.Seed,
-		Duration:      noc.Cycles(a.Check.Duration),
-		Restarts:      a.Check.Restarts,
-		RefineSteps:   a.Check.RefineSteps,
-		ProbesPerFlow: a.Check.ProbesPerFlow,
-		EditChainLen:  a.Check.EditChainLen,
+		Seed:             a.Check.Seed,
+		Duration:         noc.Cycles(a.Check.Duration),
+		Restarts:         a.Check.Restarts,
+		RefineSteps:      a.Check.RefineSteps,
+		ProbesPerFlow:    a.Check.ProbesPerFlow,
+		EditChainLen:     a.Check.EditChainLen,
+		ExhaustiveStates: a.Check.ExhaustiveStates,
 	}
 }
 

@@ -37,10 +37,20 @@ type CampaignConfig struct {
 // CampaignStats aggregates a campaign's outcome. Violations and
 // Findings count individual reported entries, not scenarios.
 type CampaignStats struct {
-	Checked    int
-	SimRuns    int
+	// Checked counts scenarios fully checked.
+	Checked int
+	// SimRuns totals the simulations spent across all checks.
+	SimRuns int
+	// Violations counts reported invariant breaches.
 	Violations int
-	Findings   int
+	// Findings counts KnownOptimism classifications.
+	Findings int
+	// Exhausted counts scenarios the explicit-state backend enumerated
+	// (Report.Exhaustive non-nil); ExhaustedComplete counts those whose
+	// full phasing grid was covered — the scenarios whose verdict is a
+	// proof, not a sample. Both stay zero when
+	// CheckConfig.ExhaustiveStates is unset.
+	Exhausted, ExhaustedComplete int
 }
 
 // Campaign generates and checks cfg.Scenarios scenarios on a worker
@@ -84,6 +94,12 @@ func Campaign(cfg CampaignConfig, fn func(i int, sc *Scenario, ccfg CheckConfig,
 		stats.SimRuns += rep.SimRuns
 		stats.Violations += len(rep.Violations)
 		stats.Findings += len(rep.Findings)
+		if rep.Exhaustive != nil {
+			stats.Exhausted++
+			if rep.Exhaustive.Complete {
+				stats.ExhaustedComplete++
+			}
+		}
 		mu.Unlock()
 		if fn != nil {
 			return fn(i, sc, ccfg, rep)

@@ -39,6 +39,16 @@ type CheckConfig struct {
 	// incremental-divergence invariant replays against the scenario
 	// (default DefaultEditChainLen). Negative disables the replay.
 	EditChainLen int
+	// ExhaustiveStates, when positive, arms the explicit-state backend:
+	// scenarios whose full phasing grid fits this many states (and the
+	// structural limits of internal/exhaustive) are exhaustively
+	// enumerated and held to the chain search <= exhaustive <= IBN <=
+	// XLWX, with the search-vs-exhaustive gap reported in
+	// Report.Exhaustive. Zero disables the backend — it only pays off on
+	// deliberately tiny scenarios (see GenConfig for the knobs that keep
+	// grids small). Scenarios out of reach are skipped with a Note,
+	// never silently.
+	ExhaustiveStates int64
 
 	// mutate, when non-nil, rewrites every analytic bound before the
 	// invariants see it. It exists solely for the mutation self-test:
@@ -96,6 +106,17 @@ const (
 	// converge to the same point as cold ones; any divergence is an
 	// invalidation or warm-start bug in internal/core's Incremental.
 	IncrementalDivergent
+	// ExhaustiveDivergent: the explicit-state backend (internal/
+	// exhaustive) falsified its chain on a small scenario — the
+	// randomised search exceeded the supposedly complete enumeration
+	// (search<=exhaustive), the true in-class worst case exceeded a
+	// declared-safe IBN/XLWX bound (exhaustive<=IBN, exhaustive<=XLWX),
+	// or a schedulable flow left packets unfinished a deadline past
+	// release (exhaustive-censor-free). The first invariant indicts the
+	// enumeration itself; the others are ground-truth unsoundness
+	// evidence, stronger than a sampled attack because the whole phasing
+	// class was checked.
+	ExhaustiveDivergent
 	// KnownOptimism: an observed latency exceeded an SB or SLA bound.
 	// This is the multi-point progressive blocking effect those
 	// analyses miss — expected behaviour, reported as a finding rather
@@ -118,6 +139,8 @@ func (c Class) String() string {
 		return "divergent-sim"
 	case IncrementalDivergent:
 		return "incremental-divergent"
+	case ExhaustiveDivergent:
+		return "exhaustive-divergent"
 	case KnownOptimism:
 		return "known-optimism"
 	default:
@@ -127,7 +150,7 @@ func (c Class) String() string {
 
 // parseClass is the inverse of Class.String, used by artifact replay.
 func parseClass(s string) (Class, error) {
-	for _, c := range []Class{Unsound, Inconsistent, NonMonotone, NonDeterministic, Divergent, IncrementalDivergent, KnownOptimism} {
+	for _, c := range []Class{Unsound, Inconsistent, NonMonotone, NonDeterministic, Divergent, IncrementalDivergent, ExhaustiveDivergent, KnownOptimism} {
 		if c.String() == s {
 			return c, nil
 		}
@@ -179,6 +202,11 @@ type Report struct {
 	// FlowsAttacked counts flows whose bounds were adversarially
 	// searched; SimRuns counts the simulations spent doing it.
 	FlowsAttacked, SimRuns int
+	// Exhaustive, when the explicit-state backend ran (see
+	// CheckConfig.ExhaustiveStates), reports its coverage and the
+	// per-flow search-vs-exhaustive gap. Nil when the backend was
+	// disabled or the scenario was out of its reach (a Note says which).
+	Exhaustive *ExhaustiveReport
 	// Notes records checks that were skipped and why (e.g. the sim
 	// attack on a platform outside Equation 1's validity region).
 	Notes []string
@@ -431,6 +459,23 @@ func Check(sc *Scenario, cfg CheckConfig) (*Report, error) {
 				rep.Violations = append(rep.Violations, v)
 			}
 		}
+	}
+
+	// Invariant chain of the explicit-state backend: on scenarios small
+	// enough to enumerate, upgrade "no violation found" to "provably
+	// none exists in the canonical phasing class" — and hold the
+	// randomised search to the enumeration (search<=exhaustive) while
+	// holding the declared-safe bounds to the true worst case
+	// (exhaustive<=IBN<=XLWX, plus censor-freedom).
+	if cfg.ExhaustiveStates > 0 {
+		vs, er, notes, runs, err := checkExhaustive(sys, results, cfg, bound)
+		if err != nil {
+			return nil, err
+		}
+		rep.Violations = append(rep.Violations, vs...)
+		rep.Exhaustive = er
+		rep.Notes = append(rep.Notes, notes...)
+		rep.SimRuns += runs
 	}
 
 	sortViolations(rep.Violations)

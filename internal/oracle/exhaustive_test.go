@@ -1,0 +1,212 @@
+package oracle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// tinyScenario is small enough for the explicit-state backend: a
+// 2-node line, two flows sharing the whole route, grid of 8*20 = 160
+// phasings. Both flows are IBN/XLWX-schedulable (the low-priority
+// deadline is generous because the analytic bounds are conservative
+// under shared-route interference), so the full chain
+// search <= exhaustive <= IBN <= XLWX is exercised.
+func tinyScenario() *Scenario {
+	return &Scenario{Doc: buildDoc(
+		traffic.MeshSpec{Width: 2, Height: 1, BufDepth: 4, LinkLatency: 1},
+		[]traffic.Flow{
+			{Name: "h", Priority: 1, Period: 8, Deadline: 8, Length: 2, Src: 0, Dst: 1},
+			{Name: "l", Priority: 2, Period: 20, Deadline: 20, Length: 3, Src: 0, Dst: 1},
+		})}
+}
+
+// A healthy tiny scenario must come back violation-free with a complete
+// exhaustive report proving the chain, and — on a grid this small — a
+// zero search-vs-exhaustive gap.
+func TestCheckExhaustiveProvesChain(t *testing.T) {
+	rep, err := Check(tinyScenario(), CheckConfig{Seed: 1, ExhaustiveStates: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("healthy scenario reported violations: %v", rep.Violations)
+	}
+	ex := rep.Exhaustive
+	if ex == nil {
+		t.Fatalf("exhaustive backend did not run; notes: %v", rep.Notes)
+	}
+	if !ex.Complete || ex.Truncation != "" {
+		t.Fatalf("160-phasing grid not completely enumerated: %+v", ex)
+	}
+	if ex.GridSize != 160 || ex.States != 160 {
+		t.Fatalf("grid/states = %d/%d, want 160/160", ex.GridSize, ex.States)
+	}
+	if len(ex.Gaps) != 2 {
+		t.Fatalf("gap metric covers %d flows, want 2", len(ex.Gaps))
+	}
+	for _, g := range ex.Gaps {
+		if !g.Proven {
+			t.Errorf("flow %d not proven on a complete uncensored enumeration", g.Flow)
+		}
+		if g.Gap != 0 {
+			t.Errorf("flow %d: search left a gap of %d on a 160-phasing grid (search %d, exhaustive %d)",
+				g.Flow, g.Gap, g.Search, g.Exhaustive)
+		}
+	}
+}
+
+// Scenarios out of the backend's reach are skipped with an explicit
+// note, never silently and never with a fake report.
+func TestCheckExhaustiveSkipsLoudly(t *testing.T) {
+	// Budget below the 96-phasing grid.
+	rep, err := Check(tinyScenario(), CheckConfig{Seed: 1, ExhaustiveStates: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exhaustive != nil {
+		t.Fatal("over-budget grid still produced an exhaustive report")
+	}
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "exhaustive skipped") && strings.Contains(n, "budget") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no skip note recorded; notes: %v", rep.Notes)
+	}
+
+	// Backend disabled: no report, no note, no cost.
+	rep, err = Check(tinyScenario(), CheckConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exhaustive != nil {
+		t.Fatal("disabled backend still produced an exhaustive report")
+	}
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "exhaustive") {
+			t.Fatalf("disabled backend left a note: %q", n)
+		}
+	}
+}
+
+// Halving the IBN bound on the tiny scenario must trip the exhaustive
+// chain — the true in-class worst case exceeds the corrupted bound —
+// and the violation must shrink to a minimal replayable counterexample,
+// with the backend's budget recorded in the artifact so the replay
+// re-arms it.
+func TestMutationExhaustiveDivergenceIsCaughtAndShrunk(t *testing.T) {
+	sc := tinyScenario()
+	cfg := CheckConfig{
+		Seed:             1,
+		ExhaustiveStates: 1 << 12,
+		mutate: func(m core.Method, flow int, r noc.Cycles) noc.Cycles {
+			if m == core.IBN {
+				return r / 2
+			}
+			return r
+		},
+	}
+	rep, err := Check(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var caught *Violation
+	for i := range rep.Violations {
+		if rep.Violations[i].Class == ExhaustiveDivergent && rep.Violations[i].Invariant == "exhaustive<=IBN" {
+			caught = &rep.Violations[i]
+			break
+		}
+	}
+	if caught == nil {
+		t.Fatalf("halved IBN bound evaded the exhaustive chain; violations: %v", rep.Violations)
+	}
+	if caught.Observed <= caught.Bound {
+		t.Fatalf("violation does not witness the breach: observed %d <= bound %d", caught.Observed, caught.Bound)
+	}
+	// The witness phasing must be attached for replay.
+	if len(caught.Offsets) == 0 {
+		t.Fatal("exhaustive violation carries no witness phasing")
+	}
+
+	shrunk, err := Shrink(sc, *caught, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shrunk.Reductions == 0 {
+		t.Error("shrinker made no reduction on the 2-flow scenario")
+	}
+	if n := len(shrunk.Scenario.Doc.Flows); n > 1 {
+		// A lone flow's exhaustive worst case is exactly C > C/2, so the
+		// minimal counterexample for this mutation is a single flow.
+		t.Errorf("minimal counterexample kept %d flows, want 1", n)
+	}
+	if FindViolation(shrunk.Report, *caught) == nil {
+		t.Error("shrunk scenario no longer exhibits the violation")
+	}
+
+	// The artifact records the exhaustive budget, round-trips, and its
+	// replay (healthy analyses) must NOT reproduce the violation.
+	art := NewArtifact(shrunk.Scenario, cfg, *FindViolation(shrunk.Report, *caught), shrunk)
+	if art.Check.ExhaustiveStates != cfg.ExhaustiveStates {
+		t.Errorf("artifact records exhaustive budget %d, want %d", art.Check.ExhaustiveStates, cfg.ExhaustiveStates)
+	}
+	var buf bytes.Buffer
+	if err := art.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CheckConfig().ExhaustiveStates != cfg.ExhaustiveStates {
+		t.Errorf("exhaustive budget lost in round trip: %d", back.CheckConfig().ExhaustiveStates)
+	}
+	replayRep, reproduced, err := back.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reproduced {
+		t.Errorf("replay against the healthy analyses reproduced the mutation's violation: %v", replayRep.Violations)
+	}
+	if replayRep.Exhaustive == nil {
+		t.Error("replay did not re-arm the exhaustive backend")
+	}
+}
+
+// A campaign with the backend armed counts enumerated scenarios; tiny
+// generator bounds keep every grid within reach.
+func TestCampaignCountsExhausted(t *testing.T) {
+	stats, err := Campaign(CampaignConfig{
+		Scenarios: 4,
+		Seed:      7,
+		Gen: GenConfig{
+			MaxDim: 2, MaxFlows: 2, MaxBuf: 4,
+			MaxLinkLatency: 1, MaxRouteLatency: -1,
+			PeriodMin: 6, PeriodMax: 16, LenMin: 2, LenMax: 4,
+		},
+		Check:   CheckConfig{Duration: 2000, ExhaustiveStates: 1 << 12},
+		Workers: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checked != 4 {
+		t.Fatalf("checked %d scenarios, want 4", stats.Checked)
+	}
+	if stats.Exhausted == 0 {
+		t.Fatal("no scenario reached the exhaustive backend under tiny generator bounds")
+	}
+	if stats.ExhaustedComplete > stats.Exhausted {
+		t.Fatalf("complete count %d exceeds enumerated count %d", stats.ExhaustedComplete, stats.Exhausted)
+	}
+	if stats.Violations != 0 {
+		t.Fatalf("healthy campaign reported %d violations", stats.Violations)
+	}
+}

@@ -79,8 +79,15 @@ type GenConfig struct {
 	// LenMin/LenMax bound packet lengths in flits (defaults 8, 96).
 	LenMin, LenMax int
 	// JitterProb is the probability that a flow gets release jitter
-	// (default 0.25; the jitter is at most a quarter period).
+	// (default 0.25; negative disables jitter entirely, which the
+	// exhaustive matrices use — the explicit-state backend certifies the
+	// jitter-free canonical class, so jitter-free scenarios keep its
+	// searches and proofs in the same class). The jitter drawn is at
+	// most a quarter period.
 	JitterProb float64
+	// MaxJitter, when positive, additionally clamps every drawn jitter
+	// to this many cycles (the -jitter knob of nocfuzz exhaust).
+	MaxJitter noc.Cycles
 }
 
 func (c *GenConfig) setDefaults() {
@@ -113,8 +120,10 @@ func (c *GenConfig) setDefaults() {
 	if c.LenMax < c.LenMin {
 		c.LenMax = 96
 	}
-	if c.JitterProb <= 0 {
+	if c.JitterProb == 0 {
 		c.JitterProb = 0.25
+	} else if c.JitterProb < 0 {
+		c.JitterProb = 0
 	}
 }
 
@@ -199,6 +208,9 @@ func Generate(seed int64, cfg GenConfig) *Scenario {
 		var jitter noc.Cycles
 		if rng.Float64() < cfg.JitterProb {
 			jitter = noc.Cycles(rng.Int63n(int64(period/4) + 1))
+			if cfg.MaxJitter > 0 && jitter > cfg.MaxJitter {
+				jitter = cfg.MaxJitter
+			}
 		}
 		flows[i] = traffic.Flow{
 			Name:     fmt.Sprintf("g%d", i),

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+
+	"wormnoc/internal/traffic"
+)
+
+// TieFree reports whether every arbitration decision the simulator can
+// ever face for sys is uniquely determined — i.e. whether the engine's
+// trajectory is a pure function of the release phasing, with no hidden
+// interleaving freedom. It is the soundness gate of the exhaustive
+// verification backend (internal/exhaustive): an explicit-state
+// exploration that enumerates release phasings only proves a true worst
+// case if, per phasing, exactly one trajectory exists; were arbitration
+// ever to admit a tie, every tie-break interleaving would have to be
+// enumerated too, and the explorer refuses to certify instead.
+//
+// The check is static and exact for the model reproduced here:
+//
+//   - per output link, the arbiter picks the highest-priority eligible
+//     candidate, so a tie requires two eligible candidates of equal
+//     priority on one link;
+//   - flow priorities are unique across the whole flow set (enforced by
+//     traffic.NewSystem — one virtual channel per priority level), so no
+//     two candidates of any link can share a priority;
+//   - all remaining same-cycle orderings (same-cycle releases, transfer
+//     application, trace emission) are fixed by construction to flow-
+//     index respectively link-id order, identically in both engines.
+//
+// TieFree re-derives the per-link guarantee from the system itself
+// rather than trusting the constructor, so a future relaxation of the
+// unique-priority rule (e.g. heterogeneous platforms with per-router
+// arbitration) degrades exhaustive exploration into an explicit
+// "interleavings not enumerable" refusal instead of a silent unsound
+// proof. The returned reason is empty when tie-free, else it names the
+// first link and flow pair that could tie.
+func TieFree(sys *traffic.System) (bool, string) {
+	topo := sys.Topology()
+	// prioOn[l] is the priority of the last candidate seen on link l;
+	// flowOn[l] that candidate's flow index.
+	prioOn := make(map[int]map[int]int, topo.NumLinks())
+	for i := 0; i < sys.NumFlows(); i++ {
+		p := sys.Flow(i).Priority
+		for _, l := range sys.Route(i) {
+			cands := prioOn[int(l)]
+			if cands == nil {
+				cands = make(map[int]int, 2)
+				prioOn[int(l)] = cands
+			}
+			if j, dup := cands[p]; dup {
+				return false, fmt.Sprintf(
+					"flows %d and %d contend for link %d with equal priority %d: arbitration admits a tie",
+					j, i, int(l), p)
+			}
+			cands[p] = i
+		}
+	}
+	return true, ""
+}

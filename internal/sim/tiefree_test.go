@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"testing"
+
+	"wormnoc/internal/noc"
+	"wormnoc/internal/traffic"
+)
+
+// Every system traffic.NewSystem accepts has unique flow priorities, so
+// TieFree must hold on all of them — including flow sets that share
+// every link of a route.
+func TestTieFreeHoldsForValidSystems(t *testing.T) {
+	topo, err := noc.NewMesh(2, 2, noc.RouterConfig{BufDepth: 4, LinkLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "a", Priority: 1, Period: 20, Deadline: 20, Length: 2, Src: 0, Dst: 3},
+		{Name: "b", Priority: 2, Period: 24, Deadline: 24, Length: 3, Src: 0, Dst: 3},
+		{Name: "c", Priority: 3, Period: 30, Deadline: 30, Length: 1, Src: 2, Dst: 1},
+	})
+	ok, reason := TieFree(sys)
+	if !ok {
+		t.Fatalf("unique-priority system reported tie-prone: %s", reason)
+	}
+	if reason != "" {
+		t.Fatalf("tie-free system returned non-empty reason %q", reason)
+	}
+}
