@@ -21,15 +21,31 @@
 #                                 latency ratio, i.e. the coordination
 #                                 overhead paid for fault tolerance.
 #
+# `make bench-exhaustive` regenerates the explicit-state backend's
+# reduction baseline:
+#
+#   results/BENCH_exhaustive.json — raw-grid vs symmetry-quotiented,
+#                                 cluster-decomposed enumeration on the
+#                                 4-flow reference config; the pair
+#                                 speedup is the wall-clock win and the
+#                                 states/op metrics carry the state-
+#                                 count reduction behind it.
+#
+# When a committed baseline already exists, the regenerated pair
+# speedups are gated against it: a drop of more than MAXREGRESS fails
+# the target (exit 3 from benchjson) and leaves the committed file
+# untouched, so CI catches a reduction that quietly stopped reducing.
+#
 # BENCHTIME/COUNT tune fidelity vs wall time; CI uses the defaults and
 # uploads the files as artifacts.
 
-BENCHTIME ?= 1s
-COUNT     ?= 1
+BENCHTIME  ?= 1s
+COUNT      ?= 1
+MAXREGRESS ?= 25%
 
-.PHONY: bench bench-sim bench-analysis bench-serve fleet-chaos
+.PHONY: bench bench-sim bench-analysis bench-exhaustive bench-serve fleet-chaos
 
-bench: bench-sim bench-analysis
+bench: bench-sim bench-analysis bench-exhaustive
 
 bench-sim:
 	@mkdir -p results
@@ -47,6 +63,23 @@ bench-analysis:
 	  -bench 'BenchmarkAnalysisScaling$$|BenchmarkBuildSets$$|BenchmarkTable2Didactic$$|BenchmarkAblationEq7$$|BenchmarkWhatIfScratch$$|BenchmarkWhatIfIncremental$$' . \
 	  | go run ./cmd/benchjson -out results/BENCH_analysis.json
 	@echo wrote results/BENCH_analysis.json
+
+bench-exhaustive:
+	@mkdir -p results
+	go test -run=NONE -count=$(COUNT) -benchtime=$(BENCHTIME) -benchmem \
+	  -bench 'BenchmarkExhaustive' ./internal/exhaustive \
+	  > results/.bench_exhaustive.txt
+	@if [ -f results/BENCH_exhaustive.json ]; then \
+	  go run ./cmd/benchjson -in results/.bench_exhaustive.txt \
+	    -out results/.bench_exhaustive.json.new \
+	    -baseline results/BENCH_exhaustive.json -max-regress $(MAXREGRESS); \
+	else \
+	  go run ./cmd/benchjson -in results/.bench_exhaustive.txt \
+	    -out results/.bench_exhaustive.json.new; \
+	fi
+	@mv results/.bench_exhaustive.json.new results/BENCH_exhaustive.json
+	@rm -f results/.bench_exhaustive.txt
+	@echo wrote results/BENCH_exhaustive.json
 
 bench-serve:
 	scripts/bench_serve.sh

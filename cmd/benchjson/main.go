@@ -12,13 +12,25 @@
 // delta-aware incremental analysis engine over from-scratch re-analysis,
 // and any BenchmarkRunManySequential/<scenario> pairs with
 // BenchmarkRunMany/<scenario> for the scenario throughput of the batch
-// runner over one-at-a-time engine runs — the numbers those rewrites
-// are held to.
+// runner over one-at-a-time engine runs, and any
+// BenchmarkExhaustiveRaw/<scenario> pairs with
+// BenchmarkExhaustiveReduced/<scenario> for the explicit-state
+// backend's symmetry/cluster reductions over the raw grid — the
+// numbers those rewrites are held to.
+//
+// With -baseline, the freshly parsed document is additionally gated
+// against a previously committed BENCH_*.json: any tracked pair whose
+// speedup fell more than -max-regress percent below the baseline's
+// (or that vanished from the run entirely) fails the gate with exit
+// code 3, so CI distinguishes "benchmarks regressed" from "invocation
+// broke". The gate compares the speedup RATIO, not raw ns/op, so it is
+// robust to runner hardware changing between commits.
 //
 // Usage:
 //
 //	go test -run=NONE -bench=. -benchmem ./... | benchjson -out bench.json
 //	benchjson -in bench.txt                    # JSON to stdout
+//	benchjson -in bench.txt -out new.json -baseline results/BENCH_exhaustive.json -max-regress 20%
 package main
 
 import (
@@ -80,8 +92,10 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
 	var (
-		in  = flag.String("in", "-", "benchmark text to parse (- = stdin)")
-		out = flag.String("out", "-", "output JSON file (- = stdout)")
+		in         = flag.String("in", "-", "benchmark text to parse (- = stdin)")
+		out        = flag.String("out", "-", "output JSON file (- = stdout)")
+		baseline   = flag.String("baseline", "", "committed BENCH_*.json to gate pair speedups against")
+		maxRegress = flag.String("max-regress", "10%", "max tolerated pair-speedup regression vs -baseline (e.g. 20%)")
 	)
 	flag.Parse()
 
@@ -112,6 +126,69 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fatal(err)
 	}
+	if *baseline != "" {
+		tol, err := ParseRegress(*maxRegress)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base Doc
+		err = json.NewDecoder(f).Decode(&base)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("parsing baseline %s: %w", *baseline, err))
+		}
+		regressions := Gate(&base, doc, tol)
+		for _, msg := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", msg)
+		}
+		if len(regressions) > 0 {
+			os.Exit(3)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d pair(s) within %.0f%% of baseline %s\n",
+			len(base.Pairs), tol*100, *baseline)
+	}
+}
+
+// ParseRegress parses a -max-regress value: a non-negative percentage
+// with optional trailing "%".
+func ParseRegress(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad -max-regress %q: want a non-negative percentage like 20%%", s)
+	}
+	return v / 100, nil
+}
+
+// Gate compares the freshly measured document against a committed
+// baseline and reports one message per regressed pair: a tracked
+// before/after speedup that fell below baseline·(1−tol), or a baseline
+// pair the new run no longer produces at all (a renamed or deleted
+// benchmark would otherwise silently retire its gate). New pairs absent
+// from the baseline pass — they gate from the next baseline refresh on.
+func Gate(base, doc *Doc, tol float64) []string {
+	byBefore := map[string]Pair{}
+	for _, p := range doc.Pairs {
+		byBefore[p.BeforeName] = p
+	}
+	var out []string
+	for _, old := range base.Pairs {
+		p, ok := byBefore[old.BeforeName]
+		if !ok {
+			out = append(out, fmt.Sprintf("pair %s vs %s: present in baseline, missing from this run",
+				old.BeforeName, old.AfterName))
+			continue
+		}
+		floor := old.Speedup * (1 - tol)
+		if p.Speedup < floor {
+			out = append(out, fmt.Sprintf("pair %s: speedup %.2fx fell below %.2fx (baseline %.2fx − %.0f%%)",
+				p.BeforeName, p.Speedup, floor, old.Speedup, tol*100))
+		}
+	}
+	return out
 }
 
 // Parse reads `go test -bench` output and builds the document. Lines
@@ -215,6 +292,11 @@ var pairPrefixes = []struct{ before, after string }{
 	{"BenchmarkEngineReference/", "BenchmarkEngine/"},
 	{"BenchmarkWhatIfScratch/", "BenchmarkWhatIfIncremental/"},
 	{"BenchmarkRunManySequential/", "BenchmarkRunMany/"},
+	// The exhaustive backend's raw-grid enumeration vs the symmetry-
+	// quotiented, cluster-decomposed one (results/BENCH_exhaustive.json,
+	// Makefile `bench-exhaustive`). The states/op metric on each record
+	// carries the state-count reduction behind the wall-clock speedup.
+	{"BenchmarkExhaustiveRaw/", "BenchmarkExhaustiveReduced/"},
 	// cmd/nocload emits these (they are not `go test` benchmarks): one
 	// nocserve worker loaded directly vs the same load through a
 	// cluster coordinator fronting a worker fleet. "Speedup" here is

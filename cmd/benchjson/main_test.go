@@ -17,6 +17,8 @@ BenchmarkWhatIfScratch/period/n=400-8         	      28	  40913363 ns/op	 643446
 BenchmarkWhatIfIncremental/period/n=400-8     	     988	   1194335 ns/op	  830416 B/op	    3695 allocs/op
 BenchmarkRunManySequential/campaign64-8       	      10	 104000000 ns/op	     512 B/op	       8 allocs/op
 BenchmarkRunMany/campaign64-8                 	      40	  26000000 ns/op	    1024 B/op	      24 allocs/op
+BenchmarkExhaustiveRaw/ref4-8                 	       1	1257000000 ns/op	      8640 states/op
+BenchmarkExhaustiveReduced/ref4-8             	     600	   1900000 ns/op	        37 states/op
 PASS
 ok  	wormnoc	15.244s
 `
@@ -29,8 +31,8 @@ func TestParse(t *testing.T) {
 	if doc.Schema != Schema {
 		t.Errorf("schema = %q", doc.Schema)
 	}
-	if len(doc.Benchmarks) != 9 {
-		t.Fatalf("parsed %d benchmarks, want 9: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	if len(doc.Benchmarks) != 11 {
+		t.Fatalf("parsed %d benchmarks, want 11: %+v", len(doc.Benchmarks), doc.Benchmarks)
 	}
 	byName := map[string]Benchmark{}
 	for _, b := range doc.Benchmarks {
@@ -51,8 +53,8 @@ func TestParse(t *testing.T) {
 		t.Errorf("custom metric cycles/s = %v", got)
 	}
 
-	if len(doc.Pairs) != 4 {
-		t.Fatalf("derived %d pairs, want 4: %+v", len(doc.Pairs), doc.Pairs)
+	if len(doc.Pairs) != 5 {
+		t.Fatalf("derived %d pairs, want 5: %+v", len(doc.Pairs), doc.Pairs)
 	}
 	if doc.Pairs[0].Scenario != "low" || doc.Pairs[1].Scenario != "moderate" {
 		t.Errorf("pair order: %+v", doc.Pairs)
@@ -77,6 +79,13 @@ func TestParse(t *testing.T) {
 	}
 	if s := runmany.Speedup; s < 3.9 || s > 4.1 {
 		t.Errorf("RunMany speedup = %.2f, want ~4.0", s)
+	}
+	exh, ok := byBefore["BenchmarkExhaustiveRaw/ref4"]
+	if !ok || exh.AfterName != "BenchmarkExhaustiveReduced/ref4" {
+		t.Errorf("exhaustive reduction pair not derived: %+v", doc.Pairs)
+	}
+	if s := exh.Speedup; s < 660 || s > 663 {
+		t.Errorf("exhaustive speedup = %.2f, want ~661.6", s)
 	}
 }
 
@@ -148,6 +157,67 @@ BenchmarkServeFleet/analyze 	 9000	    2000000 ns/op	 1900 p50_us	 4000 p99_us	 
 	// Half-pair guard covers the serve family too.
 	if _, err := Parse(strings.NewReader("BenchmarkServeSingle/mixed 10 100 ns/op\n")); err == nil {
 		t.Error("Parse accepted a serve family with only the single-node side present")
+	}
+}
+
+// TestGate exercises the -baseline regression gate: speedups within
+// tolerance pass, speedups below baseline·(1−tol) fail, and a tracked
+// pair that vanished from the run fails so a renamed benchmark cannot
+// silently retire its gate. New pairs absent from the baseline pass.
+func TestGate(t *testing.T) {
+	pair := func(before, after string, speedup float64) Pair {
+		return Pair{Scenario: "x", BeforeName: before + "/x", AfterName: after + "/x", Speedup: speedup}
+	}
+	base := &Doc{Pairs: []Pair{
+		pair("BenchmarkExhaustiveRaw", "BenchmarkExhaustiveReduced", 600),
+		pair("BenchmarkEngineReference", "BenchmarkEngine", 4),
+	}}
+
+	// Within tolerance: 10% below a 600x baseline clears a 20% gate.
+	doc := &Doc{Pairs: []Pair{
+		pair("BenchmarkExhaustiveRaw", "BenchmarkExhaustiveReduced", 540),
+		pair("BenchmarkEngineReference", "BenchmarkEngine", 4.2),
+		pair("BenchmarkRunManySequential", "BenchmarkRunMany", 1), // new pair, no baseline
+	}}
+	if msgs := Gate(base, doc, 0.20); len(msgs) != 0 {
+		t.Errorf("in-tolerance run failed the gate: %v", msgs)
+	}
+
+	// A collapsed speedup and a vanished pair are both regressions.
+	doc = &Doc{Pairs: []Pair{
+		pair("BenchmarkExhaustiveRaw", "BenchmarkExhaustiveReduced", 300),
+	}}
+	msgs := Gate(base, doc, 0.20)
+	if len(msgs) != 2 {
+		t.Fatalf("gate reported %d regressions, want 2 (collapse + missing pair): %v", len(msgs), msgs)
+	}
+	if !strings.Contains(msgs[0], "300.00x") || !strings.Contains(msgs[1], "missing") {
+		t.Errorf("regression messages: %v", msgs)
+	}
+
+	// Zero tolerance: any dip fails.
+	doc = &Doc{Pairs: []Pair{
+		pair("BenchmarkExhaustiveRaw", "BenchmarkExhaustiveReduced", 599.9),
+		pair("BenchmarkEngineReference", "BenchmarkEngine", 4),
+	}}
+	if msgs := Gate(base, doc, 0); len(msgs) != 1 {
+		t.Errorf("zero-tolerance gate reported %v", msgs)
+	}
+}
+
+func TestParseRegress(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"10%", 0.10, true}, {"20", 0.20, true}, {"0%", 0, true},
+		{"-5%", 0, false}, {"ten", 0, false}, {"", 0, false},
+	} {
+		got, err := ParseRegress(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseRegress(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
 	}
 }
 

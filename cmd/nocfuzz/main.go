@@ -10,9 +10,10 @@
 //	nocfuzz replay -in counterexamples/ce-000012.json # re-check one artifact
 //	nocfuzz corpus -n 16 -out internal/oracle/testdata/fuzz/FuzzOracleScenario
 //
-// Exit codes: 0 clean, 1 usage or I/O error, 3 a violation was found
-// (run) or still reproduces (replay) — distinct so CI can tell "broken
-// invocation" from "broken invariant".
+// Exit codes: 0 clean, 1 usage or I/O error, 2 coverage incomplete
+// under exhaust -require-complete, 3 a violation was found (run) or
+// still reproduces (replay) — distinct so CI can tell "broken
+// invocation" from "missing proof" from "broken invariant".
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"sort"
 	"sync"
 
+	"wormnoc/internal/exhaustive"
 	"wormnoc/internal/noc"
 	"wormnoc/internal/oracle"
 	"wormnoc/internal/prof"
@@ -59,7 +61,9 @@ func usage() {
                   [-keep-going] [-v] [-cpuprofile FILE] [-memprofile FILE]
   nocfuzz exhaust [-n N] [-seed S] [-out DIR] [-mesh M] [-flows F]
                   [-jitter J] [-workers W] [-budget STATES] [-timeout DUR]
-                  [-duration D] [-keep-going] [-v]
+                  [-duration D] [-reduce all|none|symmetry|clusters]
+                  [-period-min P] [-period-max P] [-require-complete]
+                  [-keep-going] [-v]
   nocfuzz replay  -in FILE [-v]
   nocfuzz corpus  [-n N] [-seed S] -out DIR
 
@@ -70,10 +74,18 @@ exhaust generates N deliberately tiny scenarios (mesh dims <= M, <= F
         state backend: the full release-phasing grid is enumerated and
         the chain search <= exhaustive <= IBN <= XLWX is proved, with
         the search-vs-exhaustive gap written to DIR/gap-report.json.
-        Scenarios whose grid exceeds the state budget are reported as
-        skipped; budget- or timeout-truncated enumerations are reported
-        as truncated, never as proofs. Violations shrink to artifacts
-        exactly as with run.
+        The budget is compared against the REDUCED state space (shift-
+        symmetry quotient + contention-cluster decomposition, default
+        -reduce=all); -reduce=none restores the raw grid enumeration
+        for differential validation. Scenarios whose reduced space
+        exceeds the state budget are reported as skipped; budget- or
+        timeout-truncated enumerations are reported as truncated, never
+        as proofs. -period-min/-period-max widen the generated period
+        range (longer periods multiply the raw grid — the configs only
+        reduction makes reachable). -require-complete exits with code 2
+        unless every scenario produced a complete proof (no skips, no
+        truncations), which is what the nightly sweep asserts.
+        Violations shrink to artifacts exactly as with run.
 replay  re-runs the check an artifact records; exit 3 if it reproduces.
 corpus  emits go-fuzz seed files (one int64 seed each) for
         internal/oracle's FuzzOracleScenario target.
@@ -180,30 +192,38 @@ func cmdRun(args []string) {
 }
 
 // gapRow is one scenario-flow line of the exhaust gap report.
+// ViaReduction separates proofs the reductions made affordable from
+// proofs over the raw grid, so the report shows which part of the
+// matrix only exists because of the symmetry/cluster reductions.
 type gapRow struct {
-	Scenario   int    `json:"scenario"`
-	Seed       int64  `json:"seed"`
-	Flow       int    `json:"flow"`
-	Search     int64  `json:"search"`
-	Exhaustive int64  `json:"exhaustive"`
-	Gap        int64  `json:"gap"`
-	Proven     bool   `json:"proven"`
-	GridSize   int64  `json:"grid_size"`
-	States     int64  `json:"states"`
-	Truncation string `json:"truncation,omitempty"`
+	Scenario     int    `json:"scenario"`
+	Seed         int64  `json:"seed"`
+	Flow         int    `json:"flow"`
+	Search       int64  `json:"search"`
+	Exhaustive   int64  `json:"exhaustive"`
+	Gap          int64  `json:"gap"`
+	Proven       bool   `json:"proven"`
+	ViaReduction bool   `json:"via_reduction,omitempty"`
+	GridSize     int64  `json:"grid_size"`
+	ReducedGrid  int64  `json:"reduced_grid_size"`
+	States       int64  `json:"states"`
+	Truncation   string `json:"truncation,omitempty"`
 }
 
 // gapReport is the DIR/gap-report.json schema: campaign-level coverage
 // plus one row per (enumerated scenario, schedulable flow).
 type gapReport struct {
-	Scenarios int      `json:"scenarios"`
-	Exhausted int      `json:"exhausted"`
-	Complete  int      `json:"complete"`
-	Skipped   int      `json:"skipped"`
-	Truncated int      `json:"truncated"`
-	SimRuns   int      `json:"sim_runs"`
-	MaxGap    int64    `json:"max_gap"`
-	Rows      []gapRow `json:"rows"`
+	Scenarios    int      `json:"scenarios"`
+	Reduction    string   `json:"reduction"`
+	Exhausted    int      `json:"exhausted"`
+	Complete     int      `json:"complete"`
+	ViaReduction int      `json:"via_reduction"`
+	Skipped      int      `json:"skipped"`
+	Truncated    int      `json:"truncated"`
+	SimRuns      int      `json:"sim_runs"`
+	StatesSaved  int64    `json:"states_saved"`
+	MaxGap       int64    `json:"max_gap"`
+	Rows         []gapRow `json:"rows"`
 }
 
 func cmdExhaust(args []string) {
@@ -219,11 +239,19 @@ func cmdExhaust(args []string) {
 		budget    = fs.Int64("budget", 1<<16, "state budget: max phasings enumerated per scenario; larger grids are skipped")
 		timeout   = fs.Duration("timeout", 0, "wall-clock cap for the whole matrix (0 = none); a timed-out matrix reports partial coverage")
 		duration  = fs.Int64("duration", 2_000, "simulation horizon of the randomised (jittered) attack, cycles")
+		reduce    = fs.String("reduce", "all", "state-space reductions: all, none, symmetry or clusters (budget gates on the reduced size)")
+		periodMin = fs.Int64("period-min", 6, "min generated flow period, cycles")
+		periodMax = fs.Int64("period-max", 18, "max generated flow period, cycles (the raw grid is the product of the periods)")
+		require   = fs.Bool("require-complete", false, "exit 2 unless every scenario yields a complete proof (no skips, no truncations)")
 		keepGoing = fs.Bool("keep-going", false, "check all N scenarios even after violations")
 		verbose   = fs.Bool("v", false, "log every scenario, not just violating ones")
 	)
 	fs.Parse(args)
 
+	mode, err := exhaustive.ParseReduction(*reduce)
+	if err != nil {
+		fatal(err)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -237,8 +265,9 @@ func cmdExhaust(args []string) {
 		MaxLinkLatency:  1,
 		MaxRouteLatency: -1,
 		// Short periods keep the phasing grid (the product of the
-		// periods) within the state budget.
-		PeriodMin: 6, PeriodMax: 18,
+		// periods) within the state budget; the nightly sweep raises
+		// -period-max to sizes only the reduced space can cover.
+		PeriodMin: noc.Cycles(*periodMin), PeriodMax: noc.Cycles(*periodMax),
 		LenMin: 2, LenMax: 6,
 		JitterProb: -1,
 		MaxJitter:  noc.Cycles(*jitter),
@@ -251,7 +280,7 @@ func cmdExhaust(args []string) {
 	}
 
 	errStop := errors.New("stop after violation")
-	report := gapReport{Scenarios: *n}
+	report := gapReport{Scenarios: *n, Reduction: mode.String()}
 	var mu sync.Mutex
 	stats, err := oracle.Campaign(oracle.CampaignConfig{
 		Scenarios: *n,
@@ -260,6 +289,7 @@ func cmdExhaust(args []string) {
 		Check: oracle.CheckConfig{
 			Duration:         noc.Cycles(*duration),
 			ExhaustiveStates: *budget,
+			ExhaustiveReduce: mode,
 		},
 		Workers: *workers,
 		Context: ctx,
@@ -275,29 +305,35 @@ func cmdExhaust(args []string) {
 			ex := rep.Exhaustive
 			if ex.Complete {
 				report.Complete++
+				if ex.StatesSaved > 0 {
+					report.ViaReduction++
+				}
 			} else {
 				report.Truncated++
 			}
+			report.StatesSaved += ex.StatesSaved
 			for _, g := range ex.Gaps {
 				report.Rows = append(report.Rows, gapRow{
-					Scenario:   i,
-					Seed:       sc.Seed,
-					Flow:       g.Flow,
-					Search:     int64(g.Search),
-					Exhaustive: int64(g.Exhaustive),
-					Gap:        int64(g.Gap),
-					Proven:     g.Proven,
-					GridSize:   ex.GridSize,
-					States:     ex.States,
-					Truncation: ex.Truncation,
+					Scenario:     i,
+					Seed:         sc.Seed,
+					Flow:         g.Flow,
+					Search:       int64(g.Search),
+					Exhaustive:   int64(g.Exhaustive),
+					Gap:          int64(g.Gap),
+					Proven:       g.Proven,
+					ViaReduction: g.ViaReduction,
+					GridSize:     ex.GridSize,
+					ReducedGrid:  ex.ReducedGridSize,
+					States:       ex.States,
+					Truncation:   ex.Truncation,
 				})
 				if int64(g.Gap) > report.MaxGap {
 					report.MaxGap = int64(g.Gap)
 				}
 			}
 			if *verbose {
-				fmt.Printf("[%d/%d] %s: %d/%d phasings, complete=%v, %d gap rows\n",
-					i+1, *n, sc, ex.States, ex.GridSize, ex.Complete, len(ex.Gaps))
+				fmt.Printf("[%d/%d] %s: %d/%d phasings (raw %d), complete=%v, %d gap rows\n",
+					i+1, *n, sc, ex.States, ex.ReducedGridSize, ex.GridSize, ex.Complete, len(ex.Gaps))
 			}
 		}
 		if len(rep.Violations) == 0 {
@@ -366,14 +402,20 @@ func cmdExhaust(args []string) {
 		fatal(err)
 	}
 
-	fmt.Printf("%d/%d scenarios checked: %d enumerated (%d complete proofs, %d truncated), %d skipped, max search gap %d cycles\n",
-		stats.Checked, *n, stats.Exhausted, report.Complete, report.Truncated, report.Skipped, report.MaxGap)
+	fmt.Printf("%d/%d scenarios checked: %d enumerated (%d complete proofs, %d via reduction, %d truncated), %d skipped, %d states saved, max search gap %d cycles\n",
+		stats.Checked, *n, stats.Exhausted, report.Complete, report.ViaReduction,
+		report.Truncated, report.Skipped, report.StatesSaved, report.MaxGap)
 	fmt.Printf("gap report written to %s\n", path)
 	if timedOut {
 		fmt.Printf("TIMED OUT after %s: coverage above is partial, not a proof of the full matrix\n", *timeout)
 	}
 	if stats.Violations > 0 {
 		os.Exit(3)
+	}
+	if *require && (report.Skipped > 0 || report.Truncated > 0 || timedOut || stats.Checked < *n) {
+		fmt.Printf("REQUIRE-COMPLETE FAILED: %d skipped, %d truncated, %d/%d checked\n",
+			report.Skipped, report.Truncated, stats.Checked, *n)
+		os.Exit(2)
 	}
 }
 

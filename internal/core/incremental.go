@@ -383,14 +383,14 @@ func linkSharers(dst map[int]bool, ss *Sets, k int) {
 func reverseReach(seeds map[int]bool, n int, setsList ...*Sets) map[int]bool {
 	rev := make([][]int, n)
 	for _, s := range setsList {
-		for i := 0; i < len(s.direct) && i < n; i++ {
-			for _, j := range s.direct[i] {
+		// The edge derivation is shared with (*Sets).Clusters so the
+		// frontier and the cluster decomposition can never disagree on
+		// what a dependency is.
+		s.dependencyEdges(func(i, j int) {
+			if i < n {
 				rev[j] = append(rev[j], i)
 			}
-			for _, j := range s.indirect[i] {
-				rev[j] = append(rev[j], i)
-			}
-		}
+		})
 	}
 	reached := make(map[int]bool, len(seeds))
 	queue := make([]int, 0, len(seeds))

@@ -275,6 +275,83 @@ func (s *Sets) withFlowRemoved(sys *traffic.System, k int) *Sets {
 	return deriveSets(sys, cd)
 }
 
+// dependencyEdges calls fn(i, j) for every dependency edge of the
+// interference graph: j ∈ S^D_i ∪ S^I_i, i.e. flow i's bound depends on
+// flow j's parameters. This is the single derivation of the graph that
+// both consumers share: the incremental engine's reverse-reachability
+// frontier (reverseReach) walks the edges backwards, and Clusters takes
+// their undirected closure — so a future change to what counts as a
+// dependency cannot desynchronise the two.
+func (s *Sets) dependencyEdges(fn func(i, j int)) {
+	for i := range s.direct {
+		for _, j := range s.direct[i] {
+			fn(i, j)
+		}
+		for _, j := range s.indirect[i] {
+			fn(i, j)
+		}
+	}
+}
+
+// Clusters returns the connected components of the interference graph
+// over S^D ∪ S^I: flows i and j land in the same cluster exactly when a
+// chain of dependency edges links them. Flows in different clusters
+// share no links with each other — directly or transitively — so
+// nothing couples them in either the analyses or the simulator: link
+// arbitration involves only the flows routed over the link, and
+// credit-based flow control only couples flows through shared links.
+// The explicit-state backend (internal/exhaustive) exploits this to
+// factorise its phasing grid into one independent sub-exploration per
+// cluster.
+//
+// Each cluster is sorted by flow index and the clusters themselves are
+// ordered by their smallest member, so the decomposition is
+// deterministic. Flows with no dependency edges form singleton
+// clusters.
+func (s *Sets) Clusters() [][]int {
+	n := len(s.direct)
+	// Union-find over flow indices; dependency edges are the union ops.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	s.dependencyEdges(func(i, j int) {
+		ri, rj := find(i), find(j)
+		if ri != rj {
+			if ri < rj {
+				parent[rj] = ri
+			} else {
+				parent[ri] = rj
+			}
+		}
+	})
+	// Roots are canonical smallest members, so grouping by root and
+	// appending in index order yields the documented ordering.
+	byRoot := make(map[int][]int, n)
+	roots := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := byRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
 // numPairs returns the total number of (direct interferer, flow) pairs —
 // the size of the engine's memo arenas.
 func (s *Sets) numPairs() int { return s.pairOffset[len(s.pairOffset)-1] }

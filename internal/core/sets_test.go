@@ -223,3 +223,67 @@ func TestBufferedInterferenceFormula(t *testing.T) {
 		t.Errorf("bi override = %d, want %d", got, want)
 	}
 }
+
+// TestClusters pins the contention-cluster decomposition on hand-built
+// geometries: chains of pairwise-sharing flows coalesce transitively,
+// link-disjoint flows stay apart, and the ordering contract (clusters by
+// smallest member, members ascending) holds.
+func TestClusters(t *testing.T) {
+	t.Run("chain coalesces transitively", func(t *testing.T) {
+		// a(0→4) shares with b(3→7), b shares with c(6→9), but a and c
+		// are link-disjoint: one cluster all the same, via b.
+		sys := lineSystem(t,
+			[3]int{1, 0, 4},
+			[3]int{2, 3, 7},
+			[3]int{3, 6, 9},
+		)
+		got := core.BuildSets(sys).Clusters()
+		if len(got) != 1 || len(got[0]) != 3 {
+			t.Fatalf("Clusters = %v, want one cluster of all three", got)
+		}
+	})
+	t.Run("disjoint flows split", func(t *testing.T) {
+		// Two contending pairs on disjoint segments plus one solo flow.
+		sys := lineSystem(t,
+			[3]int{1, 0, 2},
+			[3]int{2, 1, 3},
+			[3]int{3, 5, 7},
+			[3]int{4, 6, 8},
+			[3]int{5, 9, 4}, // opposite direction: disjoint links
+		)
+		got := core.BuildSets(sys).Clusters()
+		want := [][]int{{0, 1}, {2, 3}, {4}}
+		if len(got) != len(want) {
+			t.Fatalf("Clusters = %v, want %v", got, want)
+		}
+		for c := range want {
+			if len(got[c]) != len(want[c]) {
+				t.Fatalf("Clusters = %v, want %v", got, want)
+			}
+			for k := range want[c] {
+				if got[c][k] != want[c][k] {
+					t.Fatalf("Clusters = %v, want %v", got, want)
+				}
+			}
+		}
+	})
+	t.Run("every flow appears exactly once", func(t *testing.T) {
+		sys := lineSystem(t,
+			[3]int{3, 0, 9},
+			[3]int{1, 2, 5},
+			[3]int{2, 9, 0},
+			[3]int{4, 4, 8},
+		)
+		seen := make(map[int]int)
+		for _, cl := range core.BuildSets(sys).Clusters() {
+			for _, f := range cl {
+				seen[f]++
+			}
+		}
+		for i := 0; i < sys.NumFlows(); i++ {
+			if seen[i] != 1 {
+				t.Errorf("flow %d appears %d times across clusters", i, seen[i])
+			}
+		}
+	})
+}

@@ -28,19 +28,20 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("grid: %d phasings, horizon: %d cycles\n", sp.GridSize, sp.SuggestedDuration)
+	fmt.Printf("grid: %d phasings (%d after reduction), horizon: %d cycles\n",
+		sp.GridSize, sp.ReducedGridSize, sp.SuggestedDuration)
 
 	res, err := exhaustive.Explore(sys, exhaustive.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("complete: %v\n", res.Complete)
+	fmt.Printf("complete: %v over %d simulated states\n", res.Complete, res.States)
 	for i, fr := range res.Flows {
 		fmt.Printf("%s: worst %d (proven %v)\n", sys.Flow(i).Name, fr.Worst, res.Proven(i))
 	}
 	// Output:
-	// grid: 96 phasings, horizon: 49 cycles
-	// complete: true
+	// grid: 96 phasings (19 after reduction), horizon: 49 cycles
+	// complete: true over 19 simulated states
 	// hi: worst 4 (proven true)
 	// lo: worst 7 (proven true)
 }

@@ -33,6 +33,28 @@
 // the jitter terms and only get looser, so "exhaustive ≤ bound" remains
 // a sound (if conservative) invariant.
 //
+// # Reductions
+//
+// The raw grid is highly redundant, and Explore exploits two exact
+// redundancies by default (Config.Reduce, DESIGN.md §15):
+//
+//   - Shift-symmetry quotient: a phasing whose earliest offset is δ > 0
+//     is the phasing shifted by −δ observed δ cycles later, so only the
+//     vectors with min offset 0 — Π Pᵢ − Π (Pᵢ−1) of the Π Pᵢ — need
+//     simulating; every worst case, censored packet and deadline miss
+//     of the grid is witnessed by a representative.
+//   - Contention-cluster decomposition: flows in different connected
+//     components of the interference graph over S^D ∪ S^I
+//     (core.Sets.Clusters) provably never interact in the simulator
+//     (sim.Restrict), so each cluster's sub-grid is explored alone and
+//     the multiplicative joint grid collapses into a sum.
+//
+// Both reductions preserve worst cases, witnesses (de-canonicalised to
+// ordinary grid points on report), per-flow censor flags and Proven
+// verdicts exactly; property tests certify them against the unreduced
+// grid, and ReduceNone retains the raw enumeration bit-for-bit as the
+// differential baseline.
+//
 // # Budgets and truncation
 //
 // Exploration is bounded twice: MaxStates caps the number of phasings
@@ -45,11 +67,11 @@
 // bound exceedance they witness is a real violation.
 //
 // Exploration fans out over parallel.Runner with deterministic work
-// partitioning: the sampled grid is cut into fixed-size index chunks
-// merged in chunk order, so the Result is bit-identical at any worker
-// count. internal/oracle wires Explore in as the exhaustive-divergent
-// invariant class; cmd/nocfuzz's exhaust subcommand drives whole
-// matrices of small configurations through it.
+// partitioning: the sampled state space is cut into fixed-size index
+// chunks merged in chunk order, so the Result is bit-identical at any
+// worker count. internal/oracle wires Explore in as the exhaustive-
+// divergent invariant class; cmd/nocfuzz's exhaust subcommand drives
+// whole matrices of small configurations through it.
 package exhaustive
 
 import (
@@ -59,6 +81,7 @@ import (
 	"math"
 	"runtime"
 
+	"wormnoc/internal/core"
 	"wormnoc/internal/noc"
 	"wormnoc/internal/parallel"
 	"wormnoc/internal/sim"
@@ -88,14 +111,35 @@ const (
 	chunkStates = 2048
 )
 
+// ClusterSpace sizes one contention cluster's share of the state space.
+type ClusterSpace struct {
+	// Flows lists the cluster's member flow indices, ascending.
+	Flows []int
+	// GridSize is the cluster's raw offset grid, Π Periodᵢ over members.
+	GridSize int64
+	// QuotientSize counts the cluster's shift-symmetry representatives,
+	// Π Pᵢ − Π (Pᵢ−1): the vectors with min offset 0. A solo flow has
+	// exactly one (offset 0).
+	QuotientSize int64
+}
+
 // Space describes the state space of one system before exploring it:
-// how many phasings the full grid holds and how long a horizon shows
-// them all. Plan computes it; Explore embeds the same numbers in its
-// Result.
+// how many phasings the full grid holds, how far the reductions shrink
+// it, and how long a horizon shows every phasing. Plan computes it;
+// Explore embeds the same numbers in its Result.
 type Space struct {
 	// GridSize is the number of canonical phasings, Π Periodᵢ over all
-	// flows.
+	// flows — the raw, unreduced state space.
 	GridSize int64
+	// ReducedGridSize is the number of phasings the default reduction
+	// (ReduceAll) enumerates: Σ over contention clusters of their
+	// shift-symmetry quotients. SizeUnder reports the other modes.
+	ReducedGridSize int64
+	// Clusters are the connected components of the interference graph
+	// over S^D ∪ S^I (core.Sets.Clusters), ordered by smallest member.
+	// Flows in different clusters provably never interact, so the joint
+	// grid factorises across them.
+	Clusters []ClusterSpace
 	// Hyperperiod is lcm(Periodᵢ): the joint release pattern of any
 	// phasing repeats with this period from cycle 0.
 	Hyperperiod noc.Cycles
@@ -110,12 +154,42 @@ type Space struct {
 	SuggestedDuration noc.Cycles
 }
 
+// SizeUnder returns the number of phasings Explore enumerates at stride
+// 1 under reduction mode r. Callers budgeting an exploration (the
+// oracle's skip decision) must size against the mode they will run, not
+// the raw grid — that is the whole point of the reductions.
+func (sp Space) SizeUnder(r Reduction) int64 {
+	switch r {
+	case ReduceNone:
+		return sp.GridSize
+	case ReduceClusters:
+		var s int64
+		for _, c := range sp.Clusters {
+			s += c.GridSize
+		}
+		return s
+	case ReduceSymmetry:
+		// Whole-vector quotient: Π Pᵢ − Π (Pᵢ−1) over all flows, the
+		// all-nonzero product being the product of the per-cluster ones.
+		rest := int64(1)
+		for _, c := range sp.Clusters {
+			rest *= c.GridSize - c.QuotientSize
+		}
+		return sp.GridSize - rest
+	}
+	var s int64
+	for _, c := range sp.Clusters {
+		s += c.QuotientSize
+	}
+	return s
+}
+
 // Plan sizes the state space of sys without exploring it: callers use
 // it to decide whether a configuration fits an exhaustive budget (the
 // oracle skips the invariant, loudly, when it does not). The error
 // reports structural limits — too many flows or nodes, an arbitration
-// tie, arithmetic overflow of the grid — not budget overruns, which are
-// Explore's to enforce.
+// tie, arithmetic overflow of the grid or horizon — not budget
+// overruns, which are Explore's to enforce.
 func Plan(sys *traffic.System) (Space, error) {
 	var sp Space
 	n := sys.NumFlows()
@@ -146,7 +220,28 @@ func Plan(sys *traffic.System) (Space, error) {
 			sp.MaxDeadline = f.Deadline
 		}
 	}
+	// Cluster-grid sums can exceed the product by up to MaxFlows−1
+	// states (a+b ≤ ab+1 for a,b ≥ 1), so keep that much headroom.
+	if sp.GridSize > math.MaxInt64-MaxFlows {
+		return sp, fmt.Errorf("exhaustive: phasing grid overflows int64 (periods too large)")
+	}
+	if sp.MaxDeadline > (math.MaxInt64-1)/2 ||
+		sp.Hyperperiod > noc.Cycles(math.MaxInt64)-(2*sp.MaxDeadline+1) {
+		return sp, fmt.Errorf("exhaustive: suggested horizon overflows int64 (periods too large)")
+	}
 	sp.SuggestedDuration = sp.Hyperperiod + 2*sp.MaxDeadline + 1
+	for _, members := range core.BuildSets(sys).Clusters() {
+		c := ClusterSpace{Flows: members, GridSize: 1}
+		rest := int64(1)
+		for _, i := range members {
+			p := int64(sys.Flow(i).Period)
+			c.GridSize *= p
+			rest *= p - 1
+		}
+		c.QuotientSize = c.GridSize - rest
+		sp.Clusters = append(sp.Clusters, c)
+	}
+	sp.ReducedGridSize = sp.SizeUnder(ReduceAll)
 	return sp, nil
 }
 
@@ -169,23 +264,27 @@ func lcm(a, b noc.Cycles) noc.Cycles {
 }
 
 // Config parameterises one exploration. The zero value explores the
-// full grid at stride 1 (a proof, when it fits DefaultMaxStates) with
-// the auto horizon and all CPUs.
+// fully-reduced state space at stride 1 (a proof, when it fits
+// DefaultMaxStates) with the auto horizon and all CPUs.
 type Config struct {
 	// Duration is the simulation horizon per phasing; 0 selects
 	// Space.SuggestedDuration. Shorter horizons weaken the certified
 	// class ("worst within Duration"), never the chain invariants — the
 	// comparison search must simply run the same horizon.
 	Duration noc.Cycles
-	// Stride samples every Stride-th grid point when > 1. A strided run
-	// is explicitly NOT a proof (Complete stays false); it exists for
-	// configurations whose grid exceeds any budget, paired with the
-	// refinement pass around each flow's best phasing.
+	// Reduce selects the state-space reductions (see Reduction). The
+	// zero value is ReduceAll: both reductions are exact, so they are
+	// on unless a differential run switches them off.
+	Reduce Reduction
+	// Stride samples every Stride-th enumerated state when > 1. A
+	// strided run is explicitly NOT a proof (Complete stays false); it
+	// exists for configurations whose state space exceeds any budget,
+	// paired with the refinement pass around each flow's best phasing.
 	Stride int64
 	// MaxStates caps the number of phasings simulated in the systematic
-	// pass (0 = DefaultMaxStates). When the strided grid still exceeds
-	// it, Explore fails — or, with AllowTruncated, raises the stride
-	// deterministically and reports the truncation.
+	// pass (0 = DefaultMaxStates). When the strided state space still
+	// exceeds it, Explore fails — or, with AllowTruncated, raises the
+	// stride deterministically and reports the truncation.
 	MaxStates int64
 	// AllowTruncated permits the budget to degrade the run into stride
 	// sampling instead of returning an error. The result is then marked
@@ -212,7 +311,11 @@ type FlowResult struct {
 	// Worst is the maximum observed latency over every explored phasing,
 	// or -1 when no packet of the flow ever completed.
 	Worst noc.Cycles
-	// Offsets is the first (lowest grid index) phasing achieving Worst.
+	// Offsets is the first (lowest enumeration index) phasing achieving
+	// Worst. It is always an ordinary point of the raw grid — canonical
+	// representatives are grid members and cluster witnesses embed with
+	// zero offsets for the other clusters — so it replays directly
+	// through sim.Run on the full system.
 	Offsets []noc.Cycles
 	// Censored counts explored phasings in which a packet of this flow
 	// released at least a deadline before the horizon failed to complete
@@ -225,18 +328,45 @@ type FlowResult struct {
 	DeadlineMisses int64
 }
 
+// Reductions reports which state-space reductions an exploration ran
+// under and what they saved. Reduced and raw runs agree on every worst
+// case, witness quality, censor flag and Proven verdict; only these
+// numbers (and the wall clock) differ.
+type Reductions struct {
+	// Mode is the reduction mode the exploration applied.
+	Mode Reduction
+	// Clusters is the number of independently-explored flow groups: the
+	// contention-cluster count when decomposition is on, else 1.
+	Clusters int
+	// RawGridSize echoes Space.GridSize, the unreduced Π Periodᵢ.
+	RawGridSize int64
+	// ReducedGridSize is the stride-1 enumeration size under Mode
+	// (Space.SizeUnder(Mode)).
+	ReducedGridSize int64
+	// StatesSaved is RawGridSize − ReducedGridSize: simulations the
+	// reductions made unnecessary without weakening the proof.
+	StatesSaved int64
+	// SymmetryFactor is the multiplicative saving attributable to the
+	// shift-symmetry quotient alone, at the run's cluster setting
+	// (states without the quotient over states with it); 1 when the
+	// quotient is off.
+	SymmetryFactor float64
+}
+
 // Result is the outcome of one exploration.
 type Result struct {
 	// Flows holds per-flow worst cases, indexed like the system's flows.
 	Flows []FlowResult
 	// Space echoes the state-space plan of the explored system.
 	Space Space
+	// Reductions reports the reduction mode and its savings.
+	Reductions Reductions
 	// Duration is the horizon every phasing was simulated for.
 	Duration noc.Cycles
 	// Stride is the effective sampling stride of the systematic pass
-	// (1 = full grid).
+	// (1 = full enumeration of the reduced space).
 	Stride int64
-	// Explored counts the systematic pass's sampled grid points;
+	// Explored counts the systematic pass's sampled states;
 	// Refined counts the refinement pass's additional simulations;
 	// States = Explored + Refined is everything simulated.
 	Explored, Refined, States int64
@@ -244,8 +374,10 @@ type Result struct {
 	// provably already simulated (on the sampled lattice or in the
 	// visited set).
 	Deduped int64
-	// Complete reports whether the full grid was enumerated at stride 1
-	// without cancellation — the precondition of every proof claim.
+	// Complete reports whether the reduced state space was enumerated
+	// at stride 1 without cancellation — the precondition of every
+	// proof claim. The reductions are exact, so a complete reduced run
+	// proves exactly what a complete raw run proves.
 	Complete bool
 	// Truncation is empty for complete runs; otherwise it states what
 	// was cut (stride sampling, state budget, cancellation) so callers
@@ -275,9 +407,104 @@ func (r *Result) Proven(i int) bool {
 	return true
 }
 
+// group is one independently-explorable flow subset with its share of
+// the concatenated enumeration index space [base, base+e.size). With
+// cluster decomposition off there is a single group holding every flow
+// and the original System; with it on, each contention cluster gets a
+// sim.Restrict sub-system, which simulates the cluster's flows
+// bit-identically to the full system (the flows provably never meet a
+// flow outside the cluster on any link). All groups share one global
+// Duration — the full system's horizon — so the certified class is the
+// same one an unreduced run certifies.
+type group struct {
+	flows     []int // member flow indices in the full system
+	sys       *traffic.System
+	e         enum
+	base      int64
+	rawSize   int64
+	periods   []int64
+	deadlines []int64
+}
+
+// buildGroups materialises the reduction mode's flow groups and their
+// enumerators. It also returns the flow→group index mapping.
+func buildGroups(sys *traffic.System, sp Space, mode Reduction) ([]group, []int, error) {
+	n := sys.NumFlows()
+	var members [][]int
+	if mode.clusters() && len(sp.Clusters) > 1 {
+		for _, c := range sp.Clusters {
+			members = append(members, c.Flows)
+		}
+	} else {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		members = [][]int{all}
+	}
+	groups := make([]group, len(members))
+	groupOf := make([]int, n)
+	var base int64
+	for gi, flows := range members {
+		g := &groups[gi]
+		g.flows = flows
+		g.sys = sys
+		if len(flows) != n {
+			sub, err := sim.Restrict(sys, flows)
+			if err != nil {
+				return nil, nil, fmt.Errorf("exhaustive: cluster restriction: %w", err)
+			}
+			g.sys = sub
+		}
+		g.periods = make([]int64, len(flows))
+		g.deadlines = make([]int64, len(flows))
+		g.rawSize = 1
+		for k, fi := range flows {
+			f := sys.Flow(fi)
+			g.periods[k] = int64(f.Period)
+			g.deadlines[k] = int64(f.Deadline)
+			g.rawSize *= g.periods[k]
+			groupOf[fi] = gi
+		}
+		g.e = newEnum(g.periods, mode.symmetry())
+		g.base = base
+		base += g.e.size
+	}
+	return groups, groupOf, nil
+}
+
+// groupAt returns the group owning concatenated enumeration index idx.
+func groupAt(groups []group, idx int64) *group {
+	gi := 0
+	for idx >= groups[gi].base+groups[gi].e.size {
+		gi++
+	}
+	return &groups[gi]
+}
+
+// reductionStats derives the Reductions record for a run over groups.
+func reductionStats(sp Space, mode Reduction, groups []group, total int64) Reductions {
+	red := Reductions{
+		Mode:            mode,
+		Clusters:        len(groups),
+		RawGridSize:     sp.GridSize,
+		ReducedGridSize: total,
+		StatesSaved:     sp.GridSize - total,
+		SymmetryFactor:  1,
+	}
+	if mode.symmetry() && total > 0 {
+		var raw int64
+		for i := range groups {
+			raw += groups[i].rawSize
+		}
+		red.SymmetryFactor = float64(raw) / float64(total)
+	}
+	return red
+}
+
 // chunkRes accumulates one chunk's per-flow maxima. worstAt carries the
-// flat grid index achieving the maximum so the merge can prefer the
-// lowest index deterministically.
+// concatenated enumeration index achieving the maximum so the merge can
+// prefer the lowest index deterministically.
 type chunkRes struct {
 	worst    []noc.Cycles
 	worstAt  []int64
@@ -286,11 +513,13 @@ type chunkRes struct {
 	states   int64
 }
 
-// Explore enumerates the phasing grid of sys and returns every flow's
-// worst case over it. It is deterministic in (sys, cfg) — including at
-// any Workers value — except for Context-cancelled runs, whose partial
-// coverage depends on timing. Structural errors (limits, ties, an
-// over-budget grid without AllowTruncated) return a nil Result.
+// Explore enumerates the phasing state space of sys — reduced per
+// cfg.Reduce — and returns every flow's worst case over the full
+// canonical phasing class. It is deterministic in (sys, cfg) —
+// including at any Workers value — except for Context-cancelled runs,
+// whose partial coverage depends on timing. Structural errors (limits,
+// ties, an over-budget state space without AllowTruncated) return a
+// nil Result.
 func Explore(sys *traffic.System, cfg Config) (*Result, error) {
 	sp, err := Plan(sys)
 	if err != nil {
@@ -310,6 +539,14 @@ func Explore(sys *traffic.System, cfg Config) (*Result, error) {
 	if res.Duration <= 0 {
 		res.Duration = sp.SuggestedDuration
 	}
+	groups, groupOf, err := buildGroups(sys, sp, cfg.Reduce)
+	if err != nil {
+		return nil, err
+	}
+	lastG := &groups[len(groups)-1]
+	total := lastG.base + lastG.e.size
+	res.Reductions = reductionStats(sp, cfg.Reduce, groups, total)
+
 	maxStates := cfg.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
@@ -319,27 +556,23 @@ func Explore(sys *traffic.System, cfg Config) (*Result, error) {
 		stride = 1
 	}
 	if stride > 1 {
-		res.Truncation = fmt.Sprintf("stride %d sampling requested: %d of %d phasings", stride, ceilDiv(sp.GridSize, stride), sp.GridSize)
+		res.Truncation = fmt.Sprintf("stride %d sampling requested: %d of %d phasings", stride, ceilDiv(total, stride), total)
 	}
-	if ceilDiv(sp.GridSize, stride) > maxStates {
+	if ceilDiv(total, stride) > maxStates {
 		if !cfg.AllowTruncated {
+			if total != sp.GridSize {
+				return nil, fmt.Errorf("exhaustive: reduced state space of %d phasings (raw grid %d) exceeds the state budget of %d (set AllowTruncated for stride sampling)",
+					total, sp.GridSize, maxStates)
+			}
 			return nil, fmt.Errorf("exhaustive: grid of %d phasings exceeds the state budget of %d (set AllowTruncated for stride sampling)",
-				sp.GridSize, maxStates)
+				total, maxStates)
 		}
-		stride = ceilDiv(sp.GridSize, maxStates)
+		stride = ceilDiv(total, maxStates)
 		res.Truncation = fmt.Sprintf("state budget %d: stride raised to %d, sampling %d of %d phasings",
-			maxStates, stride, ceilDiv(sp.GridSize, stride), sp.GridSize)
+			maxStates, stride, ceilDiv(total, stride), total)
 	}
 	res.Stride = stride
-	res.Explored = ceilDiv(sp.GridSize, stride)
-
-	periods := make([]int64, n)
-	deadlines := make([]int64, n)
-	for i := 0; i < n; i++ {
-		f := sys.Flow(i)
-		periods[i] = int64(f.Period)
-		deadlines[i] = int64(f.Deadline)
-	}
+	res.Explored = ceilDiv(total, stride)
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -359,17 +592,17 @@ func Explore(sys *traffic.System, cfg Config) (*Result, error) {
 			chunks[c].misses, i64 = i64[:n:n], i64[n:]
 		}
 	}
-	engines := make([]*sim.Engine, workers)
-	offsets := make([][]noc.Cycles, workers)
+	// Engines and offset scratch are per (worker slot, group), created
+	// lazily: a run whose chunks never reach a group on some worker
+	// never pays for that group's engine there.
+	engines := make([][]*sim.Engine, workers)
+	offsets := make([][][]noc.Cycles, workers)
 	runner := parallel.Runner{Workers: workers, Context: cfg.Context}
 	runErr := runner.RunWorkers(numChunks, func(w, c int) error {
-		eng := engines[w]
-		if eng == nil {
-			eng = sim.NewEngine(sys)
-			engines[w] = eng
-			offsets[w] = make([]noc.Cycles, n)
+		if engines[w] == nil {
+			engines[w] = make([]*sim.Engine, len(groups))
+			offsets[w] = make([][]noc.Cycles, len(groups))
 		}
-		off := offsets[w]
 		cr := &chunks[c]
 		for i := range cr.worst {
 			cr.worst[i] = -1
@@ -380,23 +613,35 @@ func Explore(sys *traffic.System, cfg Config) (*Result, error) {
 		if hi > res.Explored {
 			hi = res.Explored
 		}
+		gi := 0 // sample indices ascend, so the group cursor only advances
 		for k := lo; k < hi; k++ {
 			idx := k * stride
-			decodeOffsets(idx, periods, off)
+			for idx >= groups[gi].base+groups[gi].e.size {
+				gi++
+			}
+			g := &groups[gi]
+			eng := engines[w][gi]
+			if eng == nil {
+				eng = sim.NewEngine(g.sys)
+				engines[w][gi] = eng
+				offsets[w][gi] = make([]noc.Cycles, len(g.flows))
+			}
+			off := offsets[w][gi]
+			g.e.decode(idx-g.base, off)
 			sr, err := eng.Run(sim.Config{Duration: res.Duration, Offsets: off})
 			if err != nil {
 				return err
 			}
 			cr.states++
-			for i := 0; i < n; i++ {
-				if sr.WorstLatency[i] > cr.worst[i] {
-					cr.worst[i] = sr.WorstLatency[i]
+			for fk, i := range g.flows {
+				if sr.WorstLatency[fk] > cr.worst[i] {
+					cr.worst[i] = sr.WorstLatency[fk]
 					cr.worstAt[i] = idx
 				}
-				if int64(sr.Completed[i]) < expectedAt(int64(off[i]), periods[i], int64(res.Duration), deadlines[i]) {
+				if int64(sr.Completed[fk]) < expectedAt(int64(off[fk]), g.periods[fk], int64(res.Duration), g.deadlines[fk]) {
 					cr.censored[i]++
 				}
-				cr.misses[i] += int64(sr.DeadlineMisses[i])
+				cr.misses[i] += int64(sr.DeadlineMisses[fk])
 			}
 		}
 		return nil
@@ -411,8 +656,9 @@ func Explore(sys *traffic.System, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Merge in chunk order: the per-flow maximum prefers the lowest flat
-	// index on ties, so the reported witness phasing is deterministic.
+	// Merge in chunk order: the per-flow maximum prefers the lowest
+	// enumeration index on ties, so the reported witness phasing is
+	// deterministic.
 	best := make([]int64, n)
 	for i := range best {
 		best[i] = -1
@@ -430,15 +676,25 @@ func Explore(sys *traffic.System, cfg Config) (*Result, error) {
 			res.Flows[i].DeadlineMisses += cr.misses[i]
 		}
 	}
+	// De-canonicalise witnesses: decode the winning group-local vector
+	// and embed it into a full-length phasing (zero offsets for the
+	// other groups — any value would do, those flows provably cannot
+	// affect this one). The result is an ordinary grid point replaying
+	// to the reported worst.
 	for i := 0; i < n; i++ {
 		res.Flows[i].Offsets = make([]noc.Cycles, n)
 		if best[i] >= 0 {
-			decodeOffsets(best[i], periods, res.Flows[i].Offsets)
+			g := groupAt(groups, best[i])
+			loc := make([]noc.Cycles, len(g.flows))
+			g.e.decode(best[i]-g.base, loc)
+			for k, fi := range g.flows {
+				res.Flows[i].Offsets[fi] = loc[k]
+			}
 		}
 	}
 
 	if stride > 1 && !cancelled {
-		refine(sys, cfg, res, periods, deadlines, best)
+		refine(cfg, res, groups, groupOf, best)
 	}
 	res.Complete = stride == 1 && !cancelled
 	return res, nil
@@ -456,59 +712,59 @@ func expectedAt(off, period, duration, deadline int64) int64 {
 	return (last-off)/period + 1
 }
 
-// decodeOffsets expands flat grid index idx into the per-flow offset
-// vector (mixed radix, the last flow varying fastest).
-func decodeOffsets(idx int64, periods []int64, out []noc.Cycles) {
-	for i := len(periods) - 1; i >= 0; i-- {
-		out[i] = noc.Cycles(idx % periods[i])
-		idx /= periods[i]
-	}
-}
-
-// encodeOffsets is decodeOffsets' inverse; it returns -1 if the vector
-// is off-grid (it never is for in-range offsets).
-func encodeOffsets(off []noc.Cycles, periods []int64) int64 {
-	var idx int64
-	for i := range periods {
-		idx = idx*periods[i] + int64(off[i])
-	}
-	return idx
-}
-
 // refine runs the local-refinement pass of a strided exploration:
-// around every flow's best-known phasing, each coordinate is swept over
-// the stride-wide window the sampling skipped. Candidates already on
-// the sampled lattice, or already tried by an overlapping window, are
-// deduplicated — the former exactly by index arithmetic, the latter by
-// the bounded visited set. The pass is sequential and in a fixed sweep
-// order, so strided results stay deterministic at any worker count.
-func refine(sys *traffic.System, cfg Config, res *Result, periods, deadlines []int64, best []int64) {
-	n := len(periods)
+// around every flow's best-known phasing, each coordinate of the flow's
+// own group is swept over the stride-wide window the sampling skipped
+// (coordinates of other groups provably cannot move the flow's worst
+// case). Candidates already on the sampled lattice, or already tried by
+// an overlapping window, are deduplicated — the former exactly by
+// enumeration-rank arithmetic, the latter by the bounded visited set.
+// Swept vectors may leave the canonical representative set; they are
+// still ordinary class members, so their latencies are valid lower
+// bounds, which is all a truncated run reports. The pass is sequential
+// and in a fixed sweep order, so strided results stay deterministic at
+// any worker count.
+func refine(cfg Config, res *Result, groups []group, groupOf []int, best []int64) {
 	dedupCap := cfg.DedupCap
 	if dedupCap <= 0 {
 		dedupCap = DefaultDedupCap
 	}
 	visited := make(map[string]struct{}, 1024)
-	eng := sim.NewEngine(sys)
-	off := make([]noc.Cycles, n)
-	keyBuf := make([]byte, 8*n)
-	for target := 0; target < n; target++ {
+	engines := make([]*sim.Engine, len(groups))
+	scratch := make([][]noc.Cycles, len(groups))
+	for target := range res.Flows {
 		if best[target] < 0 {
 			continue
 		}
-		base := res.Flows[target].Offsets
-		for f := 0; f < n; f++ {
+		gi := groupOf[target]
+		g := &groups[gi]
+		if engines[gi] == nil {
+			engines[gi] = sim.NewEngine(g.sys)
+			scratch[gi] = make([]noc.Cycles, len(g.flows))
+		}
+		eng := engines[gi]
+		off := scratch[gi]
+		// Group-local projection of the target's best-known witness.
+		base := make([]noc.Cycles, len(g.flows))
+		for k, fi := range g.flows {
+			base[k] = res.Flows[target].Offsets[fi]
+		}
+		// Keys carry the group index so equal-length vectors of
+		// different groups can never alias in the visited set.
+		keyBuf := make([]byte, 1+8*len(g.flows))
+		keyBuf[0] = byte(gi)
+		for fk := range g.flows {
 			for d := int64(1); d < res.Stride; d++ {
 				for _, sign := range [2]int64{1, -1} {
 					copy(off, base)
-					p := periods[f]
-					off[f] = noc.Cycles(((int64(base[f])+sign*d)%p + p) % p)
-					if encodeOffsets(off, periods)%res.Stride == 0 {
+					p := g.periods[fk]
+					off[fk] = noc.Cycles(((int64(base[fk])+sign*d)%p + p) % p)
+					if r := g.e.encode(off); r >= 0 && (g.base+r)%res.Stride == 0 {
 						res.Deduped++ // on the sampled lattice: already simulated
 						continue
 					}
-					for i, o := range off {
-						binary.LittleEndian.PutUint64(keyBuf[8*i:], uint64(o))
+					for k, o := range off {
+						binary.LittleEndian.PutUint64(keyBuf[1+8*k:], uint64(o))
 					}
 					if _, dup := visited[string(keyBuf)]; dup {
 						res.Deduped++
@@ -523,15 +779,17 @@ func refine(sys *traffic.System, cfg Config, res *Result, periods, deadlines []i
 					}
 					res.Refined++
 					res.States++
-					for i := 0; i < n; i++ {
-						if sr.WorstLatency[i] > res.Flows[i].Worst {
-							res.Flows[i].Worst = sr.WorstLatency[i]
-							copy(res.Flows[i].Offsets, off)
+					for k, fi := range g.flows {
+						if sr.WorstLatency[k] > res.Flows[fi].Worst {
+							res.Flows[fi].Worst = sr.WorstLatency[k]
+							for kk, fj := range g.flows {
+								res.Flows[fi].Offsets[fj] = off[kk]
+							}
 						}
-						if int64(sr.Completed[i]) < expectedAt(int64(off[i]), periods[i], int64(res.Duration), deadlines[i]) {
-							res.Flows[i].Censored++
+						if int64(sr.Completed[k]) < expectedAt(int64(off[k]), g.periods[k], int64(res.Duration), g.deadlines[k]) {
+							res.Flows[fi].Censored++
 						}
-						res.Flows[i].DeadlineMisses += int64(sr.DeadlineMisses[i])
+						res.Flows[fi].DeadlineMisses += int64(sr.DeadlineMisses[k])
 					}
 				}
 			}

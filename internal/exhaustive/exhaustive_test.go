@@ -121,9 +121,20 @@ func TestExploreHandChecked(t *testing.T) {
 			if res.Truncation != "" {
 				t.Fatalf("complete run carries truncation note %q", res.Truncation)
 			}
-			if res.States != res.Space.GridSize || res.Explored != res.Space.GridSize {
-				t.Fatalf("complete run states=%d explored=%d, want grid %d",
-					res.States, res.Explored, res.Space.GridSize)
+			if res.States != res.Space.ReducedGridSize || res.Explored != res.Space.ReducedGridSize {
+				t.Fatalf("complete run states=%d explored=%d, want reduced grid %d",
+					res.States, res.Explored, res.Space.ReducedGridSize)
+			}
+			if res.States > res.Space.GridSize {
+				t.Fatalf("reduced run simulated %d states, more than the raw grid %d",
+					res.States, res.Space.GridSize)
+			}
+			if red := res.Reductions; red.Mode != ReduceAll ||
+				red.RawGridSize != res.Space.GridSize ||
+				red.ReducedGridSize != res.Space.ReducedGridSize ||
+				red.StatesSaved != red.RawGridSize-red.ReducedGridSize ||
+				red.Clusters != len(res.Space.Clusters) {
+				t.Fatalf("inconsistent reduction stats: %+v (space %+v)", red, res.Space)
 			}
 			for i := range tc.want {
 				if got := res.Flows[i].Worst; got != tc.want[i] {
@@ -179,8 +190,13 @@ func TestExploreDeterministicAcrossWorkers(t *testing.T) {
 	})
 	for _, cfg := range []Config{
 		{},
-		{MaxStates: 100, AllowTruncated: true},
-		{Stride: 7},
+		{Reduce: ReduceNone},
+		{Reduce: ReduceSymmetry},
+		{Reduce: ReduceClusters},
+		{MaxStates: 100, AllowTruncated: true, Reduce: ReduceNone},
+		{MaxStates: 10, AllowTruncated: true},
+		{Stride: 7, Reduce: ReduceNone},
+		{Stride: 3},
 	} {
 		var base *Result
 		for _, workers := range []int{1, 2, 8} {
@@ -351,6 +367,18 @@ func TestPlanLimits(t *testing.T) {
 		t.Error("overflowing phasing grid accepted")
 	}
 
+	// The horizon Hyperperiod + 2·MaxDeadline + 1 can overflow even when
+	// the grid does not (a solo flow's grid is just its period): it must
+	// be refused as a structural error, not wrapped into a negative
+	// duration.
+	if _, err := Plan(traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "a", Priority: 1, Period: huge, Deadline: huge, Length: 1, Src: 0, Dst: 1},
+	})); err == nil {
+		t.Error("overflowing suggested horizon accepted")
+	} else if !strings.Contains(err.Error(), "periods too large") {
+		t.Errorf("horizon overflow error %q does not say periods too large", err)
+	}
+
 	sp, err := Plan(traffic.MustSystem(topo, []traffic.Flow{
 		{Name: "a", Priority: 1, Period: 6, Deadline: 5, Length: 2, Src: 0, Dst: 1},
 		{Name: "b", Priority: 2, Period: 10, Deadline: 9, Length: 2, Src: 0, Dst: 1},
@@ -366,5 +394,26 @@ func TestPlanLimits(t *testing.T) {
 	}
 	if sp.SuggestedDuration != 30+2*9+1 {
 		t.Errorf("suggested duration %d, want %d", sp.SuggestedDuration, 30+2*9+1)
+	}
+	// Both flows share the 0->1 route: one cluster, whose quotient is
+	// Π Pᵢ − Π (Pᵢ−1) = 60 − 5·9 = 15.
+	if len(sp.Clusters) != 1 || !reflect.DeepEqual(sp.Clusters[0].Flows, []int{0, 1}) {
+		t.Fatalf("clusters = %+v, want one cluster {0,1}", sp.Clusters)
+	}
+	if sp.Clusters[0].GridSize != 60 || sp.Clusters[0].QuotientSize != 15 {
+		t.Errorf("cluster sizing %+v, want grid 60 quotient 15", sp.Clusters[0])
+	}
+	if sp.ReducedGridSize != 15 {
+		t.Errorf("reduced grid %d, want 15", sp.ReducedGridSize)
+	}
+	for _, tc := range []struct {
+		mode Reduction
+		want int64
+	}{
+		{ReduceNone, 60}, {ReduceClusters, 60}, {ReduceSymmetry, 15}, {ReduceAll, 15},
+	} {
+		if got := sp.SizeUnder(tc.mode); got != tc.want {
+			t.Errorf("SizeUnder(%v) = %d, want %d", tc.mode, got, tc.want)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"wormnoc/internal/exhaustive"
 	"wormnoc/internal/noc"
 	"wormnoc/internal/traffic"
 )
@@ -51,6 +52,11 @@ type CheckSpec struct {
 	// budget; zero (the backend disabled) is omitted for compatibility
 	// with artifacts written before the backend existed.
 	ExhaustiveStates int64 `json:"exhaustive_states,omitempty"`
+	// ExhaustiveReduce records the backend's reduction mode by its flag
+	// spelling ("none", "symmetry", "clusters"); empty means the
+	// default, "all", and is omitted for compatibility with artifacts
+	// written before the reductions existed.
+	ExhaustiveReduce string `json:"exhaustive_reduce,omitempty"`
 }
 
 // ViolationSpec is the serialised form of Violation.
@@ -65,6 +71,24 @@ type ViolationSpec struct {
 	BufA      int     `json:"buf_a,omitempty"`
 	BufB      int     `json:"buf_b,omitempty"`
 	Detail    string  `json:"detail,omitempty"`
+}
+
+// reduceSpec serialises a reduction mode for CheckSpec: the default
+// (ReduceAll) stays empty so pre-reduction artifacts and new ones with
+// default settings are byte-identical.
+func reduceSpec(r exhaustive.Reduction) string {
+	if r == exhaustive.ReduceAll {
+		return ""
+	}
+	return r.String()
+}
+
+// parseReduceSpec is the inverse of reduceSpec.
+func parseReduceSpec(s string) (exhaustive.Reduction, error) {
+	if s == "" {
+		return exhaustive.ReduceAll, nil
+	}
+	return exhaustive.ParseReduction(s)
 }
 
 // NewArtifact assembles a counterexample from a shrink result (or, with
@@ -87,6 +111,7 @@ func NewArtifact(sc *Scenario, cfg CheckConfig, v Violation, shrink *ShrinkResul
 			ProbesPerFlow:    cfg.ProbesPerFlow,
 			EditChainLen:     cfg.EditChainLen,
 			ExhaustiveStates: cfg.ExhaustiveStates,
+			ExhaustiveReduce: reduceSpec(cfg.ExhaustiveReduce),
 		},
 		Violation: ViolationSpec{
 			Class:     v.Class.String(),
@@ -132,6 +157,9 @@ func ReadArtifact(r io.Reader) (*Artifact, error) {
 	if _, err := parseClass(a.Violation.Class); err != nil {
 		return nil, err
 	}
+	if _, err := parseReduceSpec(a.Check.ExhaustiveReduce); err != nil {
+		return nil, fmt.Errorf("oracle: artifact check spec: %w", err)
+	}
 	if _, err := a.Scenario.System(); err != nil {
 		return nil, fmt.Errorf("oracle: artifact scenario does not materialise: %w", err)
 	}
@@ -141,6 +169,9 @@ func ReadArtifact(r io.Reader) (*Artifact, error) {
 // CheckConfig reconstructs the check configuration the artifact was
 // found under.
 func (a *Artifact) CheckConfig() CheckConfig {
+	// ReadArtifact validated the reduce spec; an unparsable mode on a
+	// hand-built Artifact falls back to the default, ReduceAll.
+	reduce, _ := parseReduceSpec(a.Check.ExhaustiveReduce)
 	return CheckConfig{
 		Seed:             a.Check.Seed,
 		Duration:         noc.Cycles(a.Check.Duration),
@@ -149,6 +180,7 @@ func (a *Artifact) CheckConfig() CheckConfig {
 		ProbesPerFlow:    a.Check.ProbesPerFlow,
 		EditChainLen:     a.Check.EditChainLen,
 		ExhaustiveStates: a.Check.ExhaustiveStates,
+		ExhaustiveReduce: reduce,
 	}
 }
 

@@ -48,9 +48,14 @@ type CampaignStats struct {
 	// Exhausted counts scenarios the explicit-state backend enumerated
 	// (Report.Exhaustive non-nil); ExhaustedComplete counts those whose
 	// full phasing grid was covered — the scenarios whose verdict is a
-	// proof, not a sample. Both stay zero when
+	// proof, not a sample. All three stay zero when
 	// CheckConfig.ExhaustiveStates is unset.
 	Exhausted, ExhaustedComplete int
+	// ExhaustedViaReduction counts the subset of ExhaustedComplete whose
+	// proof covered strictly fewer simulated states than the raw phasing
+	// grid — completions the symmetry/cluster reductions made
+	// affordable.
+	ExhaustedViaReduction int
 }
 
 // Campaign generates and checks cfg.Scenarios scenarios on a worker
@@ -98,6 +103,9 @@ func Campaign(cfg CampaignConfig, fn func(i int, sc *Scenario, ccfg CheckConfig,
 			stats.Exhausted++
 			if rep.Exhaustive.Complete {
 				stats.ExhaustedComplete++
+				if rep.Exhaustive.StatesSaved > 0 {
+					stats.ExhaustedViaReduction++
+				}
 			}
 		}
 		mu.Unlock()

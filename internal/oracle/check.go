@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"wormnoc/internal/core"
+	"wormnoc/internal/exhaustive"
 	"wormnoc/internal/noc"
 	"wormnoc/internal/parallel"
 	"wormnoc/internal/sim"
@@ -49,6 +50,14 @@ type CheckConfig struct {
 	// grids small). Scenarios out of reach are skipped with a Note,
 	// never silently.
 	ExhaustiveStates int64
+	// ExhaustiveReduce selects the state-space reductions the backend
+	// explores under (see exhaustive.Reduction). The zero value,
+	// exhaustive.ReduceAll, applies both proof-preserving reductions —
+	// the budget check above compares ExhaustiveStates against the
+	// REDUCED size, so scenarios whose raw grid is out of reach still
+	// get proofs when their reduced space fits. The other modes exist
+	// for differential validation (`nocfuzz exhaust -reduce=...`).
+	ExhaustiveReduce exhaustive.Reduction
 
 	// mutate, when non-nil, rewrites every analytic bound before the
 	// invariants see it. It exists solely for the mutation self-test:

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"wormnoc/internal/core"
+	"wormnoc/internal/exhaustive"
 	"wormnoc/internal/noc"
 	"wormnoc/internal/traffic"
 )
@@ -27,43 +28,95 @@ func tinyScenario() *Scenario {
 
 // A healthy tiny scenario must come back violation-free with a complete
 // exhaustive report proving the chain, and — on a grid this small — a
-// zero search-vs-exhaustive gap.
+// zero search-vs-exhaustive gap. The 160-phasing raw grid (8·20, one
+// contention cluster) reduces to 160 − 7·19 = 27 shift-symmetry
+// representatives, so the default mode proves the chain in 27 states
+// while ReduceNone still enumerates all 160.
 func TestCheckExhaustiveProvesChain(t *testing.T) {
-	rep, err := Check(tinyScenario(), CheckConfig{Seed: 1, ExhaustiveStates: 1 << 12})
+	for _, tc := range []struct {
+		name          string
+		reduce        exhaustive.Reduction
+		states, saved int64
+	}{
+		{"reduced", exhaustive.ReduceAll, 27, 133},
+		{"raw", exhaustive.ReduceNone, 160, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Check(tinyScenario(), CheckConfig{
+				Seed: 1, ExhaustiveStates: 1 << 12, ExhaustiveReduce: tc.reduce})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Violations) != 0 {
+				t.Fatalf("healthy scenario reported violations: %v", rep.Violations)
+			}
+			ex := rep.Exhaustive
+			if ex == nil {
+				t.Fatalf("exhaustive backend did not run; notes: %v", rep.Notes)
+			}
+			if !ex.Complete || ex.Truncation != "" {
+				t.Fatalf("reduced space not completely enumerated: %+v", ex)
+			}
+			if ex.GridSize != 160 || ex.States != tc.states {
+				t.Fatalf("grid/states = %d/%d, want 160/%d", ex.GridSize, ex.States, tc.states)
+			}
+			if ex.ReducedGridSize != tc.states || ex.StatesSaved != tc.saved ||
+				ex.Reduction != tc.reduce.String() || ex.Clusters != 1 {
+				t.Fatalf("reduction accounting %+v, want reduced %d saved %d mode %q clusters 1",
+					ex, tc.states, tc.saved, tc.reduce)
+			}
+			if len(ex.Gaps) != 2 {
+				t.Fatalf("gap metric covers %d flows, want 2", len(ex.Gaps))
+			}
+			for _, g := range ex.Gaps {
+				if !g.Proven {
+					t.Errorf("flow %d not proven on a complete uncensored enumeration", g.Flow)
+				}
+				if g.ViaReduction != (tc.saved > 0) {
+					t.Errorf("flow %d: ViaReduction = %v under mode %q", g.Flow, g.ViaReduction, tc.reduce)
+				}
+				if g.Gap != 0 {
+					t.Errorf("flow %d: search left a gap of %d on a 160-phasing grid (search %d, exhaustive %d)",
+						g.Flow, g.Gap, g.Search, g.Exhaustive)
+				}
+			}
+		})
+	}
+}
+
+// The budget gate compares against the reduced enumeration size: a
+// budget far below the 160-phasing raw grid but above the 27
+// representatives must still yield a complete proof — the scenarios the
+// reductions exist for. The same budget under ReduceNone skips.
+func TestCheckExhaustiveBudgetUsesReducedSize(t *testing.T) {
+	rep, err := Check(tinyScenario(), CheckConfig{Seed: 1, ExhaustiveStates: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Violations) != 0 {
-		t.Fatalf("healthy scenario reported violations: %v", rep.Violations)
-	}
 	ex := rep.Exhaustive
 	if ex == nil {
-		t.Fatalf("exhaustive backend did not run; notes: %v", rep.Notes)
+		t.Fatalf("reduced space of 27 skipped under budget 40; notes: %v", rep.Notes)
 	}
-	if !ex.Complete || ex.Truncation != "" {
-		t.Fatalf("160-phasing grid not completely enumerated: %+v", ex)
+	if !ex.Complete || ex.States != 27 || ex.StatesSaved != 133 {
+		t.Fatalf("expected a complete 27-state proof via reduction, got %+v", ex)
 	}
-	if ex.GridSize != 160 || ex.States != 160 {
-		t.Fatalf("grid/states = %d/%d, want 160/160", ex.GridSize, ex.States)
+
+	rep, err = Check(tinyScenario(), CheckConfig{
+		Seed: 1, ExhaustiveStates: 40, ExhaustiveReduce: exhaustive.ReduceNone})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(ex.Gaps) != 2 {
-		t.Fatalf("gap metric covers %d flows, want 2", len(ex.Gaps))
-	}
-	for _, g := range ex.Gaps {
-		if !g.Proven {
-			t.Errorf("flow %d not proven on a complete uncensored enumeration", g.Flow)
-		}
-		if g.Gap != 0 {
-			t.Errorf("flow %d: search left a gap of %d on a 160-phasing grid (search %d, exhaustive %d)",
-				g.Flow, g.Gap, g.Search, g.Exhaustive)
-		}
+	if rep.Exhaustive != nil {
+		t.Fatal("unreduced 160-phasing grid ran under budget 40")
 	}
 }
 
 // Scenarios out of the backend's reach are skipped with an explicit
 // note, never silently and never with a fake report.
 func TestCheckExhaustiveSkipsLoudly(t *testing.T) {
-	// Budget below the 96-phasing grid.
+	// Budget below even the reduced space of 27 representatives. The
+	// skip note must carry both the reduced and the raw grid size so
+	// "still too big after reduction" is auditable.
 	rep, err := Check(tinyScenario(), CheckConfig{Seed: 1, ExhaustiveStates: 10})
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +128,9 @@ func TestCheckExhaustiveSkipsLoudly(t *testing.T) {
 	for _, n := range rep.Notes {
 		if strings.Contains(n, "exhaustive skipped") && strings.Contains(n, "budget") {
 			found = true
+			if !strings.Contains(n, "27") || !strings.Contains(n, "160") {
+				t.Errorf("skip note lacks reduced (27) and raw (160) sizes: %q", n)
+			}
 		}
 	}
 	if !found {
@@ -168,6 +224,9 @@ func TestMutationExhaustiveDivergenceIsCaughtAndShrunk(t *testing.T) {
 	if back.CheckConfig().ExhaustiveStates != cfg.ExhaustiveStates {
 		t.Errorf("exhaustive budget lost in round trip: %d", back.CheckConfig().ExhaustiveStates)
 	}
+	if back.CheckConfig().ExhaustiveReduce != cfg.ExhaustiveReduce {
+		t.Errorf("reduction mode lost in round trip: %v", back.CheckConfig().ExhaustiveReduce)
+	}
 	replayRep, reproduced, err := back.Replay()
 	if err != nil {
 		t.Fatal(err)
@@ -205,6 +264,10 @@ func TestCampaignCountsExhausted(t *testing.T) {
 	}
 	if stats.ExhaustedComplete > stats.Exhausted {
 		t.Fatalf("complete count %d exceeds enumerated count %d", stats.ExhaustedComplete, stats.Exhausted)
+	}
+	if stats.ExhaustedViaReduction > stats.ExhaustedComplete {
+		t.Fatalf("via-reduction count %d exceeds complete count %d",
+			stats.ExhaustedViaReduction, stats.ExhaustedComplete)
 	}
 	if stats.Violations != 0 {
 		t.Fatalf("healthy campaign reported %d violations", stats.Violations)

@@ -1,0 +1,208 @@
+package sim_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wormnoc/internal/core"
+	"wormnoc/internal/noc"
+	"wormnoc/internal/oracle"
+	"wormnoc/internal/sim"
+	"wormnoc/internal/traffic"
+)
+
+// compareFlows asserts that the restricted run sub matches the full run
+// full on every observable per-flow field, for each kept flow (keep[k]
+// in the full system is flow k in the restricted one).
+func compareFlows(t *testing.T, full, sub *sim.Result, keep []int) {
+	t.Helper()
+	for k, i := range keep {
+		if sub.WorstLatency[k] != full.WorstLatency[i] {
+			t.Errorf("flow %d: restricted worst %d != full %d", i, sub.WorstLatency[k], full.WorstLatency[i])
+		}
+		if sub.TotalLatency[k] != full.TotalLatency[i] {
+			t.Errorf("flow %d: restricted total %d != full %d", i, sub.TotalLatency[k], full.TotalLatency[i])
+		}
+		if sub.Completed[k] != full.Completed[i] || sub.Released[k] != full.Released[i] {
+			t.Errorf("flow %d: restricted completed/released %d/%d != full %d/%d",
+				i, sub.Completed[k], sub.Released[k], full.Completed[i], full.Released[i])
+		}
+		if sub.DeadlineMisses[k] != full.DeadlineMisses[i] {
+			t.Errorf("flow %d: restricted misses %d != full %d", i, sub.DeadlineMisses[k], full.DeadlineMisses[i])
+		}
+		if !reflect.DeepEqual(sub.Latencies[k], full.Latencies[i]) {
+			t.Errorf("flow %d: restricted latencies %v != full %v", i, sub.Latencies[k], full.Latencies[i])
+		}
+		if !reflect.DeepEqual(sub.MaxOccupancy[k], full.MaxOccupancy[i]) {
+			t.Errorf("flow %d: restricted occupancy %v != full %v", i, sub.MaxOccupancy[k], full.MaxOccupancy[i])
+		}
+	}
+}
+
+// TestRestrictClusterBitIdentical: on a hand-built two-cluster line
+// system, simulating each contention cluster alone reproduces the full
+// run's per-flow observables exactly, across phasings. This is the
+// exactness property the exhaustive backend's cluster decomposition
+// rests on (DESIGN.md §15).
+func TestRestrictClusterBitIdentical(t *testing.T) {
+	topo := noc.MustMesh(8, 1, noc.RouterConfig{BufDepth: 2, LinkLatency: 1, RouteLatency: 1})
+	sys := traffic.MustSystem(topo, []traffic.Flow{
+		// Cluster A: share link 1→2.
+		{Name: "a0", Priority: 1, Period: 8, Deadline: 8, Length: 3, Src: 0, Dst: 2},
+		{Name: "a1", Priority: 2, Period: 12, Deadline: 12, Length: 2, Src: 1, Dst: 3},
+		// Cluster B: share link 5→6; no link in common with cluster A.
+		{Name: "b0", Priority: 3, Period: 9, Deadline: 9, Length: 2, Src: 4, Dst: 6},
+		{Name: "b1", Priority: 4, Period: 10, Deadline: 10, Length: 3, Src: 5, Dst: 7},
+	})
+	clusters := core.BuildSets(sys).Clusters()
+	if want := [][]int{{0, 1}, {2, 3}}; !reflect.DeepEqual(clusters, want) {
+		t.Fatalf("clusters = %v, want %v", clusters, want)
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		offsets := make([]noc.Cycles, sys.NumFlows())
+		for i := range offsets {
+			offsets[i] = noc.Cycles(rng.Intn(int(sys.Flow(i).Period)))
+		}
+		cfg := sim.Config{Duration: 500, Offsets: offsets, RecordLatencies: true}
+		full, err := sim.Run(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inFlight := 0
+		for _, keep := range clusters {
+			subSys, err := sim.Restrict(sys, keep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			subCfg := cfg
+			subCfg.Offsets = make([]noc.Cycles, len(keep))
+			for k, i := range keep {
+				subCfg.Offsets[k] = offsets[i]
+			}
+			sub, err := sim.Run(subSys, subCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareFlows(t, full, sub, keep)
+			inFlight += sub.InFlight
+		}
+		if inFlight != full.InFlight {
+			t.Errorf("offsets %v: cluster in-flight sum %d != full %d", offsets, inFlight, full.InFlight)
+		}
+	}
+}
+
+// TestRestrictRandomClusters runs the same differential over generated
+// scenarios: whatever cluster structure core.Sets.Clusters finds, the
+// per-cluster restricted runs must tile the full run exactly.
+func TestRestrictRandomClusters(t *testing.T) {
+	gen := oracle.GenConfig{
+		MaxDim: 3, MaxFlows: 6, MaxBuf: 4,
+		MaxLinkLatency: 1, MaxRouteLatency: -1,
+		PeriodMin: 6, PeriodMax: 40, LenMin: 2, LenMax: 8,
+		JitterProb: -1,
+	}
+	multi := 0
+	for seed := int64(1); seed <= 40; seed++ {
+		sys, err := oracle.Generate(seed, gen).System()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		clusters := core.BuildSets(sys).Clusters()
+		if len(clusters) > 1 {
+			multi++
+		}
+		rng := rand.New(rand.NewSource(seed))
+		offsets := make([]noc.Cycles, sys.NumFlows())
+		for i := range offsets {
+			offsets[i] = noc.Cycles(rng.Intn(int(sys.Flow(i).Period)))
+		}
+		cfg := sim.Config{Duration: 600, Offsets: offsets, RecordLatencies: true}
+		full, err := sim.Run(sys, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, keep := range clusters {
+			subSys, err := sim.Restrict(sys, keep)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			subCfg := cfg
+			subCfg.Offsets = make([]noc.Cycles, len(keep))
+			for k, i := range keep {
+				subCfg.Offsets[k] = offsets[i]
+			}
+			sub, err := sim.Run(subSys, subCfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			compareFlows(t, full, sub, keep)
+		}
+	}
+	// The differential is vacuous if generation never splits a flow set.
+	if multi == 0 {
+		t.Fatal("no generated scenario had more than one cluster; widen the generator config")
+	}
+}
+
+// TestRestrictOpenSubsetDiverges proves the interference-closure
+// precondition is load-bearing: restricting to a subset that is NOT
+// closed under interference (dropping a flow's preemptor) changes the
+// kept flow's observables. Were this test to pass with equal results,
+// Restrict's exactness claim would be unfalsifiable.
+func TestRestrictOpenSubsetDiverges(t *testing.T) {
+	topo := noc.MustMesh(6, 1, noc.RouterConfig{BufDepth: 4, LinkLatency: 1})
+	sys := traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "hi", Priority: 1, Period: 1 << 20, Deadline: 1 << 20, Length: 50, Src: 0, Dst: 5},
+		{Name: "lo", Priority: 2, Period: 1 << 20, Deadline: 1 << 20, Length: 200, Src: 0, Dst: 5},
+	})
+	cfg := sim.Config{Duration: 1 << 14, Offsets: []noc.Cycles{40, 0}, MaxPacketsPerFlow: 1}
+	full, err := sim.Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subSys, err := sim.Restrict(sys, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := sim.Run(subSys, sim.Config{Duration: cfg.Duration, Offsets: []noc.Cycles{0}, MaxPacketsPerFlow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.WorstLatency[0] >= full.WorstLatency[1] {
+		t.Fatalf("dropping the preemptor did not lower the victim's latency (%d vs %d): the closure precondition has no teeth",
+			sub.WorstLatency[0], full.WorstLatency[1])
+	}
+}
+
+// TestRestrictValidation covers the argument checks.
+func TestRestrictValidation(t *testing.T) {
+	topo := noc.MustMesh(4, 1, noc.RouterConfig{BufDepth: 2, LinkLatency: 1})
+	sys := traffic.MustSystem(topo, []traffic.Flow{
+		{Name: "a", Priority: 1, Period: 8, Deadline: 8, Length: 2, Src: 0, Dst: 2},
+		{Name: "b", Priority: 2, Period: 8, Deadline: 8, Length: 2, Src: 1, Dst: 3},
+	})
+	for _, tc := range []struct {
+		name string
+		keep []int
+	}{
+		{"empty", nil},
+		{"out of range", []int{0, 2}},
+		{"negative", []int{-1}},
+		{"duplicate", []int{1, 1}},
+	} {
+		if _, err := sim.Restrict(sys, tc.keep); err == nil {
+			t.Errorf("%s: Restrict(%v) succeeded, want error", tc.name, tc.keep)
+		}
+	}
+	sub, err := sim.Restrict(sys, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumFlows() != 2 || sub.Flow(0).Name != "b" || sub.Flow(1).Name != "a" {
+		t.Errorf("Restrict order not preserved: %v", sub.Flows())
+	}
+}
